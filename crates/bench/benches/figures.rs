@@ -1,0 +1,28 @@
+//! One Criterion benchmark per paper figure: execution time of the original
+//! query vs its AST rewrite on a shared generated database (50k fact rows).
+//! The paper's claim is a large per-figure gap; absolute times depend on
+//! the substrate engine, the *ratios* are the reproduced result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sumtab_bench::prepare;
+
+fn bench_figures(c: &mut Criterion) {
+    let fx = prepare(50_000);
+    for case in &fx.cases {
+        let Some(rewritten) = &case.rewritten else {
+            continue; // no-match cases have nothing to compare
+        };
+        let mut group = c.benchmark_group(format!("fig_{}", case.case.id));
+        group.sample_size(10);
+        group.bench_function("original", |b| {
+            b.iter(|| sumtab::engine::execute(&case.original, &fx.db).unwrap())
+        });
+        group.bench_function("rewritten", |b| {
+            b.iter(|| sumtab::engine::execute(rewritten, &fx.db).unwrap())
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Experiment E-P3: the matching/rewrite overhead itself (navigator +
+//! match function + compensation construction), per figure. The paper's
+//! algorithm runs inside the optimizer, so this must be microseconds-to-
+//! milliseconds — negligible next to query execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sumtab::datagen::workloads::FIGURES;
+use sumtab::{Catalog, RegisteredAst, Rewriter};
+
+fn bench_matching(c: &mut Criterion) {
+    let catalog = Catalog::credit_card_sample();
+    let mut group = c.benchmark_group("match_overhead");
+    for case in FIGURES {
+        let ast = RegisteredAst::from_sql("a", case.ast, &catalog).unwrap();
+        let q = sumtab::build_query(&sumtab::parser::parse_query(case.query).unwrap(), &catalog)
+            .unwrap();
+        let rewriter = Rewriter::new(&catalog);
+        group.bench_function(case.id, |b| b.iter(|| rewriter.rewrite(&q, &ast)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Experiment E-P1 (the paper's headline claim): orders-of-magnitude
+//! speedup from answering Q1 via AST1, swept over fact-table scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sumtab::datagen::workloads::{AST1, Q1};
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::{RegisteredAst, Rewriter};
+
+fn bench_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("speedup_q1");
+    group.sample_size(10);
+    for &scale in &[10_000usize, 50_000, 200_000] {
+        let cfg = GenConfig {
+            transactions: scale,
+            ..GenConfig::scale(scale)
+        };
+        let (catalog, mut db) = generate(&cfg);
+        let ast = RegisteredAst::from_sql("ast1", AST1, &catalog).unwrap();
+        sumtab::engine::materialize("ast1", &ast.graph, &catalog, &mut db).unwrap();
+        let q = sumtab::build_query(&sumtab::parser::parse_query(Q1).unwrap(), &catalog).unwrap();
+        let rw = Rewriter::new(&catalog).rewrite(&q, &ast).unwrap().graph;
+        group.throughput(Throughput::Elements(scale as u64));
+        group.bench_with_input(BenchmarkId::new("original", scale), &scale, |b, _| {
+            b.iter(|| sumtab::engine::execute(&q, &db).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("rewritten", scale), &scale, |b, _| {
+            b.iter(|| sumtab::engine::execute(&rw, &db).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_speedup);
+criterion_main!(benches);

@@ -1,0 +1,275 @@
+//! The paper-experiments harness: regenerates every table and figure of the
+//! paper's evaluation in one run and prints paper-vs-measured outcomes.
+//! The results recorded in EXPERIMENTS.md come from this binary:
+//!
+//! ```text
+//! cargo run --release -p sumtab-bench --bin paper-experiments
+//! ```
+//!
+//! Sections:
+//!   F*/T1  — the worked rewrite examples (Figures 2–14, Table 1)
+//!   F12    — cube semantics (exact result table of Figure 12)
+//!   P1     — the "orders of magnitude" speedup sweep (Section 1/8)
+//!   P2     — coverage vs the syntactic single-block baseline (Section 1.2)
+//!   P3     — matching overhead (Section 3)
+
+use std::time::Instant;
+use sumtab::datagen::workloads::{AST1, FIGURES, Q1};
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::matcher::baseline::baseline_matches;
+use sumtab::{format_table, render_graph_sql, sort_rows, Catalog, RegisteredAst, Rewriter, Value};
+use sumtab_bench::{median_time, prepare};
+
+fn main() {
+    println!("=============================================================");
+    println!(" sumtab — paper-experiments harness");
+    println!(" Zaharioudakis et al., \"Answering Complex SQL Queries Using");
+    println!(" Automatic Summary Tables\", SIGMOD 2000");
+    println!("=============================================================\n");
+
+    figures_section();
+    figure12_section();
+    speedup_section();
+    coverage_section();
+    overhead_section();
+    ablation_section();
+}
+
+/// E-A1 (ablation): how much does the SELECT-merging normalization of
+/// footnote 6 matter? We pose queries whose SQL nesting differs from the
+/// AST definition's (derived tables vs flat blocks) — semantically equal,
+/// syntactically asymmetric — and measure the match rate with and without
+/// canonicalizing the QGM graphs before matching.
+fn ablation_section() {
+    println!("\n── E-A1: ablation — box-merge normalization (footnote 6) ───");
+    let catalog = Catalog::credit_card_sample();
+    let rewriter = Rewriter::new(&catalog);
+    // (nested-form query, flat AST definition) pairs.
+    let asymmetric: &[(&str, &str)] = &[
+        (
+            "select faid, count(*) as c from \
+             (select faid from trans where qty > 2) as v group by faid",
+            "select faid, count(*) as c from trans where qty > 2 group by faid",
+        ),
+        (
+            "select v.s as state, count(*) as c from \
+             (select state as s, flid as f from trans, loc where flid = lid) as v \
+             group by v.s",
+            "select state, flid, count(*) as c from trans, loc \
+             where flid = lid group by state, flid",
+        ),
+        (
+            "select y, sum(val) as v from \
+             (select year(date) as y, qty * price as val from trans) as inner_q \
+             group by y",
+            "select year(date) as y, month(date) as m, sum(qty * price) as v \
+             from trans group by year(date), month(date)",
+        ),
+    ];
+    let mut with_norm = 0usize;
+    let mut without_norm = 0usize;
+    for (qs, as_) in asymmetric {
+        for (normalize, counter) in [(true, &mut with_norm), (false, &mut without_norm)] {
+            let build = |sql: &str| {
+                sumtab::qgm::build_query_with_params(
+                    &sumtab::parser::parse_query(sql).unwrap(),
+                    &catalog,
+                    normalize,
+                )
+                .unwrap()
+            };
+            let ast = RegisteredAst {
+                name: "a".into(),
+                graph: build(as_),
+            };
+            let q = build(qs);
+            if rewriter.rewrite(&q, &ast).is_some() {
+                *counter += 1;
+            }
+        }
+    }
+    println!(
+        "  asymmetric-nesting pairs matched WITH normalization:    {with_norm}/{}\n  \
+         asymmetric-nesting pairs matched WITHOUT normalization: {without_norm}/{}\n  \
+         (derived-table blocks only align box-by-box after merging — the\n   \
+         canonical-shape design decision of DESIGN.md §3)",
+        asymmetric.len(),
+        asymmetric.len()
+    );
+}
+
+/// Figures 2–14 + Table 1: match outcome, rewrite shape, result check,
+/// and per-case timing at 50k fact rows.
+fn figures_section() {
+    println!("── Worked examples (Figures 2–14, Table 1) ─────────────────");
+    println!("   fixture: 50,000 transactions, every AST materialized\n");
+    let fx = prepare(50_000);
+    println!(
+        "{:<7} {:<55} {:>7} {:>10} {:>10} {:>8}",
+        "exp", "title", "match", "orig", "rewritten", "speedup"
+    );
+    for c in &fx.cases {
+        let matched = if c.rewritten.is_some() { "yes" } else { "no" };
+        match &c.rewritten {
+            Some(rw) => {
+                let orig_rows = sumtab::engine::execute(&c.original, &fx.db).unwrap();
+                let new_rows = sumtab::engine::execute(rw, &fx.db).unwrap();
+                let equal = rows_approx_eq(&sort_rows(orig_rows.clone()), &sort_rows(new_rows));
+                let t_orig = median_time(5, || {
+                    sumtab::engine::execute(&c.original, &fx.db).unwrap();
+                });
+                let t_new = median_time(5, || {
+                    sumtab::engine::execute(rw, &fx.db).unwrap();
+                });
+                println!(
+                    "{:<7} {:<55} {:>7} {:>10.2?} {:>10.2?} {:>7.1}x{}",
+                    c.case.id,
+                    c.case.title,
+                    matched,
+                    t_orig,
+                    t_new,
+                    t_orig.as_secs_f64() / t_new.as_secs_f64().max(1e-9),
+                    if equal { "" } else { "  ✗ RESULTS DIFFER" },
+                );
+            }
+            None => {
+                println!(
+                    "{:<7} {:<55} {:>7} {:>10} {:>10} {:>8}",
+                    c.case.id, c.case.title, matched, "-", "-", "-"
+                );
+            }
+        }
+    }
+    // Show one full rewrite, the paper's running example.
+    if let Some(c) = fx.cases.iter().find(|c| c.case.id == "F2") {
+        println!("\n  NewQ1 (Figure 2's rewrite, as produced):");
+        println!("    {}", render_graph_sql(c.rewritten.as_ref().unwrap()));
+    }
+    println!();
+}
+
+/// Figure 12: cube query semantics over the paper's sample table.
+fn figure12_section() {
+    println!("── Figure 12: grouping-sets semantics ──────────────────────");
+    let mut s = sumtab::SummarySession::new();
+    s.run_script(
+        "create table strans (flid int not null, year int not null, faid int not null);
+         insert into strans values
+            (1, 1990, 100), (1, 1991, 100), (1, 1991, 200), (1, 1991, 300),
+            (1, 1992, 100), (1, 1992, 400), (2, 1991, 400), (2, 1991, 400);",
+    )
+    .unwrap();
+    let res = s
+        .query(
+            "select flid, year, faid, count(*) as cnt from strans \
+             group by grouping sets ((flid, year), (faid))",
+        )
+        .unwrap();
+    println!("{}", format_table(&res.header, &sort_rows(res.rows)));
+}
+
+/// E-P1: the orders-of-magnitude speedup claim, swept over scales.
+fn speedup_section() {
+    println!("── E-P1: speedup sweep (Q1 via AST1) ───────────────────────");
+    println!(
+        "{:>12} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "fact rows", "AST rows", "ratio", "t(original)", "t(rewrite)", "speedup"
+    );
+    for &scale in &[10_000usize, 50_000, 200_000, 500_000] {
+        let cfg = GenConfig {
+            transactions: scale,
+            ..GenConfig::scale(scale)
+        };
+        let (catalog, mut db) = generate(&cfg);
+        let ast = RegisteredAst::from_sql("ast1", AST1, &catalog).unwrap();
+        sumtab::engine::materialize("ast1", &ast.graph, &catalog, &mut db).unwrap();
+        let q = sumtab::build_query(&sumtab::parser::parse_query(Q1).unwrap(), &catalog).unwrap();
+        let rw = Rewriter::new(&catalog).rewrite(&q, &ast).unwrap().graph;
+        let t_orig = median_time(3, || {
+            sumtab::engine::execute(&q, &db).unwrap();
+        });
+        let t_new = median_time(3, || {
+            sumtab::engine::execute(&rw, &db).unwrap();
+        });
+        let ast_rows = db.row_count("ast1");
+        println!(
+            "{:>12} {:>10} {:>9.1}x {:>12.2?} {:>12.2?} {:>8.1}x",
+            scale,
+            ast_rows,
+            scale as f64 / ast_rows as f64,
+            t_orig,
+            t_new,
+            t_orig.as_secs_f64() / t_new.as_secs_f64().max(1e-9)
+        );
+    }
+    println!();
+}
+
+/// E-P2: coverage matrix — paper's algorithm vs the syntactic baseline.
+fn coverage_section() {
+    println!("── E-P2: coverage vs syntactic single-block baseline [6] ───");
+    let catalog = Catalog::credit_card_sample();
+    let rewriter = Rewriter::new(&catalog);
+    let mut ours = 0usize;
+    let mut theirs = 0usize;
+    println!("{:<7} {:>6} {:>10}", "exp", "ours", "baseline");
+    for case in FIGURES {
+        let ast = RegisteredAst::from_sql("b", case.ast, &catalog).unwrap();
+        let q = sumtab::build_query(&sumtab::parser::parse_query(case.query).unwrap(), &catalog)
+            .unwrap();
+        let full = rewriter.rewrite(&q, &ast).is_some();
+        let base = baseline_matches(&q, &ast.graph);
+        ours += usize::from(full);
+        theirs += usize::from(base);
+        println!(
+            "{:<7} {:>6} {:>10}",
+            case.id,
+            if full { "yes" } else { "no" },
+            if base { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "\n  totals: ours {ours}/{n}, baseline {theirs}/{n} — the gap is the \
+         paper's contributions 1–3\n",
+        n = FIGURES.len()
+    );
+}
+
+/// E-P3: matching overhead per figure (pure matcher time).
+fn overhead_section() {
+    println!("── E-P3: matching/rewrite overhead ─────────────────────────");
+    let catalog = Catalog::credit_card_sample();
+    let rewriter = Rewriter::new(&catalog);
+    println!("{:<7} {:>12}", "exp", "median");
+    for case in FIGURES {
+        let ast = RegisteredAst::from_sql("a", case.ast, &catalog).unwrap();
+        let q = sumtab::build_query(&sumtab::parser::parse_query(case.query).unwrap(), &catalog)
+            .unwrap();
+        let t0 = Instant::now();
+        let mut n = 0u32;
+        while t0.elapsed().as_millis() < 50 {
+            std::hint::black_box(rewriter.rewrite(&q, &ast));
+            n += 1;
+        }
+        let per = t0.elapsed() / n.max(1);
+        println!("{:<7} {:>12.2?}", case.id, per);
+    }
+    println!(
+        "\n  (negligible next to execution times above — viable inside \
+         an optimizer)"
+    );
+}
+
+fn rows_approx_eq(a: &[Vec<Value>], b: &[Vec<Value>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra.iter().zip(rb).all(|(x, y)| match (x, y) {
+                    (Value::Double(p), Value::Double(q)) => {
+                        let scale = p.abs().max(q.abs()).max(1.0);
+                        (p - q).abs() <= scale * 1e-9
+                    }
+                    _ => x == y,
+                })
+        })
+}

@@ -1,0 +1,82 @@
+//! Shared fixtures for the benchmark suite and the `paper-experiments`
+//! harness: a generated credit-card database with every figure's AST
+//! materialized, plus prepared (original, rewritten) graph pairs.
+
+use sumtab::datagen::workloads::{FigureCase, FIGURES};
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::{Catalog, Database, QgmGraph, RegisteredAst, Rewriter};
+
+/// A prepared benchmark case: the original and rewritten graphs over a
+/// shared database with the AST materialized.
+pub struct PreparedCase {
+    /// The figure descriptor.
+    pub case: &'static FigureCase,
+    /// The AST's backing-table name.
+    pub ast_name: String,
+    /// Original query graph.
+    pub original: QgmGraph,
+    /// Rewritten query graph (when the case matches).
+    pub rewritten: Option<QgmGraph>,
+    /// Rows in the AST's backing table.
+    pub ast_rows: usize,
+}
+
+/// A full benchmark fixture.
+pub struct Fixture {
+    /// Schema.
+    pub catalog: Catalog,
+    /// Data, with every AST materialized.
+    pub db: Database,
+    /// Prepared figure cases.
+    pub cases: Vec<PreparedCase>,
+}
+
+/// Build the fixture at the given fact-table scale.
+pub fn prepare(transactions: usize) -> Fixture {
+    let cfg = GenConfig {
+        transactions,
+        ..GenConfig::scale(transactions)
+    };
+    let (catalog, mut db) = generate(&cfg);
+    let rewriter = Rewriter::new(&catalog);
+    let mut cases = Vec::with_capacity(FIGURES.len());
+    for case in FIGURES {
+        let ast_name = format!("ast_{}", case.id.to_lowercase().replace('.', "_"));
+        let ast = RegisteredAst::from_sql(&ast_name, case.ast, &catalog)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        sumtab::engine::materialize(&ast_name, &ast.graph, &catalog, &mut db)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        let original =
+            sumtab::build_query(&sumtab::parser::parse_query(case.query).unwrap(), &catalog)
+                .unwrap();
+        let rewritten = rewriter.rewrite(&original, &ast).map(|rw| rw.graph);
+        assert_eq!(
+            rewritten.is_some(),
+            case.matches,
+            "{}: match expectation violated at bench setup",
+            case.id
+        );
+        let ast_rows = db.row_count(&ast_name);
+        cases.push(PreparedCase {
+            case,
+            ast_name,
+            original,
+            rewritten,
+            ast_rows,
+        });
+    }
+    Fixture { catalog, db, cases }
+}
+
+/// Median wall-clock time of `runs` executions of `f`.
+pub fn median_time(runs: usize, mut f: impl FnMut()) -> std::time::Duration {
+    let mut samples: Vec<std::time::Duration> = (0..runs)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}

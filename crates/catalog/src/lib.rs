@@ -1,0 +1,62 @@
+//! # sumtab-catalog
+//!
+//! Shared database substrate for the `sumtab` workspace: SQL scalar types,
+//! runtime values, dates, table/column schemas, and integrity constraints
+//! (primary keys and referential-integrity constraints).
+//!
+//! The matching algorithm of the paper depends on catalog metadata in two
+//! places:
+//!
+//! * **Lossless extra joins** (Section 4.1.1, condition 1): an AST may join
+//!   additional dimension tables that the query does not mention, provided the
+//!   join follows a referential-integrity constraint over non-nullable
+//!   foreign-key columns, so it neither duplicates nor eliminates rows.
+//! * **Aggregate derivation** (Section 4.1.2): several rules, e.g.
+//!   `COUNT(x) -> SUM(COUNT(z))`, require knowing that a column is
+//!   non-nullable.
+//!
+//! The crate is dependency-free and sits at the bottom of the workspace.
+
+pub mod date;
+pub mod fx;
+pub mod schema;
+pub mod types;
+pub mod value;
+
+pub use date::Date;
+pub use schema::{Catalog, Column, ForeignKey, SummaryTableDef, Table};
+pub use types::SqlType;
+pub use value::Value;
+
+/// Errors produced by catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CatalogError {
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// No table with this name exists.
+    UnknownTable(String),
+    /// No column with this name exists in the named table.
+    UnknownColumn { table: String, column: String },
+    /// A foreign key referenced a column set that is not the parent's primary key.
+    InvalidForeignKey(String),
+    /// A summary table with this name already exists.
+    DuplicateSummaryTable(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            CatalogError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            CatalogError::UnknownColumn { table, column } => {
+                write!(f, "unknown column `{column}` in table `{table}`")
+            }
+            CatalogError::InvalidForeignKey(m) => write!(f, "invalid foreign key: {m}"),
+            CatalogError::DuplicateSummaryTable(t) => {
+                write!(f, "summary table `{t}` already exists")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}

@@ -1,0 +1,407 @@
+//! Tables, columns, and integrity constraints.
+//!
+//! Includes [`Catalog::credit_card_sample`], the paper's Section 1.1 star
+//! schema (fact table `Trans` plus dimensions `PGroup`, `Loc`, `Cust`,
+//! `Acct`), which the examples, tests, and benchmarks all share.
+
+use crate::{CatalogError, SqlType};
+use std::collections::BTreeMap;
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (stored lower-case; SQL identifiers are case-insensitive).
+    pub name: String,
+    /// Scalar type.
+    pub ty: SqlType,
+    /// Whether NULLs are permitted. Non-nullability feeds the aggregate
+    /// derivation rules of Section 4.1.2.
+    pub nullable: bool,
+}
+
+impl Column {
+    /// A non-nullable column.
+    pub fn new(name: &str, ty: SqlType) -> Column {
+        Column {
+            name: name.to_ascii_lowercase(),
+            ty,
+            nullable: false,
+        }
+    }
+
+    /// A nullable column.
+    pub fn nullable(name: &str, ty: SqlType) -> Column {
+        Column {
+            name: name.to_ascii_lowercase(),
+            ty,
+            nullable: true,
+        }
+    }
+}
+
+/// A base table (or a materialized summary table's backing table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// Table name (stored lower-case).
+    pub name: String,
+    /// Ordered column definitions.
+    pub columns: Vec<Column>,
+    /// Ordinals of the primary-key columns (empty = no declared key).
+    pub primary_key: Vec<usize>,
+}
+
+impl Table {
+    /// Create a table with no primary key.
+    pub fn new(name: &str, columns: Vec<Column>) -> Table {
+        Table {
+            name: name.to_ascii_lowercase(),
+            columns,
+            primary_key: Vec::new(),
+        }
+    }
+
+    /// Declare the primary key by column names. Panics on unknown names
+    /// (schema construction is programmer-controlled).
+    pub fn with_primary_key(mut self, key: &[&str]) -> Table {
+        self.primary_key = key
+            .iter()
+            .map(|k| {
+                self.column_index(k)
+                    .unwrap_or_else(|| panic!("unknown PK column `{k}` in `{}`", self.name))
+            })
+            .collect();
+        self
+    }
+
+    /// Ordinal of the named column (case-insensitive).
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        let lname = name.to_ascii_lowercase();
+        self.columns.iter().position(|c| c.name == lname)
+    }
+
+    /// The named column (case-insensitive).
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+}
+
+/// A referential-integrity constraint: `child_table.(child_columns)`
+/// references `parent_table`'s primary key.
+///
+/// The paper exploits RI constraints to prove that an "extra join" in an AST
+/// is lossless (Section 4.1.1, condition 1): joining the child to the parent
+/// over non-nullable FK columns neither duplicates nor drops child rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Referencing (fact-side) table.
+    pub child_table: String,
+    /// Ordinals of the referencing columns in the child table.
+    pub child_columns: Vec<usize>,
+    /// Referenced (dimension-side) table.
+    pub parent_table: String,
+    /// Ordinals of the referenced columns in the parent table; always the
+    /// parent's primary key.
+    pub parent_columns: Vec<usize>,
+}
+
+/// A registered Automatic Summary Table definition.
+///
+/// The catalog stores the defining query as SQL text plus the schema of the
+/// materialized backing table; higher layers (the matcher) parse the text
+/// into QGM at registration time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryTableDef {
+    /// The AST's name; also the name of its materialized backing table.
+    pub name: String,
+    /// The defining `SELECT` statement.
+    pub query_sql: String,
+}
+
+/// The database catalog: base tables, RI constraints, and AST definitions.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+    foreign_keys: Vec<ForeignKey>,
+    summary_tables: BTreeMap<String, SummaryTableDef>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a base table.
+    pub fn add_table(&mut self, table: Table) -> Result<(), CatalogError> {
+        if self.tables.contains_key(&table.name) {
+            return Err(CatalogError::DuplicateTable(table.name));
+        }
+        self.tables.insert(table.name.clone(), table);
+        Ok(())
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over all tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.values()
+    }
+
+    /// Declare an RI constraint by table/column names. The referenced columns
+    /// must be exactly the parent's primary key.
+    pub fn add_foreign_key(
+        &mut self,
+        child_table: &str,
+        child_columns: &[&str],
+        parent_table: &str,
+    ) -> Result<(), CatalogError> {
+        let child = self
+            .table(child_table)
+            .ok_or_else(|| CatalogError::UnknownTable(child_table.into()))?;
+        let parent = self
+            .table(parent_table)
+            .ok_or_else(|| CatalogError::UnknownTable(parent_table.into()))?;
+        if parent.primary_key.is_empty() {
+            return Err(CatalogError::InvalidForeignKey(format!(
+                "parent `{parent_table}` has no primary key"
+            )));
+        }
+        if parent.primary_key.len() != child_columns.len() {
+            return Err(CatalogError::InvalidForeignKey(format!(
+                "FK arity {} != PK arity {}",
+                child_columns.len(),
+                parent.primary_key.len()
+            )));
+        }
+        let mut child_idx = Vec::with_capacity(child_columns.len());
+        for c in child_columns {
+            let i = child
+                .column_index(c)
+                .ok_or_else(|| CatalogError::UnknownColumn {
+                    table: child_table.into(),
+                    column: (*c).into(),
+                })?;
+            child_idx.push(i);
+        }
+        self.foreign_keys.push(ForeignKey {
+            child_table: child.name.clone(),
+            child_columns: child_idx,
+            parent_table: parent.name.clone(),
+            parent_columns: parent.primary_key.clone(),
+        });
+        Ok(())
+    }
+
+    /// All declared RI constraints.
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.foreign_keys
+    }
+
+    /// RI constraints whose child is `child_table`.
+    pub fn foreign_keys_from(&self, child_table: &str) -> impl Iterator<Item = &ForeignKey> {
+        let name = child_table.to_ascii_lowercase();
+        self.foreign_keys
+            .iter()
+            .filter(move |fk| fk.child_table == name)
+    }
+
+    /// Register a summary-table definition together with its materialized
+    /// backing table schema.
+    pub fn add_summary_table(
+        &mut self,
+        def: SummaryTableDef,
+        backing: Table,
+    ) -> Result<(), CatalogError> {
+        let key = def.name.to_ascii_lowercase();
+        if self.summary_tables.contains_key(&key) {
+            return Err(CatalogError::DuplicateSummaryTable(def.name));
+        }
+        self.add_table(backing)?;
+        self.summary_tables.insert(key, def);
+        Ok(())
+    }
+
+    /// Look up a summary-table definition.
+    pub fn summary_table(&self, name: &str) -> Option<&SummaryTableDef> {
+        self.summary_tables.get(&name.to_ascii_lowercase())
+    }
+
+    /// Iterate over all summary-table definitions in name order.
+    pub fn summary_tables(&self) -> impl Iterator<Item = &SummaryTableDef> {
+        self.summary_tables.values()
+    }
+
+    /// True if `name` names a registered summary table.
+    pub fn is_summary_table(&self, name: &str) -> bool {
+        self.summary_tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// The paper's Section 1.1 credit-card star schema.
+    ///
+    /// ```text
+    /// Trans(tid, faid -> Acct, flid -> Loc, fpgid -> PGroup, date, qty, price, disc)
+    /// PGroup(pgid, pgname)
+    /// Loc(lid, city, state, country)
+    /// Acct(aid, fcid -> Cust, status)
+    /// Cust(cid, cname, age)
+    /// ```
+    pub fn credit_card_sample() -> Catalog {
+        use SqlType::*;
+        let mut cat = Catalog::new();
+        cat.add_table(
+            Table::new(
+                "pgroup",
+                vec![Column::new("pgid", Int), Column::new("pgname", Varchar)],
+            )
+            .with_primary_key(&["pgid"]),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::new(
+                "loc",
+                vec![
+                    Column::new("lid", Int),
+                    Column::new("city", Varchar),
+                    Column::new("state", Varchar),
+                    Column::new("country", Varchar),
+                ],
+            )
+            .with_primary_key(&["lid"]),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::new(
+                "cust",
+                vec![
+                    Column::new("cid", Int),
+                    Column::new("cname", Varchar),
+                    Column::new("age", Int),
+                ],
+            )
+            .with_primary_key(&["cid"]),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::new(
+                "acct",
+                vec![
+                    Column::new("aid", Int),
+                    Column::new("fcid", Int),
+                    Column::new("status", Varchar),
+                ],
+            )
+            .with_primary_key(&["aid"]),
+        )
+        .unwrap();
+        cat.add_table(
+            Table::new(
+                "trans",
+                vec![
+                    Column::new("tid", Int),
+                    Column::new("faid", Int),
+                    Column::new("flid", Int),
+                    Column::new("fpgid", Int),
+                    Column::new("date", Date),
+                    Column::new("qty", Int),
+                    Column::new("price", Double),
+                    Column::new("disc", Double),
+                ],
+            )
+            .with_primary_key(&["tid"]),
+        )
+        .unwrap();
+        cat.add_foreign_key("trans", &["faid"], "acct").unwrap();
+        cat.add_foreign_key("trans", &["flid"], "loc").unwrap();
+        cat.add_foreign_key("trans", &["fpgid"], "pgroup").unwrap();
+        cat.add_foreign_key("acct", &["fcid"], "cust").unwrap();
+        cat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_schema_shape() {
+        let cat = Catalog::credit_card_sample();
+        assert_eq!(cat.tables().count(), 5);
+        let trans = cat.table("Trans").unwrap();
+        assert_eq!(trans.columns.len(), 8);
+        assert_eq!(trans.primary_key, vec![0]);
+        assert_eq!(trans.column_index("PRICE"), Some(6));
+        assert!(trans.column("price").unwrap().ty == SqlType::Double);
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let cat = Catalog::credit_card_sample();
+        assert_eq!(cat.foreign_keys().len(), 4);
+        let fks: Vec<_> = cat.foreign_keys_from("trans").collect();
+        assert_eq!(fks.len(), 3);
+        let loc_fk = fks.iter().find(|f| f.parent_table == "loc").unwrap();
+        assert_eq!(loc_fk.child_columns, vec![2]); // flid
+        assert_eq!(loc_fk.parent_columns, vec![0]); // lid
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new("t", vec![Column::new("a", SqlType::Int)]))
+            .unwrap();
+        let err = cat
+            .add_table(Table::new("T", vec![Column::new("a", SqlType::Int)]))
+            .unwrap_err();
+        assert_eq!(err, CatalogError::DuplicateTable("t".into()));
+    }
+
+    #[test]
+    fn fk_validation() {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new("child", vec![Column::new("p", SqlType::Int)]))
+            .unwrap();
+        cat.add_table(Table::new("parent", vec![Column::new("id", SqlType::Int)]))
+            .unwrap();
+        // Parent has no PK.
+        assert!(matches!(
+            cat.add_foreign_key("child", &["p"], "parent"),
+            Err(CatalogError::InvalidForeignKey(_))
+        ));
+        // Unknown tables / columns.
+        assert!(matches!(
+            cat.add_foreign_key("nope", &["p"], "parent"),
+            Err(CatalogError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn summary_table_registry() {
+        let mut cat = Catalog::credit_card_sample();
+        let def = SummaryTableDef {
+            name: "ast1".into(),
+            query_sql: "select faid, count(*) as cnt from trans group by faid".into(),
+        };
+        let backing = Table::new(
+            "ast1",
+            vec![
+                Column::new("faid", SqlType::Int),
+                Column::new("cnt", SqlType::Int),
+            ],
+        );
+        cat.add_summary_table(def.clone(), backing).unwrap();
+        assert!(cat.is_summary_table("AST1"));
+        assert_eq!(cat.summary_table("ast1").unwrap().query_sql, def.query_sql);
+        assert!(cat.table("ast1").is_some());
+        // Duplicate registration fails.
+        let again = SummaryTableDef {
+            name: "ast1".into(),
+            query_sql: String::new(),
+        };
+        assert!(cat
+            .add_summary_table(again, Table::new("ast1b", vec![]))
+            .is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! Runtime SQL values with SQL-compatible grouping semantics.
+//!
+//! `Value` implements `Eq`, `Ord`, and `Hash` with *grouping* semantics:
+//! `NULL` compares equal to `NULL` and sorts first, and doubles use IEEE total
+//! order. Predicate evaluation (three-valued logic, where `NULL = NULL` is
+//! unknown) lives in the engine; this type only provides the deterministic
+//! total order that hash aggregation and sorting require.
+
+use crate::{Date, SqlType};
+
+/// A runtime scalar value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Calendar date.
+    Date(Date),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// The type of this value, or `None` for NULL (which is typeless).
+    pub fn sql_type(&self) -> Option<SqlType> {
+        match self {
+            Value::Null => None,
+            Value::Int(_) => Some(SqlType::Int),
+            Value::Double(_) => Some(SqlType::Double),
+            Value::Str(_) => Some(SqlType::Varchar),
+            Value::Date(_) => Some(SqlType::Date),
+            Value::Bool(_) => Some(SqlType::Bool),
+        }
+    }
+
+    /// True when this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view as f64, for arithmetic that has already widened.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Integer view; does not coerce doubles.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A small integer used to rank variants in the cross-type total order.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Double(_) => 2, // numerics compare with each other
+            Value::Str(_) => 3,
+            Value::Date(_) => 4,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Double(a), Double(b)) => a.total_cmp(b),
+            // Mixed numerics compare by value so that `1` groups with `1.0`
+            // only when bitwise-representable; use total order on the widened
+            // doubles, falling back to the exact integer comparison when both
+            // conversions are exact.
+            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
+            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Int and Double hash through the same numeric key so that the
+            // Ord/Hash contract holds for mixed numeric comparisons.
+            Value::Int(i) => {
+                state.write_u8(2);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Double(d) => {
+                state.write_u8(2);
+                d.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                state.write_u8(4);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Double(d) => {
+                if d.fract() == 0.0 && d.abs() < 1e15 {
+                    write!(f, "{d:.1}")
+                } else {
+                    write!(f, "{d}")
+                }
+            }
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Date(d) => write!(f, "DATE '{d}'"),
+            Value::Bool(b) => f.write_str(if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn null_groups_with_null() {
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null < Value::Int(0));
+        assert!(Value::Null < Value::Str(String::new()));
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash() {
+        assert_eq!(Value::Int(3), Value::Double(3.0));
+        assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Double(3.0)));
+        assert!(Value::Int(3) < Value::Double(3.5));
+        assert!(Value::Double(2.5) < Value::Int(3));
+    }
+
+    #[test]
+    fn double_total_order_handles_nan() {
+        let nan = Value::Double(f64::NAN);
+        assert_eq!(nan, nan.clone());
+        assert!(Value::Double(f64::INFINITY) < nan);
+    }
+
+    #[test]
+    fn string_and_date_ordering() {
+        assert!(Value::from("apple") < Value::from("banana"));
+        let d1 = Value::from(Date::parse("1990-01-01").unwrap());
+        let d2 = Value::from(Date::parse("1991-01-01").unwrap());
+        assert!(d1 < d2);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Double(1.5).to_string(), "1.5");
+        assert_eq!(Value::Double(2.0).to_string(), "2.0");
+        assert_eq!(Value::from("TV").to_string(), "'TV'");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn sql_type_reporting() {
+        assert_eq!(Value::Null.sql_type(), None);
+        assert_eq!(Value::Int(1).sql_type(), Some(SqlType::Int));
+        assert_eq!(Value::from("x").sql_type(), Some(SqlType::Varchar));
+    }
+}

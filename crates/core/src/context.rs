@@ -1,0 +1,182 @@
+//! The matching context and match table.
+//!
+//! The *navigator* (Section 3) scans the query graph and the AST graph
+//! bottom-up, invoking the match function on candidate (subsumee, subsumer)
+//! box pairs. Successful matches are recorded in the match table together
+//! with their *compensation*: a QGM fragment, allocated in a scratch graph,
+//! whose single special leaf ([`BoxKind::SubsumerRef`]) stands for "the
+//! output of the subsumer box". When the AST's root box is finally matched,
+//! the winning fragment is spliced into the query over the AST's
+//! materialized backing table.
+
+use std::collections::HashMap;
+use sumtab_catalog::Catalog;
+use sumtab_qgm::{BoxId, BoxKind, ColMeta, OutputCol, QgmGraph, ScalarExpr};
+
+/// Which graph a subsumee box lives in: the user query, or the scratch
+/// compensation graph (the latter only during the recursive invocation of
+/// the match function, Section 4.2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The user-query graph.
+    Query,
+    /// The scratch compensation graph.
+    Comp,
+}
+
+/// A successful match between a subsumee and a subsumer box.
+#[derive(Debug, Clone)]
+pub struct MatchEntry {
+    /// True when the match is exact (no compensation required). Per
+    /// footnote 5, the subsumer may produce extra columns and the match is
+    /// still considered exact; `colmap` records the projection.
+    pub exact: bool,
+    /// For exact matches: subsumee output ordinal → subsumer output ordinal.
+    pub colmap: Vec<usize>,
+    /// For non-exact matches: the root box of the compensation fragment in
+    /// the scratch graph. The fragment's outputs correspond 1:1 (by ordinal
+    /// and meaning) to the subsumee's outputs.
+    pub comp_root: Option<BoxId>,
+}
+
+impl MatchEntry {
+    /// An exact match with the given projection map.
+    pub fn exact(colmap: Vec<usize>) -> MatchEntry {
+        MatchEntry {
+            exact: true,
+            colmap,
+            comp_root: None,
+        }
+    }
+
+    /// A match with compensation.
+    pub fn with_comp(root: BoxId) -> MatchEntry {
+        MatchEntry {
+            exact: false,
+            colmap: Vec::new(),
+            comp_root: Some(root),
+        }
+    }
+}
+
+/// Shared state for matching one query against one AST.
+pub struct Ctx<'a> {
+    /// The user query graph (read-only).
+    pub q: &'a QgmGraph,
+    /// The AST definition graph (read-only).
+    pub a: &'a QgmGraph,
+    /// Scratch graph holding compensation fragments and rejoin clones.
+    pub comp: QgmGraph,
+    /// Catalog (RI constraints, nullability).
+    pub catalog: &'a Catalog,
+    /// The match table, keyed by (subsumee box, subsumer box). Only
+    /// query-graph subsumees are recorded; recursive (comp-graph) matches
+    /// are consumed immediately by their caller.
+    pub table: HashMap<(BoxId, BoxId), MatchEntry>,
+    /// Output metadata for the query graph.
+    pub q_meta: HashMap<BoxId, Vec<ColMeta>>,
+    /// Output metadata for the AST graph.
+    pub a_meta: HashMap<BoxId, Vec<ColMeta>>,
+    /// Per-AST-box output equivalence classes (see `equiv::output_classes`):
+    /// two outputs with equal class ids always carry equal values.
+    pub a_classes: HashMap<BoxId, Vec<usize>>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Create a context and precompute metadata.
+    pub fn new(q: &'a QgmGraph, a: &'a QgmGraph, catalog: &'a Catalog) -> Ctx<'a> {
+        let q_meta = sumtab_qgm::infer_output_types(q, catalog);
+        let a_meta = sumtab_qgm::infer_output_types(a, catalog);
+        let a_classes = crate::equiv::output_classes(a, catalog);
+        Ctx {
+            q,
+            a,
+            comp: QgmGraph::new(),
+            catalog,
+            table: HashMap::new(),
+            q_meta,
+            a_meta,
+            a_classes,
+        }
+    }
+
+    /// The graph a subsumee side refers to.
+    pub fn egraph(&self, side: Side) -> &QgmGraph {
+        match side {
+            Side::Query => self.q,
+            Side::Comp => &self.comp,
+        }
+    }
+
+    /// Create a `SubsumerRef` leaf box in the scratch graph standing for
+    /// subsumer box `target`; its outputs mirror the target's output names.
+    pub fn make_subsumer_ref(&mut self, target: BoxId) -> BoxId {
+        let b = self.comp.add_box(BoxKind::SubsumerRef {
+            graph: self.a.id,
+            target,
+        });
+        self.comp.boxed_mut(b).outputs = self
+            .a
+            .boxed(target)
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, oc)| OutputCol {
+                name: oc.name.clone(),
+                expr: ScalarExpr::BaseCol(i),
+            })
+            .collect();
+        b
+    }
+
+    /// True when the comp-graph subgraph rooted at `b` contains a
+    /// `SubsumerRef` leaf (i.e. is a compensation path rather than a rejoin
+    /// clone).
+    pub fn reaches_subsumer(&self, b: BoxId) -> bool {
+        match &self.comp.boxed(b).kind {
+            BoxKind::SubsumerRef { .. } => true,
+            _ => self
+                .comp
+                .boxed(b)
+                .quants
+                .iter()
+                .any(|&q| self.reaches_subsumer(self.comp.input_of(q))),
+        }
+    }
+}
+
+/// The navigator: match every query box against every AST box, bottom-up.
+/// Returns the filled context.
+pub fn run_navigator<'a>(q: &'a QgmGraph, a: &'a QgmGraph, catalog: &'a Catalog) -> Ctx<'a> {
+    let mut ctx = Ctx::new(q, a, catalog);
+    let q_order = q.topo_order();
+    let a_order = a.topo_order();
+    for &eb in &q_order {
+        for &rb in &a_order {
+            if let Some(entry) = crate::patterns::match_boxes(&mut ctx, Side::Query, eb, rb) {
+                ctx.table.insert((eb, rb), entry);
+            }
+        }
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+    use sumtab_qgm::build_query;
+
+    #[test]
+    fn subsumer_ref_mirrors_outputs() {
+        let cat = Catalog::credit_card_sample();
+        let q = build_query(&parse_query("select qty from trans").unwrap(), &cat).unwrap();
+        let a = build_query(&parse_query("select qty, price from trans").unwrap(), &cat).unwrap();
+        let mut ctx = Ctx::new(&q, &a, &cat);
+        let sr = ctx.make_subsumer_ref(a.root);
+        assert_eq!(ctx.comp.boxed(sr).outputs.len(), 2);
+        assert_eq!(ctx.comp.boxed(sr).outputs[1].name, "price");
+        assert!(ctx.reaches_subsumer(sr));
+    }
+}

@@ -1,0 +1,472 @@
+//! Column equivalence classes and equivalence-aware expression comparison.
+//!
+//! Join predicates like `faid = aid` make two columns interchangeable within
+//! the scope that applies the predicate (Section 4.1.1's example derives the
+//! query's `aid` from the AST's `faid`). We track such equivalences with a
+//! union-find over [`ColRef`]s and compare expressions structurally, treating
+//! class members as equal and retrying operand order for commutative
+//! operators.
+
+use std::collections::HashMap;
+use sumtab_catalog::{Catalog, Value};
+use sumtab_qgm::{BinOp, BoxId, BoxKind, ColRef, QgmGraph, ScalarExpr};
+
+/// Union-find over column references.
+#[derive(Debug, Clone, Default)]
+pub struct ColEquiv {
+    parent: HashMap<ColRef, ColRef>,
+}
+
+impl ColEquiv {
+    /// An empty relation (every column its own class).
+    pub fn new() -> ColEquiv {
+        ColEquiv::default()
+    }
+
+    /// Class representative of `c`.
+    pub fn find(&self, c: ColRef) -> ColRef {
+        let mut cur = c;
+        while let Some(&p) = self.parent.get(&cur) {
+            if p == cur {
+                break;
+            }
+            cur = p;
+        }
+        cur
+    }
+
+    /// Merge the classes of `a` and `b`.
+    pub fn union(&mut self, a: ColRef, b: ColRef) {
+        self.parent.entry(a).or_insert(a);
+        self.parent.entry(b).or_insert(b);
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+
+    /// Are `a` and `b` known-equal?
+    pub fn same(&self, a: ColRef, b: ColRef) -> bool {
+        a == b || self.find(a) == self.find(b)
+    }
+
+    /// All members recorded as equivalent to `c` (including `c`).
+    pub fn members(&self, c: ColRef) -> Vec<ColRef> {
+        let root = self.find(c);
+        let mut out: Vec<ColRef> = self
+            .parent
+            .keys()
+            .copied()
+            .filter(|&k| self.find(k) == root)
+            .collect();
+        if !out.contains(&c) {
+            out.push(c);
+        }
+        out
+    }
+
+    /// Record equivalences from a predicate conjunct: `Col = Col` merges the
+    /// two classes.
+    pub fn absorb_predicate(&mut self, p: &ScalarExpr) {
+        if let ScalarExpr::Bin(BinOp::Eq, l, r) = p {
+            if let (ScalarExpr::Col(a), ScalarExpr::Col(b)) = (&**l, &**r) {
+                self.union(*a, *b);
+            }
+        }
+    }
+}
+
+/// Equivalence-aware structural equality. Both expressions must be in the
+/// same (mixed) column space and normalized.
+pub fn equiv_eq(a: &ScalarExpr, b: &ScalarExpr, eq: &ColEquiv) -> bool {
+    use ScalarExpr as E;
+    match (a, b) {
+        (E::Col(x), E::Col(y)) => eq.same(*x, *y),
+        (E::Lit(x), E::Lit(y)) => lit_eq(x, y),
+        (E::BaseCol(x), E::BaseCol(y)) => x == y,
+        (E::Bin(op1, l1, r1), E::Bin(op2, l2, r2)) => {
+            if op1 != op2 {
+                return false;
+            }
+            if equiv_eq(l1, l2, eq) && equiv_eq(r1, r2, eq) {
+                return true;
+            }
+            // Commutative retry.
+            matches!(
+                op1,
+                BinOp::Add | BinOp::Mul | BinOp::Eq | BinOp::NotEq | BinOp::And | BinOp::Or
+            ) && equiv_eq(l1, r2, eq)
+                && equiv_eq(r1, l2, eq)
+        }
+        (E::Un(op1, x1), E::Un(op2, x2)) => op1 == op2 && equiv_eq(x1, x2, eq),
+        (E::Func(f1, a1), E::Func(f2, a2)) => {
+            f1 == f2 && a1.len() == a2.len() && a1.iter().zip(a2).all(|(x, y)| equiv_eq(x, y, eq))
+        }
+        (
+            E::Case {
+                operand: o1,
+                arms: ar1,
+                else_expr: e1,
+            },
+            E::Case {
+                operand: o2,
+                arms: ar2,
+                else_expr: e2,
+            },
+        ) => {
+            opt_eq(o1.as_deref(), o2.as_deref(), eq)
+                && ar1.len() == ar2.len()
+                && ar1
+                    .iter()
+                    .zip(ar2)
+                    .all(|((w1, t1), (w2, t2))| equiv_eq(w1, w2, eq) && equiv_eq(t1, t2, eq))
+                && opt_eq(e1.as_deref(), e2.as_deref(), eq)
+        }
+        (
+            E::IsNull {
+                expr: x1,
+                negated: n1,
+            },
+            E::IsNull {
+                expr: x2,
+                negated: n2,
+            },
+        ) => n1 == n2 && equiv_eq(x1, x2, eq),
+        (
+            E::Like {
+                expr: x1,
+                pattern: p1,
+                negated: n1,
+            },
+            E::Like {
+                expr: x2,
+                pattern: p2,
+                negated: n2,
+            },
+        ) => n1 == n2 && p1 == p2 && equiv_eq(x1, x2, eq),
+        (
+            E::GeneralAgg {
+                func: f1,
+                arg: a1,
+                distinct: d1,
+            },
+            E::GeneralAgg {
+                func: f2,
+                arg: a2,
+                distinct: d2,
+            },
+        ) => f1 == f2 && d1 == d2 && opt_eq(a1.as_deref(), a2.as_deref(), eq),
+        (E::Agg(x), E::Agg(y)) => {
+            x.func == y.func
+                && x.distinct == y.distinct
+                && match (x.arg, y.arg) {
+                    (None, None) => true,
+                    (Some(c1), Some(c2)) => eq.same(c1, c2),
+                    _ => false,
+                }
+        }
+        _ => false,
+    }
+}
+
+fn opt_eq(a: Option<&ScalarExpr>, b: Option<&ScalarExpr>, eq: &ColEquiv) -> bool {
+    match (a, b) {
+        (None, None) => true,
+        (Some(x), Some(y)) => equiv_eq(x, y, eq),
+        _ => false,
+    }
+}
+
+/// Literal equality for matching (numerics compare by value).
+fn lit_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Int(x), Value::Double(y)) | (Value::Double(y), Value::Int(x)) => *x as f64 == *y,
+        _ => a == b,
+    }
+}
+
+/// Does predicate `weaker` subsume `stronger`? (Every row eliminated by
+/// `weaker` is also eliminated by `stronger` — footnote 4: `x > 10` subsumes
+/// `x > 20`.) Equality of the two predicates also counts.
+pub fn subsumes(weaker: &ScalarExpr, stronger: &ScalarExpr, eq: &ColEquiv) -> bool {
+    if equiv_eq(weaker, stronger, eq) {
+        return true;
+    }
+    // Range forms: `e OP lit` with the same e on both sides.
+    let (we, wop, wl) = match comparison_with_literal(weaker) {
+        Some(t) => t,
+        None => return false,
+    };
+    let (se, sop, sl) = match comparison_with_literal(stronger) {
+        Some(t) => t,
+        None => return false,
+    };
+    if !equiv_eq(we, se, eq) {
+        return false;
+    }
+    let (wv, sv) = match (wl.as_f64_like(), sl.as_f64_like()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return false,
+    };
+    match (wop, sop) {
+        (BinOp::Gt, BinOp::Gt) | (BinOp::GtEq, BinOp::GtEq) => wv <= sv,
+        (BinOp::Gt, BinOp::GtEq) => wv < sv,
+        (BinOp::GtEq, BinOp::Gt) => wv <= sv,
+        (BinOp::Lt, BinOp::Lt) | (BinOp::LtEq, BinOp::LtEq) => wv >= sv,
+        (BinOp::Lt, BinOp::LtEq) => wv > sv,
+        (BinOp::LtEq, BinOp::Lt) => wv >= sv,
+        (BinOp::Gt, BinOp::Eq) => sv > wv,
+        (BinOp::GtEq, BinOp::Eq) => sv >= wv,
+        (BinOp::Lt, BinOp::Eq) => sv < wv,
+        (BinOp::LtEq, BinOp::Eq) => sv <= wv,
+        _ => false,
+    }
+}
+
+/// Numeric view used by the subsumption test (dates order by day number).
+trait F64Like {
+    fn as_f64_like(&self) -> Option<f64>;
+}
+
+impl F64Like for Value {
+    fn as_f64_like(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Double(d) => Some(*d),
+            Value::Date(d) => Some(d.to_day_number() as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Decompose `expr OP literal` (either orientation, normalized to expr-first).
+fn comparison_with_literal(p: &ScalarExpr) -> Option<(&ScalarExpr, BinOp, &Value)> {
+    if let ScalarExpr::Bin(op, l, r) = p {
+        if !op.is_comparison() {
+            return None;
+        }
+        if let ScalarExpr::Lit(v) = &**r {
+            return Some((l, *op, v));
+        }
+        if let ScalarExpr::Lit(v) = &**l {
+            return Some((r, sumtab_qgm::expr::flip_comparison(*op), v));
+        }
+    }
+    None
+}
+
+/// Compute, for each AST box, an equivalence-class id per output ordinal:
+/// outputs with the same class id provably carry equal values in every row
+/// (they are equal expressions modulo the box's own equality predicates).
+/// This propagates bottom-up, which is how `faid` and `aid` become
+/// interchangeable above a join on `faid = aid`.
+pub fn output_classes(g: &QgmGraph, _catalog: &Catalog) -> HashMap<BoxId, Vec<usize>> {
+    let mut out: HashMap<BoxId, Vec<usize>> = HashMap::new();
+    for b in g.topo_order() {
+        let bx = g.boxed(b);
+        let classes = match &bx.kind {
+            BoxKind::BaseTable { .. } | BoxKind::SubsumerRef { .. } => {
+                (0..bx.outputs.len()).collect::<Vec<_>>()
+            }
+            BoxKind::Select(sel) => {
+                // Key each column reference by (quantifier, child class);
+                // union keys linked by equality predicates; outputs sharing a
+                // normalized keyed expression share a class.
+                let mut uf: StringUf = StringUf::default();
+                let key_of_col = |c: ColRef| -> String {
+                    let child = g.input_of(c.qid);
+                    let cls = out
+                        .get(&child)
+                        .and_then(|v| v.get(c.ordinal))
+                        .copied()
+                        .unwrap_or(c.ordinal);
+                    format!("q{}c{}", c.qid.idx, cls)
+                };
+                let key_of_expr = |e: &ScalarExpr| -> String {
+                    // Embed the column key as a (prefix-marked) string
+                    // literal so the whole expression can be keyed by its
+                    // normalized debug form.
+                    let mapped = e.map_cols(&mut |c| {
+                        ScalarExpr::Lit(Value::Str(format!("\u{1}{}", key_of_col(c))))
+                    });
+                    format!("{:?}", mapped.normalize())
+                };
+                for p in &sel.predicates {
+                    if let ScalarExpr::Bin(BinOp::Eq, l, r) = p {
+                        uf.union(key_of_expr(l), key_of_expr(r));
+                    }
+                }
+                let keys: Vec<String> = bx
+                    .outputs
+                    .iter()
+                    .map(|oc| uf.find(key_of_expr(&oc.expr)))
+                    .collect();
+                intern(&keys)
+            }
+            BoxKind::GroupBy(_gb) => {
+                let child = g.input_of(bx.quants[0]);
+                let child_classes = out.get(&child).cloned().unwrap_or_default();
+                let keys: Vec<String> = bx
+                    .outputs
+                    .iter()
+                    .map(|oc| match &oc.expr {
+                        ScalarExpr::Col(c) => format!(
+                            "g{}",
+                            child_classes.get(c.ordinal).copied().unwrap_or(c.ordinal)
+                        ),
+                        ScalarExpr::Agg(a) => {
+                            let argc = a.arg.map(|c| {
+                                child_classes.get(c.ordinal).copied().unwrap_or(c.ordinal)
+                            });
+                            format!("a{:?}{:?}{}", a.func, argc, a.distinct)
+                        }
+                        other => format!("{other:?}"),
+                    })
+                    .collect();
+                intern(&keys)
+            }
+        };
+        out.insert(b, classes);
+    }
+    out
+}
+
+/// Map equal strings to equal small ints.
+fn intern(keys: &[String]) -> Vec<usize> {
+    let mut ids: HashMap<&str, usize> = HashMap::new();
+    keys.iter()
+        .map(|k| {
+            let n = ids.len();
+            *ids.entry(k.as_str()).or_insert(n)
+        })
+        .collect()
+}
+
+/// A tiny string-keyed union-find for within-box output classes.
+#[derive(Default)]
+struct StringUf {
+    parent: HashMap<String, String>,
+}
+
+impl StringUf {
+    fn find(&self, k: String) -> String {
+        let mut cur = k;
+        while let Some(p) = self.parent.get(&cur) {
+            if *p == cur {
+                break;
+            }
+            cur = p.clone();
+        }
+        cur
+    }
+
+    fn union(&mut self, a: String, b: String) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+    use sumtab_qgm::{build_query, GraphId, QuantId};
+
+    fn cr(idx: u32, ord: usize) -> ColRef {
+        ColRef {
+            qid: QuantId {
+                graph: GraphId(42),
+                idx,
+            },
+            ordinal: ord,
+        }
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut eq = ColEquiv::new();
+        assert!(!eq.same(cr(0, 0), cr(1, 0)));
+        eq.union(cr(0, 0), cr(1, 0));
+        eq.union(cr(1, 0), cr(2, 5));
+        assert!(eq.same(cr(0, 0), cr(2, 5)));
+        assert!(eq.members(cr(0, 0)).len() >= 3);
+    }
+
+    #[test]
+    fn equiv_eq_uses_classes_and_commutativity() {
+        let mut eq = ColEquiv::new();
+        eq.union(cr(0, 0), cr(1, 1));
+        let a = ScalarExpr::bin(
+            BinOp::Mul,
+            ScalarExpr::Col(cr(0, 0)),
+            ScalarExpr::Col(cr(2, 2)),
+        );
+        let b = ScalarExpr::bin(
+            BinOp::Mul,
+            ScalarExpr::Col(cr(2, 2)),
+            ScalarExpr::Col(cr(1, 1)),
+        );
+        assert!(equiv_eq(&a, &b, &eq));
+        let c = ScalarExpr::bin(
+            BinOp::Sub,
+            ScalarExpr::Col(cr(0, 0)),
+            ScalarExpr::Col(cr(2, 2)),
+        );
+        let d = ScalarExpr::bin(
+            BinOp::Sub,
+            ScalarExpr::Col(cr(2, 2)),
+            ScalarExpr::Col(cr(0, 0)),
+        );
+        assert!(!equiv_eq(&c, &d, &eq), "subtraction is not commutative");
+    }
+
+    #[test]
+    fn subsumption_ranges() {
+        let eq = ColEquiv::new();
+        let x = ScalarExpr::Col(cr(0, 0));
+        let gt10 = ScalarExpr::bin(BinOp::Gt, x.clone(), ScalarExpr::Lit(Value::Int(10)));
+        let gt20 = ScalarExpr::bin(BinOp::Gt, x.clone(), ScalarExpr::Lit(Value::Int(20)));
+        let ge10 = ScalarExpr::bin(BinOp::GtEq, x.clone(), ScalarExpr::Lit(Value::Int(10)));
+        let eq15 = ScalarExpr::bin(BinOp::Eq, x.clone(), ScalarExpr::Lit(Value::Int(15)));
+        let lt5 = ScalarExpr::bin(BinOp::Lt, x.clone(), ScalarExpr::Lit(Value::Int(5)));
+        assert!(subsumes(&gt10, &gt20, &eq));
+        assert!(!subsumes(&gt20, &gt10, &eq));
+        assert!(subsumes(&gt10, &gt10, &eq), "equality counts");
+        assert!(subsumes(&gt10, &eq15, &eq));
+        assert!(!subsumes(&gt10, &lt5, &eq));
+        assert!(subsumes(&ge10, &gt10, &eq));
+    }
+
+    #[test]
+    fn output_classes_detect_join_equality() {
+        // `faid = aid` makes outputs faid and aid interchangeable.
+        let cat = Catalog::credit_card_sample();
+        let g = build_query(
+            &parse_query("select faid, aid, qty from trans, acct where faid = aid").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let classes = output_classes(&g, &cat);
+        let root = &classes[&g.root];
+        assert_eq!(root[0], root[1], "faid ≡ aid");
+        assert_ne!(root[0], root[2], "qty is distinct");
+    }
+
+    #[test]
+    fn output_classes_distinguish_self_join_sides() {
+        let cat = Catalog::credit_card_sample();
+        let g = build_query(
+            &parse_query("select t1.qty, t2.qty from trans as t1, trans as t2").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let classes = output_classes(&g, &cat);
+        let root = &classes[&g.root];
+        assert_ne!(root[0], root[1], "different quantifiers, different rows");
+    }
+}

@@ -1,0 +1,165 @@
+//! # sumtab-matcher
+//!
+//! The paper's primary contribution: an algorithm that rewrites a SQL query
+//! to answer it from one or more *Automatic Summary Tables* (materialized
+//! aggregate views), by proving that the query and an AST overlap and
+//! compensating for the non-overlapping parts.
+//!
+//! Architecture (Section 3):
+//!
+//! * the **navigator** scans the query and AST QGM graphs bottom-up, pairing
+//!   candidate (subsumee, subsumer) boxes;
+//! * the **match function** tests per-pattern sufficient conditions
+//!   (Sections 4.1.1–4.2.4 and 5.1–5.2) and constructs the compensation;
+//! * the **translation mechanism** (Section 6) rewrites subsumee expressions
+//!   into the subsumer's context and derives them from the subsumer's
+//!   output columns.
+//!
+//! ```
+//! use sumtab_catalog::Catalog;
+//! use sumtab_matcher::{RegisteredAst, Rewriter};
+//! use sumtab_parser::parse_query;
+//! use sumtab_qgm::build_query;
+//!
+//! let catalog = Catalog::credit_card_sample();
+//! let ast = RegisteredAst::from_sql(
+//!     "ast1",
+//!     "select faid, flid, year(date) as year, count(*) as cnt \
+//!      from trans group by faid, flid, year(date)",
+//!     &catalog,
+//! ).unwrap();
+//! let q = build_query(&parse_query(
+//!     "select faid, count(*) as cnt from trans group by faid",
+//! ).unwrap(), &catalog).unwrap();
+//! let rewrite = Rewriter::new(&catalog).rewrite(&q, &ast).expect("should match");
+//! assert_eq!(rewrite.ast_name, "ast1");
+//! ```
+
+pub mod baseline;
+pub mod context;
+pub mod derive;
+pub mod equiv;
+pub mod patterns;
+pub mod rewrite;
+pub mod translate;
+
+use context::run_navigator;
+use sumtab_catalog::Catalog;
+use sumtab_qgm::{build_query, BoxId, QgmGraph};
+
+/// A registered Automatic Summary Table: its backing-table name and its
+/// definition as a QGM graph.
+#[derive(Debug, Clone)]
+pub struct RegisteredAst {
+    /// The backing (materialized) table's name.
+    pub name: String,
+    /// The definition query's QGM graph.
+    pub graph: QgmGraph,
+}
+
+impl RegisteredAst {
+    /// Parse and translate a definition; the backing table is assumed to be
+    /// named `name` with columns matching the definition's root outputs.
+    pub fn from_sql(name: &str, sql: &str, catalog: &Catalog) -> Result<RegisteredAst, String> {
+        let q = sumtab_parser::parse_query(sql).map_err(|e| e.to_string())?;
+        let graph = build_query(&q, catalog).map_err(|e| e.to_string())?;
+        Ok(RegisteredAst {
+            name: name.to_string(),
+            graph,
+        })
+    }
+
+    /// The backing table's column names (uniquified like the materializer).
+    pub fn backing_columns(&self) -> Vec<String> {
+        let mut used = std::collections::HashSet::new();
+        self.graph
+            .boxed(self.graph.root)
+            .outputs
+            .iter()
+            .map(|oc| {
+                let mut name = oc.name.clone();
+                let mut n = 2;
+                while !used.insert(name.clone()) {
+                    name = format!("{}_{}", oc.name, n);
+                    n += 1;
+                }
+                name
+            })
+            .collect()
+    }
+}
+
+/// A successful rewrite.
+#[derive(Debug, Clone)]
+pub struct Rewrite {
+    /// Which AST the query was routed to.
+    pub ast_name: String,
+    /// The rewritten query graph (reads the AST's backing table).
+    pub graph: QgmGraph,
+    /// The query box that was replaced.
+    pub replaced_box: BoxId,
+    /// Whether the match at that box was exact (compensation-free).
+    pub exact: bool,
+}
+
+/// The rewriting engine.
+pub struct Rewriter<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Rewriter<'a> {
+    /// A rewriter over the given catalog.
+    pub fn new(catalog: &'a Catalog) -> Rewriter<'a> {
+        Rewriter { catalog }
+    }
+
+    /// Try to rewrite `query` to use `ast`. Returns the best rewrite (the
+    /// one replacing the highest matched query box) or `None` if the AST
+    /// root matches no query box.
+    pub fn rewrite(&self, query: &QgmGraph, ast: &RegisteredAst) -> Option<Rewrite> {
+        let ctx = run_navigator(query, &ast.graph, self.catalog);
+        // Prefer the highest (latest in bottom-up order) matched query box:
+        // it covers the most query work with the AST.
+        let order = query.topo_order();
+        let (&(eb, _), entry) = ctx
+            .table
+            .iter()
+            .filter(|((_, rb), _)| *rb == ast.graph.root)
+            .max_by_key(|((eb, _), _)| order.iter().position(|b| b == eb))?;
+        let backing_cols = ast.backing_columns();
+        let mut graph = rewrite::build_rewrite(&ctx, eb, entry, &ast.name, &backing_cols);
+        sumtab_qgm::normalize::merge_selects(&mut graph);
+        graph.validate();
+        Some(Rewrite {
+            ast_name: ast.name.clone(),
+            graph,
+            replaced_box: eb,
+            exact: entry.exact,
+        })
+    }
+
+    /// Rewrite against every AST; returns all successful rewrites.
+    pub fn rewrite_all(&self, query: &QgmGraph, asts: &[RegisteredAst]) -> Vec<Rewrite> {
+        asts.iter()
+            .filter_map(|ast| self.rewrite(query, ast))
+            .collect()
+    }
+
+    /// Among all matching ASTs, pick the one whose backing table has the
+    /// fewest rows (related problem (b): deciding whether/which AST to use).
+    pub fn rewrite_best(
+        &self,
+        query: &QgmGraph,
+        asts: &[RegisteredAst],
+        row_count: impl Fn(&str) -> usize,
+    ) -> Option<Rewrite> {
+        self.rewrite_all(query, asts)
+            .into_iter()
+            .min_by_key(|r| row_count(&r.ast_name))
+    }
+
+    /// Diagnostic: the number of (query box, AST box) pairs that matched.
+    pub fn match_count(&self, query: &QgmGraph, ast: &RegisteredAst) -> usize {
+        run_navigator(query, &ast.graph, self.catalog).table.len()
+    }
+}

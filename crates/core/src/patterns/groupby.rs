@@ -1,0 +1,879 @@
+//! GROUP BY matching: Sections 4.1.2 (exact child matches), 4.2.1
+//! (SELECT-only child compensation), 4.2.2 (GROUP BY child compensation),
+//! and the multidimensional patterns of Section 5 (simple query vs cube
+//! AST, cube query vs cube AST).
+
+use crate::context::{Ctx, MatchEntry, Side};
+use crate::derive::derive;
+use crate::equiv::{equiv_eq, ColEquiv};
+use crate::patterns::select::fragment_preds;
+use crate::patterns::{child_entry, fragment_has_group_by};
+use crate::translate::{rejoin_avail, translate, Avail, Target, Translation};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use sumtab_qgm::{
+    AggCall, AggFunc, BinOp, BoxId, BoxKind, ColRef, GroupByBox, OutputCol, QuantId, QuantKind,
+    ScalarExpr, SelectBox,
+};
+
+/// Match two GROUP BY boxes.
+pub fn match_groupbys(ctx: &mut Ctx<'_>, side: Side, e: BoxId, r: BoxId) -> Option<MatchEntry> {
+    let ebox = ctx.egraph(side).boxed(e).clone();
+    let rbox = ctx.a.boxed(r).clone();
+    let egb = ebox.as_group_by()?.clone();
+    let rgb = rbox.as_group_by()?.clone();
+    let qe = *ebox.quants.first()?;
+    let qr = *rbox.quants.first()?;
+    let ce = ctx.egraph(side).input_of(qe);
+    let cr = ctx.a.input_of(qr);
+    let entry = child_entry(ctx, side, ce, cr)?;
+
+    // Section 4.2.2: the child compensation itself contains grouping.
+    if let Some(root) = entry.comp_root {
+        if fragment_has_group_by(ctx, root) {
+            return match_gb_with_gb_comp(ctx, side, e, r, root);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scaffolding: "Sel-2C1" over the subsumer.
+    // ------------------------------------------------------------------
+    let sref = ctx.make_subsumer_ref(r);
+    let cbox = ctx.comp.add_box(BoxKind::Select(SelectBox::default()));
+    let q_sub = ctx.comp.add_quant(cbox, sref, QuantKind::Foreach, "ast");
+    let mut tr = Translation::new(cbox);
+    tr.top_subsumer = Some(r);
+    tr.sub_map.insert(cr, qr);
+    tr.targets.insert(
+        qe,
+        match &entry {
+            MatchEntry {
+                exact: true,
+                colmap,
+                ..
+            } => Target::Exact {
+                qr,
+                colmap: colmap.clone(),
+            },
+            MatchEntry {
+                comp_root: Some(root),
+                ..
+            } => Target::Fragment { root: *root },
+            _ => return None,
+        },
+    );
+
+    // ------------------------------------------------------------------
+    // Equivalences: subsumer-child output classes + fragment predicates.
+    // ------------------------------------------------------------------
+    let fpreds: Vec<ScalarExpr> = match entry.comp_root {
+        Some(root) => fragment_preds(ctx, &mut tr, root)?
+            .into_iter()
+            .map(|p| p.normalize())
+            .collect(),
+        None => Vec::new(),
+    };
+    // `build_eq(exclude)` omits one fragment predicate's contribution: a
+    // predicate's own equivalence must not be used to derive it.
+    let cr_classes: Option<Vec<usize>> = ctx.a_classes.get(&cr).cloned();
+    let build_eq = |exclude: Option<usize>| -> ColEquiv {
+        let mut eq = ColEquiv::new();
+        if let Some(classes) = &cr_classes {
+            let mut by_class: HashMap<usize, usize> = HashMap::new();
+            for (ord, &cls) in classes.iter().enumerate() {
+                if let Some(&first) = by_class.get(&cls) {
+                    eq.union(
+                        ColRef {
+                            qid: qr,
+                            ordinal: first,
+                        },
+                        ColRef {
+                            qid: qr,
+                            ordinal: ord,
+                        },
+                    );
+                } else {
+                    by_class.insert(cls, ord);
+                }
+            }
+        }
+        for (j, p) in fpreds.iter().enumerate() {
+            if Some(j) != exclude {
+                eq.absorb_predicate(p);
+            }
+        }
+        eq
+    };
+    let eq = build_eq(None);
+
+    // ------------------------------------------------------------------
+    // Translate subsumee grouping items and aggregate outputs.
+    // ------------------------------------------------------------------
+    let mut t_items = Vec::with_capacity(egb.items.len());
+    for item in &egb.items {
+        t_items.push(translate(ctx, &mut tr, &ScalarExpr::Col(*item))?.normalize());
+    }
+    // Output layout: grouping outputs reference items; aggregate outputs
+    // are AggCalls. Record per output what it is.
+    enum EOut {
+        Item(usize),
+        Agg(AggCall, ScalarExpr), // call + translated GeneralAgg
+    }
+    let mut e_outs: Vec<EOut> = Vec::with_capacity(ebox.outputs.len());
+    for oc in &ebox.outputs {
+        match &oc.expr {
+            ScalarExpr::Col(c) => {
+                let idx = egb.items.iter().position(|it| it == c)?;
+                e_outs.push(EOut::Item(idx));
+            }
+            ScalarExpr::Agg(a) => {
+                let t = translate(ctx, &mut tr, &ScalarExpr::Agg(*a))?.normalize();
+                e_outs.push(EOut::Agg(*a, t));
+            }
+            _ => return None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Availability over the subsumer's *grouping* columns and rejoins.
+    // ------------------------------------------------------------------
+    let n_r_items = rgb.items.len();
+    let adopted: Vec<QuantId> = tr.adopt.values().copied().collect();
+    let mut grouping_avail: Vec<Avail> = (0..n_r_items)
+        .map(|j| Avail {
+            refer: ColRef {
+                qid: q_sub,
+                ordinal: j,
+            },
+            defines: ScalarExpr::Col(rgb.items[j]).normalize(),
+        })
+        .collect();
+    for &qn in &adopted {
+        grouping_avail.extend(rejoin_avail(ctx, qn));
+    }
+
+    // Condition 1 (4.2.1): grouping items derivable from subsumer grouping
+    // columns and rejoin columns.
+    let mut d_items = Vec::with_capacity(t_items.len());
+    for t in &t_items {
+        d_items.push(derive(t, &grouping_avail, &eq)?);
+    }
+    // Pullup condition (4.2.1 cond 3): fragment predicates likewise, each
+    // derived without its own equivalence contribution.
+    let mut d_preds = Vec::with_capacity(fpreds.len());
+    for (j, p) in fpreds.iter().enumerate() {
+        let eq_j = build_eq(Some(j));
+        d_preds.push(derive(p, &grouping_avail, &eq_j)?);
+    }
+
+    // Subsumer grouping ordinals used so far.
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    let collect_used = |e: &ScalarExpr, used: &mut BTreeSet<usize>| {
+        for c in e.col_refs() {
+            if c.qid == q_sub && c.ordinal < n_r_items {
+                used.insert(c.ordinal);
+            }
+        }
+    };
+    for d in d_items.iter().chain(d_preds.iter()) {
+        collect_used(d, &mut used);
+    }
+
+    // Bijective item map (for regroup avoidance): e-item i → r-item j.
+    let item_map: Option<Vec<usize>> = d_items
+        .iter()
+        .map(|d| match d {
+            ScalarExpr::Col(c) if c.qid == q_sub && c.ordinal < n_r_items => Some(c.ordinal),
+            _ => None,
+        })
+        .collect();
+
+    // Exact aggregate matches (possible only without regrouping).
+    let r_aggs: Vec<(usize, AggCall)> = rbox
+        .outputs
+        .iter()
+        .enumerate()
+        .filter_map(|(k, oc)| match &oc.expr {
+            ScalarExpr::Agg(a) => Some((k, *a)),
+            _ => None,
+        })
+        .collect();
+    let exact_aggs: Option<Vec<usize>> = e_outs
+        .iter()
+        .filter_map(|o| match o {
+            EOut::Agg(call, t) => Some((call, t)),
+            EOut::Item(_) => None,
+        })
+        .map(|(call, t)| {
+            r_aggs
+                .iter()
+                .find(|(_, ra)| agg_exact_match(ctx, cr, call, t, ra, &eq))
+                .map(|(k, _)| *k)
+        })
+        .collect();
+
+    // ------------------------------------------------------------------
+    // Can regrouping be avoided? (4.1.2 / 4.2.1 / 5.1 / 5.2 fast paths.)
+    // ------------------------------------------------------------------
+    let fpred_used: BTreeSet<usize> = {
+        let mut s = BTreeSet::new();
+        for d in &d_preds {
+            collect_used(d, &mut s);
+        }
+        s
+    };
+    let no_regroup = (|| -> Option<(Vec<Vec<usize>>, Vec<usize>)> {
+        let m = item_map.as_ref()?;
+        let exact_aggs = exact_aggs.as_ref()?;
+        if !rejoins_one_to_n(ctx, &adopted, &d_preds, q_sub, n_r_items) {
+            return None;
+        }
+        // Each subsumee grouping set must map onto an existing subsumer
+        // grouping set, with the fragment predicates' columns contained in
+        // every selected cuboid.
+        let mut selected: Vec<Vec<usize>> = Vec::new();
+        for s_e in &egb.sets {
+            let mapped: BTreeSet<usize> = s_e.iter().map(|&i| m[i]).collect();
+            if mapped.len() != s_e.len() {
+                return None; // two items collapsed onto one subsumer column
+            }
+            if !fpred_used.iter().all(|u| mapped.contains(u)) {
+                return None;
+            }
+            let found = rgb.sets.iter().find(|s_r| {
+                let sr: BTreeSet<usize> = s_r.iter().copied().collect();
+                sr == mapped
+            })?;
+            selected.push(found.clone());
+        }
+        Some((selected, exact_aggs.clone()))
+    })();
+
+    if let Some((selected_sets, exact_aggs)) = no_regroup {
+        // Compensation: a single SELECT applying pulled-up predicates and a
+        // slicing predicate (disjunction over the selected cuboids when the
+        // subsumer is multidimensional).
+        let mut cpreds = d_preds.clone();
+        if rgb.sets.len() > 1 {
+            cpreds.push(slicing_predicate(ctx, cr, &rgb, q_sub, &selected_sets)?);
+        }
+        let mut agg_iter = exact_aggs.iter();
+        let couts: Vec<ScalarExpr> = e_outs
+            .iter()
+            .map(|o| match o {
+                EOut::Item(i) => d_items[*i].clone(),
+                EOut::Agg(..) => ScalarExpr::col(q_sub, *agg_iter.next().unwrap()),
+            })
+            .collect();
+        let trivial = adopted.is_empty()
+            && cpreds.is_empty()
+            && couts
+                .iter()
+                .all(|c| matches!(c, ScalarExpr::Col(cr2) if cr2.qid == q_sub));
+        if trivial {
+            let colmap = couts
+                .iter()
+                .map(|c| match c {
+                    ScalarExpr::Col(c2) => c2.ordinal,
+                    _ => unreachable!(),
+                })
+                .collect();
+            return Some(MatchEntry::exact(colmap));
+        }
+        let cb = ctx.comp.boxed_mut(cbox);
+        cb.outputs = ebox
+            .outputs
+            .iter()
+            .zip(couts)
+            .map(|(oc, expr)| OutputCol {
+                name: oc.name.clone(),
+                expr,
+            })
+            .collect();
+        match &mut cb.kind {
+            BoxKind::Select(s) => s.predicates = cpreds,
+            _ => unreachable!(),
+        }
+        return Some(MatchEntry::with_comp(cbox));
+    }
+
+    // ------------------------------------------------------------------
+    // Regrouping compensation: SELECT (pulled-up predicates + slicing +
+    // computed columns) below a GROUP BY that re-groups by the subsumee's
+    // grouping sets and re-aggregates per rules (a)–(g).
+    // ------------------------------------------------------------------
+    let mut plans: Vec<AggPlan> = Vec::new();
+    for o in &e_outs {
+        if let EOut::Agg(call, t) = o {
+            let plan = regroup_plan(
+                ctx,
+                side,
+                e,
+                cr,
+                call,
+                t,
+                &r_aggs,
+                &grouping_avail,
+                &eq,
+                q_sub,
+            )?;
+            collect_used(&plan.cbox_expr, &mut used);
+            plans.push(plan);
+        }
+    }
+    // Select the smallest subsumer cuboid covering every used grouping col.
+    let s_r: Vec<usize> = rgb
+        .sets
+        .iter()
+        .filter(|s| {
+            let sr: BTreeSet<usize> = s.iter().copied().collect();
+            used.iter().all(|u| sr.contains(u))
+        })
+        .min_by_key(|s| s.len())?
+        .clone();
+    let mut cpreds = d_preds;
+    if rgb.sets.len() > 1 {
+        cpreds.push(slicing_predicate(ctx, cr, &rgb, q_sub, &[s_r])?);
+    }
+
+    // cbox outputs: derived grouping items first, then aggregate inputs.
+    let n_e_items = egb.items.len();
+    let mut cb_outputs: Vec<OutputCol> = d_items
+        .iter()
+        .enumerate()
+        .map(|(i, d)| OutputCol {
+            name: format!("g{i}"),
+            expr: d.clone(),
+        })
+        .collect();
+    for (k, plan) in plans.iter().enumerate() {
+        cb_outputs.push(OutputCol {
+            name: format!("a{k}"),
+            expr: plan.cbox_expr.clone(),
+        });
+    }
+    {
+        let cb = ctx.comp.boxed_mut(cbox);
+        cb.outputs = cb_outputs;
+        match &mut cb.kind {
+            BoxKind::Select(s) => s.predicates = cpreds,
+            _ => unreachable!(),
+        }
+    }
+
+    // The regrouping GROUP BY box.
+    let cgb = ctx.comp.add_box(BoxKind::GroupBy(GroupByBox {
+        items: vec![],
+        sets: egb.sets.clone(),
+    }));
+    let q_c = ctx.comp.add_quant(cgb, cbox, QuantKind::Foreach, "regrp");
+    let items: Vec<ColRef> = (0..n_e_items)
+        .map(|i| ColRef {
+            qid: q_c,
+            ordinal: i,
+        })
+        .collect();
+    let mut agg_idx = 0usize;
+    let outputs: Vec<OutputCol> = ebox
+        .outputs
+        .iter()
+        .zip(&e_outs)
+        .map(|(oc, o)| OutputCol {
+            name: oc.name.clone(),
+            expr: match o {
+                EOut::Item(i) => ScalarExpr::Col(items[*i]),
+                EOut::Agg(..) => {
+                    let plan = &plans[agg_idx];
+                    agg_idx += 1;
+                    ScalarExpr::Agg(AggCall {
+                        func: plan.outer,
+                        arg: Some(ColRef {
+                            qid: q_c,
+                            ordinal: n_e_items + agg_idx - 1,
+                        }),
+                        distinct: plan.distinct,
+                    })
+                }
+            },
+        })
+        .collect();
+    {
+        let gbx = ctx.comp.boxed_mut(cgb);
+        gbx.outputs = outputs;
+        match &mut gbx.kind {
+            BoxKind::GroupBy(g) => g.items = items,
+            _ => unreachable!(),
+        }
+    }
+    Some(MatchEntry::with_comp(cgb))
+}
+
+/// How one subsumee aggregate is recomputed under regrouping.
+struct AggPlan {
+    /// The expression the compensation SELECT must output (e.g. the
+    /// subsumer's `cnt` column, or `y * cnt` for rule (c)'s second form).
+    cbox_expr: ScalarExpr,
+    /// The re-aggregation function applied by the compensation GROUP BY.
+    outer: AggFunc,
+    /// Re-aggregate with DISTINCT?
+    distinct: bool,
+}
+
+/// Exact aggregate-QCL match (used when no regrouping happens): same
+/// function and distinctness with equivalent arguments, plus the
+/// `COUNT(*) ≡ COUNT(z)` bridge for non-nullable `z`.
+fn agg_exact_match(
+    ctx: &Ctx<'_>,
+    cr: BoxId,
+    call: &AggCall,
+    translated: &ScalarExpr,
+    r_agg: &AggCall,
+    eq: &ColEquiv,
+) -> bool {
+    let ScalarExpr::GeneralAgg {
+        func,
+        arg,
+        distinct,
+    } = translated
+    else {
+        return false;
+    };
+    let _ = call;
+    // MIN/MAX are insensitive to DISTINCT.
+    let dist_ok = *distinct == r_agg.distinct || matches!(func, AggFunc::Min | AggFunc::Max);
+    if *func == r_agg.func && dist_ok {
+        match (arg, r_agg.arg) {
+            (None, None) => return true,
+            (Some(a), Some(c)) if equiv_eq(a, &ScalarExpr::Col(c), eq) => return true,
+            _ => {}
+        }
+    }
+    // COUNT(*) ≡ COUNT(z) with z non-nullable.
+    if *func == AggFunc::Count && !distinct && r_agg.func == AggFunc::Count && !r_agg.distinct {
+        match (arg, r_agg.arg) {
+            (None, Some(z)) => return !col_nullable(ctx, cr, z),
+            (Some(a), None) => return !mixed_nullable(ctx, a),
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Derivation rules (a)–(g) of Section 4.1.2 for re-aggregation.
+#[allow(clippy::too_many_arguments)]
+fn regroup_plan(
+    ctx: &Ctx<'_>,
+    side: Side,
+    e: BoxId,
+    cr: BoxId,
+    call: &AggCall,
+    translated: &ScalarExpr,
+    r_aggs: &[(usize, AggCall)],
+    grouping_avail: &[Avail],
+    eq: &ColEquiv,
+    q_sub: QuantId,
+) -> Option<AggPlan> {
+    let _ = (side, e, call);
+    let ScalarExpr::GeneralAgg {
+        func,
+        arg,
+        distinct,
+    } = translated
+    else {
+        return None;
+    };
+    let find_count = || -> Option<usize> {
+        r_aggs
+            .iter()
+            .find(|(_, ra)| {
+                ra.func == AggFunc::Count
+                    && !ra.distinct
+                    && match ra.arg {
+                        None => true,
+                        Some(z) => !col_nullable(ctx, cr, z),
+                    }
+            })
+            .map(|(k, _)| *k)
+    };
+    let find_same = |f: AggFunc, a: &ScalarExpr| -> Option<usize> {
+        r_aggs
+            .iter()
+            .find(|(_, ra)| {
+                ra.func == f
+                    && !ra.distinct
+                    && ra.arg.is_some_and(|c| equiv_eq(a, &ScalarExpr::Col(c), eq))
+            })
+            .map(|(k, _)| *k)
+    };
+    match (func, distinct) {
+        // (a) COUNT(*) → SUM(cnt)
+        (AggFunc::Count, false) if arg.is_none() => {
+            let k = find_count()?;
+            Some(AggPlan {
+                cbox_expr: ScalarExpr::col(q_sub, k),
+                outer: AggFunc::Sum,
+                distinct: false,
+            })
+        }
+        // (b) COUNT(x) → SUM(COUNT(y)); if x non-nullable, COUNT(*) works too.
+        (AggFunc::Count, false) => {
+            let x = arg.as_deref().unwrap();
+            let k = r_aggs
+                .iter()
+                .find(|(_, ra)| {
+                    ra.func == AggFunc::Count
+                        && !ra.distinct
+                        && ra.arg.is_some_and(|c| equiv_eq(x, &ScalarExpr::Col(c), eq))
+                })
+                .map(|(k, _)| *k)
+                .or_else(|| {
+                    if !mixed_nullable(ctx, x) {
+                        find_count()
+                    } else {
+                        None
+                    }
+                })?;
+            Some(AggPlan {
+                cbox_expr: ScalarExpr::col(q_sub, k),
+                outer: AggFunc::Sum,
+                distinct: false,
+            })
+        }
+        // (c) SUM(x) → SUM(sm), or SUM(y * cnt) when x is derivable from
+        // grouping columns.
+        (AggFunc::Sum, false) => {
+            let x = arg.as_deref()?;
+            if let Some(k) = find_same(AggFunc::Sum, x) {
+                return Some(AggPlan {
+                    cbox_expr: ScalarExpr::col(q_sub, k),
+                    outer: AggFunc::Sum,
+                    distinct: false,
+                });
+            }
+            let d_x = derive(x, grouping_avail, eq)?;
+            let k = find_count()?;
+            Some(AggPlan {
+                cbox_expr: ScalarExpr::bin(BinOp::Mul, d_x, ScalarExpr::col(q_sub, k)),
+                outer: AggFunc::Sum,
+                distinct: false,
+            })
+        }
+        // (d)/(e) MAX/MIN → MAX(max)/MIN(min), or the grouping column itself.
+        (AggFunc::Max, _) | (AggFunc::Min, _) => {
+            let f = *func;
+            let x = arg.as_deref()?;
+            if let Some(k) = find_same(f, x) {
+                return Some(AggPlan {
+                    cbox_expr: ScalarExpr::col(q_sub, k),
+                    outer: f,
+                    distinct: false,
+                });
+            }
+            let d_x = derive(x, grouping_avail, eq)?;
+            Some(AggPlan {
+                cbox_expr: d_x,
+                outer: f,
+                distinct: false,
+            })
+        }
+        // (f) COUNT(DISTINCT x) → COUNT(DISTINCT y) for grouping-derivable x.
+        (AggFunc::Count, true) => {
+            let x = arg.as_deref()?;
+            let d_x = derive(x, grouping_avail, eq)?;
+            Some(AggPlan {
+                cbox_expr: d_x,
+                outer: AggFunc::Count,
+                distinct: true,
+            })
+        }
+        // (g) SUM(DISTINCT x) → SUM(DISTINCT y) for grouping-derivable x.
+        (AggFunc::Sum, true) => {
+            let x = arg.as_deref()?;
+            let d_x = derive(x, grouping_avail, eq)?;
+            Some(AggPlan {
+                cbox_expr: d_x,
+                outer: AggFunc::Sum,
+                distinct: true,
+            })
+        }
+        (AggFunc::Avg, _) => None, // normalized away during QGM build
+    }
+}
+
+/// Are all adopted rejoins 1:N with the rejoin on the "1" side? True when
+/// each rejoin's full primary key is equated (in the derived compensation
+/// predicates) with group-constant expressions, so the join neither
+/// duplicates subsumer rows nor splits groups (Figure 8's optimization).
+fn rejoins_one_to_n(
+    ctx: &Ctx<'_>,
+    adopted: &[QuantId],
+    d_preds: &[ScalarExpr],
+    q_sub: QuantId,
+    n_r_items: usize,
+) -> bool {
+    adopted.iter().all(|&qx| {
+        let b = ctx.comp.input_of(qx);
+        let BoxKind::BaseTable { table } = &ctx.comp.boxed(b).kind else {
+            return false;
+        };
+        let Some(t) = ctx.catalog.table(table) else {
+            return false;
+        };
+        if t.primary_key.is_empty() {
+            return false;
+        }
+        t.primary_key.iter().all(|&k| {
+            d_preds.iter().any(|p| {
+                let ScalarExpr::Bin(BinOp::Eq, l, r) = p else {
+                    return false;
+                };
+                for (a, other) in [(&**l, &**r), (&**r, &**l)] {
+                    if let ScalarExpr::Col(c) = a {
+                        if c.qid == qx && c.ordinal == k {
+                            // Other side must be group-constant: only
+                            // subsumer grouping columns.
+                            let ok = other
+                                .col_refs()
+                                .iter()
+                                .all(|o| o.qid == q_sub && o.ordinal < n_r_items);
+                            if ok {
+                                return true;
+                            }
+                        }
+                    }
+                }
+                false
+            })
+        })
+    })
+}
+
+/// The slicing predicate of Section 5: select exactly the rows of the given
+/// cuboids via IS NULL / IS NOT NULL over the subsumer's grouping columns.
+/// Requires the underlying grouping columns to be non-nullable (the paper's
+/// stated assumption), otherwise slicing is ambiguous and we bail.
+fn slicing_predicate(
+    ctx: &Ctx<'_>,
+    cr: BoxId,
+    rgb: &GroupByBox,
+    q_sub: QuantId,
+    cuboids: &[Vec<usize>],
+) -> Option<ScalarExpr> {
+    for item in &rgb.items {
+        if col_nullable(ctx, cr, *item) {
+            return None;
+        }
+    }
+    let mut alts: Vec<ScalarExpr> = Vec::with_capacity(cuboids.len());
+    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    for s in cuboids {
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        if !seen.insert(sorted.clone()) {
+            continue;
+        }
+        let conj: Vec<ScalarExpr> = (0..rgb.items.len())
+            .map(|j| ScalarExpr::IsNull {
+                expr: Box::new(ScalarExpr::col(q_sub, j)),
+                negated: sorted.contains(&j),
+            })
+            .collect();
+        alts.push(ScalarExpr::and_all(conj));
+    }
+    let mut it = alts.into_iter();
+    let first = it.next()?;
+    Some(it.fold(first, |acc, a| ScalarExpr::bin(BinOp::Or, acc, a)))
+}
+
+/// Nullability of a subsumer-child output column.
+fn col_nullable(ctx: &Ctx<'_>, cr: BoxId, c: ColRef) -> bool {
+    ctx.a_meta
+        .get(&cr)
+        .and_then(|v| v.get(c.ordinal))
+        .map(|m| m.nullable)
+        .unwrap_or(true)
+}
+
+/// Conservative nullability of a mixed-space expression: `false` only when
+/// provably non-nullable.
+fn mixed_nullable(ctx: &Ctx<'_>, e: &ScalarExpr) -> bool {
+    match e {
+        ScalarExpr::Lit(v) => v.is_null(),
+        // Rejoin columns (foreign-graph refs): unknown, stay conservative.
+        ScalarExpr::Col(c) if c.qid.graph != ctx.a.id => true,
+        ScalarExpr::Col(c) => {
+            let input = ctx.a.input_of(c.qid);
+            ctx.a_meta
+                .get(&input)
+                .and_then(|v| v.get(c.ordinal))
+                .map(|m| m.nullable)
+                .unwrap_or(true)
+        }
+        ScalarExpr::Func(_, args) => args.iter().any(|a| mixed_nullable(ctx, a)),
+        ScalarExpr::Bin(op, l, r) => {
+            matches!(op, BinOp::Div | BinOp::Mod)
+                || mixed_nullable(ctx, l)
+                || mixed_nullable(ctx, r)
+        }
+        ScalarExpr::Un(_, x) => mixed_nullable(ctx, x),
+        ScalarExpr::IsNull { .. } => false,
+        _ => true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.2.2: GROUP BY subsumee whose child compensation contains a
+// GROUP BY — recursive invocation of the match function.
+// ---------------------------------------------------------------------------
+
+/// Match by recursion: find the lowest GROUP BY box in the fragment, match
+/// it against the subsumer, then copy the fragment boxes above it — and the
+/// subsumee itself — on top of the intermediate compensation (Figure 9).
+fn match_gb_with_gb_comp(
+    ctx: &mut Ctx<'_>,
+    side: Side,
+    e: BoxId,
+    r: BoxId,
+    frag_root: BoxId,
+) -> Option<MatchEntry> {
+    // Walk the subsumer path from the fragment root down, recording the
+    // chain; the recursion target is the lowest GROUP BY on the path.
+    let mut chain: Vec<BoxId> = Vec::new();
+    let mut cur = frag_root;
+    loop {
+        chain.push(cur);
+        let next = ctx
+            .comp
+            .boxed(cur)
+            .quants
+            .iter()
+            .map(|&q| ctx.comp.input_of(q))
+            .find(|&b| ctx.reaches_subsumer(b));
+        match next {
+            Some(b) if !matches!(ctx.comp.boxed(b).kind, BoxKind::SubsumerRef { .. }) => {
+                cur = b;
+            }
+            _ => break,
+        }
+    }
+    let gb_pos = chain
+        .iter()
+        .rposition(|&b| ctx.comp.boxed(b).is_group_by())?;
+    let lowest = chain[gb_pos];
+
+    // Recursive match of the fragment's GROUP BY against the subsumer.
+    let sub_entry = match_groupbys(ctx, Side::Comp, lowest, r)?;
+
+    // Base of the new compensation: the intermediate compensation (or a
+    // projection wrapper for an exact intermediate match).
+    let mut below = match (&sub_entry.comp_root, sub_entry.exact) {
+        (Some(root), _) => *root,
+        (None, true) => {
+            let sref = ctx.make_subsumer_ref(r);
+            let wrap = ctx.comp.add_box(BoxKind::Select(SelectBox::default()));
+            let qw = ctx.comp.add_quant(wrap, sref, QuantKind::Foreach, "ast");
+            let names: Vec<String> = ctx
+                .comp
+                .boxed(lowest)
+                .outputs
+                .iter()
+                .map(|oc| oc.name.clone())
+                .collect();
+            ctx.comp.boxed_mut(wrap).outputs = sub_entry
+                .colmap
+                .iter()
+                .zip(names)
+                .map(|(&ord, name)| OutputCol {
+                    name,
+                    expr: ScalarExpr::col(qw, ord),
+                })
+                .collect();
+            wrap
+        }
+        _ => return None,
+    };
+
+    // Copy the chain boxes above the lowest GROUP BY, bottom-up.
+    for i in (0..gb_pos).rev() {
+        let old_child = chain[i + 1];
+        below = copy_box_redirect(ctx, Side::Comp, chain[i], old_child, below)?;
+    }
+    // Finally copy the subsumee itself on top.
+    let ce = {
+        let g = ctx.egraph(side);
+        g.input_of(*g.boxed(e).quants.first()?)
+    };
+    let top = copy_box_redirect(ctx, side, e, ce, below)?;
+    Some(MatchEntry::with_comp(top))
+}
+
+/// Copy box `b` (from `side`'s graph) into the scratch graph, redirecting
+/// the quantifier that consumed `old_child` to consume `new_child`; other
+/// children are referenced in place (comp side) or cloned (query side).
+fn copy_box_redirect(
+    ctx: &mut Ctx<'_>,
+    side: Side,
+    b: BoxId,
+    old_child: BoxId,
+    new_child: BoxId,
+) -> Option<BoxId> {
+    let src = ctx.egraph(side).boxed(b).clone();
+    let new_id = ctx.comp.add_box(match &src.kind {
+        BoxKind::Select(_) => BoxKind::Select(SelectBox::default()),
+        BoxKind::GroupBy(_) => BoxKind::GroupBy(GroupByBox {
+            items: vec![],
+            sets: vec![],
+        }),
+        _ => return None,
+    });
+    let mut quant_map: HashMap<QuantId, QuantId> = HashMap::new();
+    for &q in &src.quants {
+        let (input, kind, name) = {
+            let g = ctx.egraph(side);
+            let quant = g.quant(q);
+            (quant.input, quant.kind, quant.name.clone())
+        };
+        let target = if input == old_child {
+            new_child
+        } else {
+            match side {
+                Side::Comp => input,
+                Side::Query => {
+                    let qg = ctx.q;
+                    ctx.comp.clone_subgraph(qg, input)
+                }
+            }
+        };
+        let nq = ctx.comp.add_quant(new_id, target, kind, name);
+        quant_map.insert(q, nq);
+    }
+    let remap = |e: &ScalarExpr| sumtab_qgm::graph::remap_expr(e, &quant_map);
+    let outputs: Vec<OutputCol> = src
+        .outputs
+        .iter()
+        .map(|oc| OutputCol {
+            name: oc.name.clone(),
+            expr: remap(&oc.expr),
+        })
+        .collect();
+    let kind = match &src.kind {
+        BoxKind::Select(s) => BoxKind::Select(SelectBox {
+            predicates: s.predicates.iter().map(remap).collect(),
+        }),
+        BoxKind::GroupBy(g) => BoxKind::GroupBy(GroupByBox {
+            items: g
+                .items
+                .iter()
+                .map(|c| ColRef {
+                    qid: quant_map[&c.qid],
+                    ordinal: c.ordinal,
+                })
+                .collect(),
+            sets: g.sets.clone(),
+        }),
+        _ => unreachable!(),
+    };
+    let nb = ctx.comp.boxed_mut(new_id);
+    nb.outputs = outputs;
+    nb.kind = kind;
+    Some(new_id)
+}

@@ -1,0 +1,938 @@
+//! SELECT/SELECT matching: Sections 4.1.1 (exact child matches), 4.2.3
+//! (SELECT-only child compensation), and 4.2.4 (GROUP BY child
+//! compensation with no common joins).
+
+use crate::context::{Ctx, MatchEntry, Side};
+use crate::derive::derive;
+use crate::equiv::{equiv_eq, subsumes, ColEquiv};
+use crate::patterns::{child_entry, fragment_has_group_by};
+use crate::translate::{
+    add_rejoin, push_expr, push_out, rejoin_avail, subsumer_avail, translate, Avail, Target,
+    Translation,
+};
+use std::collections::{HashMap, HashSet};
+use sumtab_qgm::{BoxId, BoxKind, ColRef, OutputCol, QuantId, QuantKind, ScalarExpr, SelectBox};
+
+/// One paired (subsumee child, subsumer child).
+struct Pair {
+    qe: QuantId,
+    qr: QuantId,
+    entry: MatchEntry,
+    kind: QuantKind,
+}
+
+/// Cap on the number of child-pairing assignments tried per box pair
+/// (self-joins make pairings ambiguous — the paper's footnote 3; we relax
+/// the one-candidate assumption by bounded backtracking over assignments).
+const MAX_PAIRINGS: usize = 24;
+
+/// One subsumee child's pairing options: its quantifier, kind, and the
+/// subsumer children it could match (with their entries).
+type PairingCandidates = Vec<(QuantId, QuantKind, Vec<(QuantId, MatchEntry)>)>;
+
+/// Match two SELECT boxes.
+pub fn match_selects(ctx: &mut Ctx<'_>, side: Side, e: BoxId, r: BoxId) -> Option<MatchEntry> {
+    // Enumerate candidate subsumer children per subsumee child.
+    let ebox = ctx.egraph(side).boxed(e).clone();
+    let rbox = ctx.a.boxed(r).clone();
+    let mut candidates: PairingCandidates = Vec::new();
+    for &qe in &ebox.quants {
+        let (ce, ekind) = {
+            let g = ctx.egraph(side);
+            (g.input_of(qe), g.quant(qe).kind)
+        };
+        let mut cands = Vec::new();
+        for &qr in &rbox.quants {
+            if ctx.a.quant(qr).kind != ekind {
+                continue;
+            }
+            let cr = ctx.a.input_of(qr);
+            if let Some(entry) = child_entry(ctx, side, ce, cr) {
+                cands.push((qr, entry));
+            }
+        }
+        // Exact entries first: they make the cheapest compensations and the
+        // greedy first assignment is usually right.
+        cands.sort_by_key(|(_, entry)| !entry.exact);
+        candidates.push((qe, ekind, cands));
+    }
+
+    // Backtracking over assignments (each subsumer child used at most once;
+    // a subsumee child may also stay unmatched and become a rejoin).
+    let mut assignment: Vec<Option<usize>> = vec![None; candidates.len()];
+    let mut tried = 0usize;
+    try_assignments(ctx, side, e, r, &candidates, &mut assignment, 0, &mut tried)
+}
+
+/// Depth-first enumeration of pairings; the first assignment for which the
+/// full pattern succeeds wins.
+#[allow(clippy::too_many_arguments)]
+fn try_assignments(
+    ctx: &mut Ctx<'_>,
+    side: Side,
+    e: BoxId,
+    r: BoxId,
+    candidates: &PairingCandidates,
+    assignment: &mut Vec<Option<usize>>,
+    depth: usize,
+    tried: &mut usize,
+) -> Option<MatchEntry> {
+    if *tried >= MAX_PAIRINGS {
+        return None;
+    }
+    if depth == candidates.len() {
+        *tried += 1;
+        let mut pairs = Vec::new();
+        let mut rejoins = Vec::new();
+        for (i, (qe, kind, cands)) in candidates.iter().enumerate() {
+            match assignment[i] {
+                Some(c) => {
+                    let (qr, entry) = &cands[c];
+                    pairs.push(Pair {
+                        qe: *qe,
+                        qr: *qr,
+                        entry: entry.clone(),
+                        kind: *kind,
+                    });
+                }
+                None => rejoins.push(*qe),
+            }
+        }
+        return match_selects_with_pairing(ctx, side, e, r, pairs, rejoins);
+    }
+    let (_, _, cands) = &candidates[depth];
+    let taken: HashSet<QuantId> = assignment[..depth]
+        .iter()
+        .enumerate()
+        .filter_map(|(i, a)| a.map(|c| candidates[i].2[c].0))
+        .collect();
+    for (c, cand) in cands.iter().enumerate() {
+        if taken.contains(&cand.0) {
+            continue;
+        }
+        assignment[depth] = Some(c);
+        if let Some(m) = try_assignments(ctx, side, e, r, candidates, assignment, depth + 1, tried)
+        {
+            return Some(m);
+        }
+    }
+    // Leave this child unmatched (rejoin).
+    assignment[depth] = None;
+    try_assignments(ctx, side, e, r, candidates, assignment, depth + 1, tried)
+}
+
+/// The body of the SELECT/SELECT pattern for one concrete child pairing.
+fn match_selects_with_pairing(
+    ctx: &mut Ctx<'_>,
+    side: Side,
+    e: BoxId,
+    r: BoxId,
+    pairs: Vec<Pair>,
+    rejoins: Vec<QuantId>,
+) -> Option<MatchEntry> {
+    let ebox = ctx.egraph(side).boxed(e).clone();
+    let rbox = ctx.a.boxed(r).clone();
+    let epreds: Vec<ScalarExpr> = ebox.as_select()?.predicates.clone();
+    let rpreds: Vec<ScalarExpr> = rbox.as_select()?.predicates.clone();
+    let used_r: HashSet<QuantId> = pairs.iter().map(|p| p.qr).collect();
+
+    // Condition (Section 3): at least one Foreach child pair.
+    if !pairs.iter().any(|p| p.kind == QuantKind::Foreach) {
+        return None;
+    }
+
+    // Grouping fragments (4.2.4): at most one, and it must be the only
+    // matched Foreach pair (no common joins).
+    let grouping_pairs: Vec<usize> = pairs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.entry.exact && fragment_has_group_by(ctx, p.entry.comp_root.unwrap()))
+        .map(|(i, _)| i)
+        .collect();
+    if grouping_pairs.len() > 1 {
+        return None;
+    }
+    let has_grouping_frag = !grouping_pairs.is_empty();
+    if has_grouping_frag {
+        let foreach_pairs = pairs
+            .iter()
+            .filter(|p| p.kind == QuantKind::Foreach)
+            .count();
+        if foreach_pairs != 1 {
+            return None;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. Extra subsumer children must join losslessly (RI constraints).
+    // ------------------------------------------------------------------
+    let extras: Vec<QuantId> = rbox
+        .quants
+        .iter()
+        .copied()
+        .filter(|q| !used_r.contains(q) && ctx.a.quant(*q).kind == QuantKind::Foreach)
+        .collect();
+    if has_grouping_frag && !extras.is_empty() {
+        return None;
+    }
+    let mut extra_pred_idx: HashSet<usize> = HashSet::new();
+    {
+        // Extras may chain (snowflake dimensions), so iterate to fixpoint.
+        let mut trusted: HashSet<QuantId> = used_r.clone();
+        let mut pending = extras.clone();
+        loop {
+            let before = pending.len();
+            pending.retain(|&qx| match extra_join_preds(ctx, &rpreds, qx, &trusted) {
+                Some(idxs) => {
+                    extra_pred_idx.extend(idxs);
+                    trusted.insert(qx);
+                    false
+                }
+                None => true,
+            });
+            if pending.is_empty() {
+                break;
+            }
+            if pending.len() == before {
+                return None; // some extra join is not provably lossless
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 3. Compensation scaffolding + translation targets.
+    // ------------------------------------------------------------------
+    let sref = ctx.make_subsumer_ref(r);
+    let cbox = ctx.comp.add_box(BoxKind::Select(SelectBox::default()));
+    let q_sub = ctx.comp.add_quant(cbox, sref, QuantKind::Foreach, "ast");
+    let mut tr = Translation::new(cbox);
+    tr.top_subsumer = Some(r);
+    for &qr in &rbox.quants {
+        tr.sub_map.insert(ctx.a.input_of(qr), qr);
+    }
+    // On the grouping-fragment path, clone the fragment privately and
+    // rebase it onto the subsumer BEFORE translating, so translated
+    // expressions and later derivations reference the same boxes; keep the
+    // fragment's internal rejoins un-adopted (the fragment is reused
+    // wholesale).
+    let mut grouping_froot: Option<BoxId> = None;
+    if has_grouping_frag {
+        tr.adopt_enabled = false;
+        // Rebasing needs subsumer-level equivalences (predicates + child
+        // output classes), independent of the not-yet-translated subsumee
+        // predicates.
+        let mut eq0 = ColEquiv::new();
+        for p in &rpreds {
+            eq0.absorb_predicate(&p.normalize());
+        }
+        let frag = pairs[grouping_pairs[0]].entry.comp_root.unwrap();
+        let qr_g = pairs[grouping_pairs[0]].qr;
+        let snapshot = ctx.comp.clone();
+        let froot = ctx.comp.clone_subgraph(&snapshot, frag);
+        rebase_fragment(ctx, froot, r, qr_g, &eq0)?;
+        grouping_froot = Some(froot);
+    }
+    for (i, p) in pairs.iter().enumerate() {
+        let target = if p.entry.exact {
+            Target::Exact {
+                qr: p.qr,
+                colmap: p.entry.colmap.clone(),
+            }
+        } else if has_grouping_frag && i == grouping_pairs[0] {
+            Target::Fragment {
+                root: grouping_froot.unwrap(),
+            }
+        } else {
+            Target::Fragment {
+                root: p.entry.comp_root.unwrap(),
+            }
+        };
+        tr.targets.insert(p.qe, target);
+    }
+    let mut rejoin_quants = Vec::new();
+    for &qe in &rejoins {
+        rejoin_quants.push(add_rejoin(ctx, &mut tr, side, qe));
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Translate subsumee predicates and child-compensation predicates.
+    // ------------------------------------------------------------------
+    let mut source_preds: Vec<ScalarExpr> = Vec::new();
+    for p in &epreds {
+        source_preds.push(translate(ctx, &mut tr, p)?.normalize());
+    }
+    let n_sub_preds = source_preds.len();
+    for (i, p) in pairs.iter().enumerate() {
+        let root = if has_grouping_frag && i == grouping_pairs[0] {
+            grouping_froot
+        } else {
+            p.entry.comp_root
+        };
+        if let Some(root) = root {
+            for fp in fragment_preds(ctx, &mut tr, root)? {
+                source_preds.push(fp.normalize());
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Equivalence classes. `build_eq(exclude)` omits one source
+    //    predicate's contribution: an equivalence induced by a predicate
+    //    must not be used to derive that same predicate (it would collapse
+    //    `pgid = fpgid` into a tautology and lose the join).
+    // ------------------------------------------------------------------
+    let build_eq = |ctx: &Ctx<'_>, exclude: Option<usize>| -> ColEquiv {
+        let mut eq = ColEquiv::new();
+        for p in &rpreds {
+            eq.absorb_predicate(&p.normalize());
+        }
+        for &qr in &rbox.quants {
+            let cr = ctx.a.input_of(qr);
+            if let Some(classes) = ctx.a_classes.get(&cr) {
+                let mut by_class: HashMap<usize, usize> = HashMap::new();
+                for (ord, &cls) in classes.iter().enumerate() {
+                    if let Some(&first) = by_class.get(&cls) {
+                        eq.union(
+                            ColRef {
+                                qid: qr,
+                                ordinal: first,
+                            },
+                            ColRef {
+                                qid: qr,
+                                ordinal: ord,
+                            },
+                        );
+                    } else {
+                        by_class.insert(cls, ord);
+                    }
+                }
+            }
+        }
+        for (j, p) in source_preds.iter().enumerate() {
+            if Some(j) != exclude {
+                eq.absorb_predicate(p);
+            }
+        }
+        eq
+    };
+    let eq = build_eq(ctx, None);
+
+    // ------------------------------------------------------------------
+    // 6. Condition 2: every subsumer predicate (except extra-join
+    //    predicates) must match or subsume a source predicate.
+    // ------------------------------------------------------------------
+    let mut absorbed = vec![false; source_preds.len()];
+    for (i, rp) in rpreds.iter().enumerate() {
+        if extra_pred_idx.contains(&i) {
+            continue;
+        }
+        let rpn = rp.normalize();
+        let mut satisfied = false;
+        for (j, sp) in source_preds.iter().enumerate() {
+            if equiv_eq(&rpn, sp, &eq) {
+                absorbed[j] = true;
+                satisfied = true;
+                break;
+            }
+        }
+        if !satisfied {
+            satisfied = source_preds.iter().any(|sp| subsumes(&rpn, sp, &eq));
+        }
+        if !satisfied {
+            return None;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 7. Translate outputs, then derive everything over the availability
+    //    list (subsumer outputs + rejoin columns).
+    // ------------------------------------------------------------------
+    let mut outs_t = Vec::with_capacity(ebox.outputs.len());
+    for oc in &ebox.outputs {
+        outs_t.push(translate(ctx, &mut tr, &oc.expr)?.normalize());
+    }
+
+    if has_grouping_frag {
+        // Fragment predicates (index >= n_sub_preds) are applied inside the
+        // cloned fragment itself; only the subsumee's own residual
+        // predicates need re-derivation on top.
+        let mut derive_mask = vec![false; source_preds.len()];
+        for (j, m) in derive_mask.iter_mut().enumerate() {
+            *m = j < n_sub_preds && !absorbed[j];
+        }
+        return grouping_fragment_comp(
+            ctx,
+            &mut tr,
+            grouping_froot.unwrap(),
+            &ebox,
+            &source_preds,
+            &derive_mask,
+            &outs_t,
+            &eq,
+            cbox,
+            q_sub,
+        );
+    }
+
+    let mut avail = subsumer_avail(ctx, r, q_sub);
+    let adopted: Vec<QuantId> = tr.adopt.values().copied().collect();
+    for &qn in rejoin_quants.iter().chain(adopted.iter()) {
+        avail.extend(rejoin_avail(ctx, qn));
+    }
+
+    let mut cpreds = Vec::new();
+    for (j, sp) in source_preds.iter().enumerate() {
+        if absorbed[j] {
+            continue;
+        }
+        let eq_j = build_eq(ctx, Some(j));
+        cpreds.push(derive(sp, &avail, &eq_j)?);
+    }
+    let mut couts = Vec::with_capacity(outs_t.len());
+    for t in &outs_t {
+        couts.push(derive(t, &avail, &eq)?);
+    }
+    let _ = n_sub_preds;
+
+    // ------------------------------------------------------------------
+    // 8. Exactness (footnote 5) or compensation assembly.
+    // ------------------------------------------------------------------
+    let no_rejoins = rejoin_quants.is_empty() && tr.adopt.is_empty();
+    let pure_projection = couts
+        .iter()
+        .all(|c| matches!(c, ScalarExpr::Col(cr) if cr.qid == q_sub));
+    if no_rejoins && cpreds.is_empty() && pure_projection {
+        let colmap = couts
+            .iter()
+            .map(|c| match c {
+                ScalarExpr::Col(cr) => cr.ordinal,
+                _ => unreachable!(),
+            })
+            .collect();
+        return Some(MatchEntry::exact(colmap));
+    }
+    {
+        let cb = ctx.comp.boxed_mut(cbox);
+        cb.outputs = ebox
+            .outputs
+            .iter()
+            .zip(couts)
+            .map(|(oc, expr)| OutputCol {
+                name: oc.name.clone(),
+                expr,
+            })
+            .collect();
+        match &mut cb.kind {
+            BoxKind::Select(s) => s.predicates = cpreds,
+            _ => unreachable!(),
+        }
+    }
+    Some(MatchEntry::with_comp(cbox))
+}
+
+/// Identify the predicates that implement a lossless extra join for
+/// subsumer child `qx`: equi-joins covering the extra table's full primary
+/// key against non-nullable foreign-key columns of a trusted child, with a
+/// declared RI constraint (Section 4.1.1, condition 1).
+fn extra_join_preds(
+    ctx: &Ctx<'_>,
+    rpreds: &[ScalarExpr],
+    qx: QuantId,
+    trusted: &HashSet<QuantId>,
+) -> Option<Vec<usize>> {
+    let extra_box = ctx.a.input_of(qx);
+    let BoxKind::BaseTable { table } = &ctx.a.boxed(extra_box).kind else {
+        return None;
+    };
+    let parent = ctx.catalog.table(table)?;
+    if parent.primary_key.is_empty() {
+        return None;
+    }
+    // pk ordinal -> (other quantifier, other ordinal, predicate index)
+    let mut found: HashMap<usize, (QuantId, usize, usize)> = HashMap::new();
+    for (i, p) in rpreds.iter().enumerate() {
+        let ScalarExpr::Bin(op, l, r) = p else {
+            continue;
+        };
+        if *op != sumtab_qgm::BinOp::Eq {
+            continue;
+        }
+        let (ScalarExpr::Col(a), ScalarExpr::Col(b)) = (&**l, &**r) else {
+            continue;
+        };
+        for (x, o) in [(a, b), (b, a)] {
+            if x.qid == qx && parent.primary_key.contains(&x.ordinal) && trusted.contains(&o.qid) {
+                found.entry(x.ordinal).or_insert((o.qid, o.ordinal, i));
+            }
+        }
+    }
+    if !parent.primary_key.iter().all(|k| found.contains_key(k)) {
+        return None;
+    }
+    // All FK columns must come from one child with a declared constraint.
+    let (fk_quant, ..) = found[&parent.primary_key[0]];
+    let child_box = ctx.a.input_of(fk_quant);
+    let BoxKind::BaseTable { table: child_table } = &ctx.a.boxed(child_box).kind else {
+        return None;
+    };
+    let child = ctx.catalog.table(child_table)?;
+    let fk_cols: Vec<usize> = parent
+        .primary_key
+        .iter()
+        .map(|k| {
+            let (q, ord, _) = found[k];
+            if q != fk_quant {
+                usize::MAX
+            } else {
+                ord
+            }
+        })
+        .collect();
+    if fk_cols.contains(&usize::MAX) {
+        return None;
+    }
+    let declared = ctx.catalog.foreign_keys_from(child_table).any(|fk| {
+        fk.parent_table == parent.name
+            && fk.child_columns == fk_cols
+            && fk.parent_columns == parent.primary_key
+    });
+    if !declared {
+        return None;
+    }
+    if fk_cols.iter().any(|&c| child.columns[c].nullable) {
+        return None; // NULL FK values would make the join lossy
+    }
+    Some(parent.primary_key.iter().map(|k| found[k].2).collect())
+}
+
+/// Collect every predicate applied inside a compensation fragment's
+/// subsumer path, pushed down to mixed space.
+pub fn fragment_preds(
+    ctx: &mut Ctx<'_>,
+    tr: &mut Translation,
+    root: BoxId,
+) -> Option<Vec<ScalarExpr>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    let mut seen = HashSet::new();
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) || !ctx.reaches_subsumer(b) {
+            continue;
+        }
+        let bx = ctx.comp.boxed(b).clone();
+        if let BoxKind::Select(s) = &bx.kind {
+            for p in &s.predicates {
+                out.push(push_expr(ctx, tr, p)?);
+            }
+        }
+        for &q in &bx.quants {
+            stack.push(ctx.comp.input_of(q));
+        }
+    }
+    Some(out)
+}
+
+// ---------------------------------------------------------------------------
+// Section 4.2.4: SELECT subsumee over a grouping child compensation.
+// ---------------------------------------------------------------------------
+
+/// Build the compensation when the single matched child carries a GROUP BY
+/// compensation fragment: clone the fragment, rebase its `SubsumerRef` from
+/// the subsumer's child onto the subsumer itself (the *pullup*), grow it
+/// with any additionally needed columns (Section 6's on-demand QCL
+/// creation, e.g. `totcnt` in Figure 11), and top it with a SELECT that
+/// applies the residual predicates and computes the subsumee's outputs.
+#[allow(clippy::too_many_arguments)]
+fn grouping_fragment_comp(
+    ctx: &mut Ctx<'_>,
+    tr: &mut Translation,
+    froot: BoxId,
+    ebox: &sumtab_qgm::QgmBox,
+    source_preds: &[ScalarExpr],
+    derive_mask: &[bool],
+    outs_t: &[ScalarExpr],
+    eq: &ColEquiv,
+    cbox: BoxId,
+    q_sub_unused: QuantId,
+) -> Option<MatchEntry> {
+    // The scaffolding quantifier over the subsumer is not used on this
+    // path — the compensation consumes the rebased fragment instead.
+    // Detach it so it does not become a stray cross join.
+    ctx.comp
+        .boxed_mut(cbox)
+        .quants
+        .retain(|&q| q != q_sub_unused);
+
+    // The compensation box consumes the (already cloned and rebased)
+    // fragment.
+    let q_f = ctx.comp.add_quant(cbox, froot, QuantKind::Foreach, "regrp");
+
+    // Derive residual predicates and outputs through the fragment,
+    // creating fragment columns on demand.
+    let mut cpreds = Vec::new();
+    for (j, sp) in source_preds.iter().enumerate() {
+        if !derive_mask[j] {
+            continue;
+        }
+        cpreds.push(derive_through_fragment(ctx, tr, froot, q_f, sp, eq)?);
+    }
+    let mut couts = Vec::with_capacity(outs_t.len());
+    for t in outs_t {
+        couts.push(derive_through_fragment(ctx, tr, froot, q_f, t, eq)?);
+    }
+
+    {
+        let cb = ctx.comp.boxed_mut(cbox);
+        cb.outputs = ebox
+            .outputs
+            .iter()
+            .zip(couts)
+            .map(|(oc, expr)| OutputCol {
+                name: oc.name.clone(),
+                expr,
+            })
+            .collect();
+        match &mut cb.kind {
+            BoxKind::Select(s) => s.predicates = cpreds,
+            _ => unreachable!(),
+        }
+    }
+    Some(MatchEntry::with_comp(cbox))
+}
+
+/// Repoint the fragment's `SubsumerRef` leaf from the subsumer's child to
+/// the subsumer `r`, remapping every referenced ordinal `j` to an `r` output
+/// that preserves the child column (`r.outputs[k] ≡ Col(qr_g, j)`).
+fn rebase_fragment(
+    ctx: &mut Ctx<'_>,
+    froot: BoxId,
+    r: BoxId,
+    qr_g: QuantId,
+    eq: &ColEquiv,
+) -> Option<()> {
+    // Find the quantifier over the SubsumerRef leaf.
+    let mut target_quant: Option<QuantId> = None;
+    let mut stack = vec![froot];
+    let mut seen = HashSet::new();
+    while let Some(b) = stack.pop() {
+        if !seen.insert(b) {
+            continue;
+        }
+        for &q in &ctx.comp.boxed(b).quants.clone() {
+            let input = ctx.comp.input_of(q);
+            if matches!(ctx.comp.boxed(input).kind, BoxKind::SubsumerRef { .. }) {
+                target_quant = Some(q);
+            } else {
+                stack.push(input);
+            }
+        }
+    }
+    let q_old = target_quant?;
+    let owner = ctx.comp.quant(q_old).owner;
+
+    // Ordinal remap: child output j -> r output k.
+    let remap = |j: usize| -> Option<usize> {
+        let probe = ScalarExpr::col(qr_g, j);
+        ctx.a
+            .boxed(r)
+            .outputs
+            .iter()
+            .position(|oc| equiv_eq(&oc.expr.normalize(), &probe, eq))
+    };
+    // Collect ordinals used by the owner box.
+    let owner_box = ctx.comp.boxed(owner).clone();
+    let mut used: Vec<usize> = Vec::new();
+    let mut collect = |e: &ScalarExpr| {
+        for c in e.col_refs() {
+            if c.qid == q_old {
+                used.push(c.ordinal);
+            }
+        }
+    };
+    for oc in &owner_box.outputs {
+        collect(&oc.expr);
+    }
+    match &owner_box.kind {
+        BoxKind::Select(s) => {
+            for p in &s.predicates {
+                collect(p);
+            }
+        }
+        BoxKind::GroupBy(g) => {
+            for it in &g.items {
+                if it.qid == q_old {
+                    used.push(it.ordinal);
+                }
+            }
+        }
+        _ => {}
+    }
+    used.sort_unstable();
+    used.dedup();
+    let mut ord_map: HashMap<usize, usize> = HashMap::new();
+    for j in used {
+        ord_map.insert(j, remap(j)?);
+    }
+
+    // Build the new leaf and repoint the quantifier.
+    let new_leaf = ctx.make_subsumer_ref(r);
+    ctx.comp.quants[q_old.idx as usize].input = new_leaf;
+
+    // Rewrite ordinals in the owner box.
+    let rewrite = |e: &ScalarExpr| -> ScalarExpr {
+        e.map_cols(&mut |c| {
+            if c.qid == q_old {
+                ScalarExpr::col(q_old, ord_map[&c.ordinal])
+            } else {
+                ScalarExpr::Col(c)
+            }
+        })
+    };
+    let new_outputs: Vec<OutputCol> = owner_box
+        .outputs
+        .iter()
+        .map(|oc| OutputCol {
+            name: oc.name.clone(),
+            expr: match &oc.expr {
+                ScalarExpr::Agg(a) => ScalarExpr::Agg(sumtab_qgm::AggCall {
+                    func: a.func,
+                    arg: a.arg.map(|c| {
+                        if c.qid == q_old {
+                            ColRef {
+                                qid: q_old,
+                                ordinal: ord_map[&c.ordinal],
+                            }
+                        } else {
+                            c
+                        }
+                    }),
+                    distinct: a.distinct,
+                }),
+                other => rewrite(other),
+            },
+        })
+        .collect();
+    let new_kind = match &owner_box.kind {
+        BoxKind::Select(s) => BoxKind::Select(SelectBox {
+            predicates: s.predicates.iter().map(rewrite).collect(),
+        }),
+        BoxKind::GroupBy(g) => BoxKind::GroupBy(sumtab_qgm::GroupByBox {
+            items: g
+                .items
+                .iter()
+                .map(|c| {
+                    if c.qid == q_old {
+                        ColRef {
+                            qid: q_old,
+                            ordinal: ord_map[&c.ordinal],
+                        }
+                    } else {
+                        *c
+                    }
+                })
+                .collect(),
+            sets: g.sets.clone(),
+        }),
+        other => other.clone(),
+    };
+    let ob = ctx.comp.boxed_mut(owner);
+    ob.outputs = new_outputs;
+    ob.kind = new_kind;
+    Some(())
+}
+
+/// Derive a mixed-space expression over the (rebased) fragment's outputs,
+/// creating new fragment columns on demand for aggregate-free subtrees.
+fn derive_through_fragment(
+    ctx: &mut Ctx<'_>,
+    tr: &mut Translation,
+    froot: BoxId,
+    q_f: QuantId,
+    expr: &ScalarExpr,
+    eq: &ColEquiv,
+) -> Option<ScalarExpr> {
+    // Compositional derivation over the fragment's existing outputs first.
+    let n = ctx.comp.boxed(froot).outputs.len();
+    let mut avail = Vec::with_capacity(n);
+    for j in 0..n {
+        if let Some(d) = push_out(ctx, tr, froot, j) {
+            avail.push(Avail {
+                refer: ColRef {
+                    qid: q_f,
+                    ordinal: j,
+                },
+                defines: d.normalize(),
+            });
+        }
+    }
+    if let Some(d) = derive(expr, &avail, eq) {
+        return Some(d);
+    }
+    // Aggregate-free, group-invariant subtree: request a fragment column
+    // (Section 6's on-demand QCL creation, e.g. `totcnt` in Figure 11).
+    if !expr.contains_agg() && is_group_invariant(ctx, expr) {
+        if let Some(j) = ensure_fragment_col(ctx, tr, froot, expr, eq) {
+            return Some(ScalarExpr::col(q_f, j));
+        }
+    }
+    // Recurse structurally.
+    Some(match expr {
+        ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+        ScalarExpr::Bin(op, l, r2) => ScalarExpr::bin(
+            *op,
+            derive_through_fragment(ctx, tr, froot, q_f, l, eq)?,
+            derive_through_fragment(ctx, tr, froot, q_f, r2, eq)?,
+        ),
+        ScalarExpr::Un(op, x) => ScalarExpr::Un(
+            *op,
+            Box::new(derive_through_fragment(ctx, tr, froot, q_f, x, eq)?),
+        ),
+        ScalarExpr::Func(f, args) => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(derive_through_fragment(ctx, tr, froot, q_f, a, eq)?);
+            }
+            ScalarExpr::Func(*f, out)
+        }
+        ScalarExpr::IsNull { expr: x, negated } => ScalarExpr::IsNull {
+            expr: Box::new(derive_through_fragment(ctx, tr, froot, q_f, x, eq)?),
+            negated: *negated,
+        },
+        ScalarExpr::Like {
+            expr: x,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: Box::new(derive_through_fragment(ctx, tr, froot, q_f, x, eq)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        _ => return None,
+    })
+}
+
+/// Is the mixed-space expression provably constant over the whole input
+/// (and hence trivially group-invariant)? True when every column it
+/// references is produced by a scalar subquery of the subsumer — like
+/// `totcnt` in Figure 11. Such columns may be added to a compensation
+/// GROUP BY's grouping sets without changing the groups.
+fn is_group_invariant(ctx: &Ctx<'_>, x: &ScalarExpr) -> bool {
+    x.col_refs().iter().all(|c| {
+        c.qid.graph == ctx.a.id && ctx.a.quant(c.qid).kind == sumtab_qgm::QuantKind::Scalar
+    })
+}
+
+/// Ensure the fragment box `b` outputs a column equal to the mixed-space,
+/// aggregate-free, group-invariant expression `x`; returns its output
+/// ordinal. For GROUP BY boxes the column is added as a *grouping* item on
+/// every grouping set — sound because the caller has established group
+/// invariance.
+fn ensure_fragment_col(
+    ctx: &mut Ctx<'_>,
+    tr: &mut Translation,
+    b: BoxId,
+    x: &ScalarExpr,
+    eq: &ColEquiv,
+) -> Option<usize> {
+    // Existing output?
+    let n = ctx.comp.boxed(b).outputs.len();
+    for j in 0..n {
+        if let Some(d) = push_out(ctx, tr, b, j) {
+            if equiv_eq(&d.normalize(), x, eq) {
+                return Some(j);
+            }
+        }
+    }
+    let kind = ctx.comp.boxed(b).kind.clone();
+    match kind {
+        BoxKind::Select(_) => {
+            // Derive over this box's own availability: its SubsumerRef
+            // columns and rejoin columns.
+            let quants = ctx.comp.boxed(b).quants.clone();
+            let mut avail: Vec<Avail> = Vec::new();
+            for &q in &quants {
+                let input = ctx.comp.input_of(q);
+                match &ctx.comp.boxed(input).kind {
+                    BoxKind::SubsumerRef { target, .. } => {
+                        let target = *target;
+                        let n_out = ctx.a.boxed(target).outputs.len();
+                        for k in 0..n_out {
+                            let defines = subsumer_output_defines(ctx, tr, target, k)?;
+                            avail.push(Avail {
+                                refer: ColRef { qid: q, ordinal: k },
+                                defines: defines.normalize(),
+                            });
+                        }
+                    }
+                    _ => {
+                        let n_out = ctx.comp.boxed(input).outputs.len();
+                        for k in 0..n_out {
+                            avail.push(Avail {
+                                refer: ColRef { qid: q, ordinal: k },
+                                defines: ScalarExpr::col(q, k),
+                            });
+                        }
+                    }
+                }
+            }
+            let derived = derive(x, &avail, eq)?;
+            let bx = ctx.comp.boxed_mut(b);
+            bx.outputs.push(OutputCol {
+                name: format!("x{}", bx.outputs.len()),
+                expr: derived,
+            });
+            Some(bx.outputs.len() - 1)
+        }
+        BoxKind::GroupBy(_) => {
+            let q_child = ctx.comp.boxed(b).quants[0];
+            let child = ctx.comp.input_of(q_child);
+            let child_ord = ensure_fragment_col(ctx, tr, child, x, eq)?;
+            let new_item = ColRef {
+                qid: q_child,
+                ordinal: child_ord,
+            };
+            let bx = ctx.comp.boxed_mut(b);
+            let new_idx = match &mut bx.kind {
+                BoxKind::GroupBy(g) => {
+                    let idx = g.items.len();
+                    g.items.push(new_item);
+                    for s in &mut g.sets {
+                        s.push(idx);
+                    }
+                    idx
+                }
+                _ => unreachable!(),
+            };
+            let _ = new_idx;
+            bx.outputs.push(OutputCol {
+                name: format!("x{}", bx.outputs.len()),
+                expr: ScalarExpr::Col(new_item),
+            });
+            Some(bx.outputs.len() - 1)
+        }
+        _ => None,
+    }
+}
+
+/// The mixed-space defining expression of output `k` of subsumer box
+/// `target` (used when a fragment sits directly on a `SubsumerRef`).
+fn subsumer_output_defines(
+    ctx: &Ctx<'_>,
+    tr: &Translation,
+    target: BoxId,
+    k: usize,
+) -> Option<ScalarExpr> {
+    if Some(target) == tr.top_subsumer {
+        let oc = &ctx.a.boxed(target).outputs[k];
+        return Some(match &oc.expr {
+            ScalarExpr::Agg(a) => ScalarExpr::GeneralAgg {
+                func: a.func,
+                arg: a.arg.map(|c| Box::new(ScalarExpr::Col(c))),
+                distinct: a.distinct,
+            },
+            other => other.clone(),
+        });
+    }
+    let qr = *tr.sub_map.get(&target)?;
+    Some(ScalarExpr::col(qr, k))
+}

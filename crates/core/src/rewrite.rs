@@ -1,0 +1,251 @@
+//! Final rewrite construction: splice the winning compensation into the
+//! query over the AST's materialized backing table.
+
+use crate::context::{Ctx, MatchEntry};
+use std::collections::HashMap;
+use sumtab_qgm::{
+    BoxId, BoxKind, ColRef, GroupByBox, OutputCol, QgmGraph, QuantId, ScalarExpr, SelectBox,
+};
+
+/// Build the rewritten query graph for a match of query box `matched` (an
+/// entry against the AST root). `backing` names the AST's materialized
+/// table; `backing_cols` are its column names (ordinals identical to the
+/// AST root's outputs).
+pub fn build_rewrite(
+    ctx: &Ctx<'_>,
+    matched: BoxId,
+    entry: &MatchEntry,
+    backing: &str,
+    backing_cols: &[String],
+) -> QgmGraph {
+    let mut out = QgmGraph::new();
+    out.order = ctx.q.order.clone();
+
+    let mut builder = RewriteBuilder {
+        ctx,
+        out: &mut out,
+        backing,
+        backing_cols,
+        comp_map: HashMap::new(),
+        q_map: HashMap::new(),
+        quant_map: HashMap::new(),
+    };
+
+    // The replacement subtree for the matched query box.
+    let replacement = match entry.comp_root {
+        Some(root) => builder.clone_comp(root),
+        None => builder.exact_projection(matched, &entry.colmap),
+    };
+
+    // Clone the query graph, substituting the replacement at `matched`.
+    let root = if matched == ctx.q.root {
+        replacement
+    } else {
+        builder.clone_query(ctx.q.root, matched, replacement)
+    };
+    out.root = root;
+    out
+}
+
+struct RewriteBuilder<'a, 'b> {
+    ctx: &'a Ctx<'b>,
+    out: &'a mut QgmGraph,
+    backing: &'a str,
+    backing_cols: &'a [String],
+    comp_map: HashMap<BoxId, BoxId>,
+    q_map: HashMap<BoxId, BoxId>,
+    quant_map: HashMap<QuantId, QuantId>,
+}
+
+impl RewriteBuilder<'_, '_> {
+    /// A base-table box over the materialized AST.
+    fn backing_box(&mut self) -> BoxId {
+        let b = self.out.add_box(BoxKind::BaseTable {
+            table: self.backing.to_string(),
+        });
+        self.out.boxed_mut(b).outputs = self
+            .backing_cols
+            .iter()
+            .enumerate()
+            .map(|(i, name)| OutputCol {
+                name: name.clone(),
+                expr: ScalarExpr::BaseCol(i),
+            })
+            .collect();
+        b
+    }
+
+    /// For an exact match: a projection SELECT over the backing table.
+    fn exact_projection(&mut self, matched: BoxId, colmap: &[usize]) -> BoxId {
+        let base = self.backing_box();
+        let sel = self.out.add_box(BoxKind::Select(SelectBox::default()));
+        let q = self
+            .out
+            .add_quant(sel, base, sumtab_qgm::QuantKind::Foreach, self.backing);
+        let names: Vec<String> = self
+            .ctx
+            .q
+            .boxed(matched)
+            .outputs
+            .iter()
+            .map(|oc| oc.name.clone())
+            .collect();
+        self.out.boxed_mut(sel).outputs = colmap
+            .iter()
+            .zip(names)
+            .map(|(&ord, name)| OutputCol {
+                name,
+                expr: ScalarExpr::col(q, ord),
+            })
+            .collect();
+        sel
+    }
+
+    /// Clone a compensation fragment, replacing `SubsumerRef` leaves that
+    /// target the AST root with the backing table.
+    fn clone_comp(&mut self, b: BoxId) -> BoxId {
+        if let Some(&m) = self.comp_map.get(&b) {
+            return m;
+        }
+        let src = self.ctx.comp.boxed(b).clone();
+        if let BoxKind::SubsumerRef { target, .. } = &src.kind {
+            assert_eq!(
+                *target, self.ctx.a.root,
+                "compensation leaf must target the AST root at rewrite time"
+            );
+            let nb = self.backing_box();
+            self.comp_map.insert(b, nb);
+            return nb;
+        }
+        let new_id = self.out.add_box(BoxKind::Select(SelectBox::default()));
+        self.comp_map.insert(b, new_id);
+        for &q in &src.quants {
+            let quant = self.ctx.comp.quant(q);
+            let child = self.clone_comp(quant.input);
+            let nq = self
+                .out
+                .add_quant(new_id, child, quant.kind, quant.name.clone());
+            self.quant_map.insert(q, nq);
+        }
+        self.fill_box(new_id, &src);
+        new_id
+    }
+
+    /// Clone the query graph from `b`, substituting `replacement` for the
+    /// subtree rooted at `matched`.
+    fn clone_query(&mut self, b: BoxId, matched: BoxId, replacement: BoxId) -> BoxId {
+        if b == matched {
+            return replacement;
+        }
+        if let Some(&m) = self.q_map.get(&b) {
+            return m;
+        }
+        let src = self.ctx.q.boxed(b).clone();
+        let new_id = self.out.add_box(BoxKind::Select(SelectBox::default()));
+        self.q_map.insert(b, new_id);
+        for &q in &src.quants {
+            let quant = self.ctx.q.quant(q);
+            let child = self.clone_query(quant.input, matched, replacement);
+            let nq = self
+                .out
+                .add_quant(new_id, child, quant.kind, quant.name.clone());
+            self.quant_map.insert(q, nq);
+        }
+        self.fill_box(new_id, &src);
+        new_id
+    }
+
+    /// Copy a source box's kind/outputs with quantifier remapping.
+    fn fill_box(&mut self, new_id: BoxId, src: &sumtab_qgm::QgmBox) {
+        let remap = |e: &ScalarExpr| sumtab_qgm::graph::remap_expr(e, &self.quant_map);
+        let outputs: Vec<OutputCol> = src
+            .outputs
+            .iter()
+            .map(|oc| OutputCol {
+                name: oc.name.clone(),
+                expr: remap(&oc.expr),
+            })
+            .collect();
+        let kind = match &src.kind {
+            BoxKind::Select(s) => BoxKind::Select(SelectBox {
+                predicates: s.predicates.iter().map(remap).collect(),
+            }),
+            BoxKind::GroupBy(g) => BoxKind::GroupBy(GroupByBox {
+                items: g
+                    .items
+                    .iter()
+                    .map(|c| ColRef {
+                        qid: self.quant_map[&c.qid],
+                        ordinal: c.ordinal,
+                    })
+                    .collect(),
+                sets: g.sets.clone(),
+            }),
+            BoxKind::BaseTable { table } => BoxKind::BaseTable {
+                table: table.clone(),
+            },
+            BoxKind::SubsumerRef { .. } => unreachable!("handled by clone_comp"),
+        };
+        let nb = self.out.boxed_mut(new_id);
+        nb.outputs = outputs;
+        nb.kind = kind;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RegisteredAst, Rewriter};
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+    use sumtab_qgm::{build_query, BoxKind};
+
+    /// The rewriter must replace the HIGHEST matched query box — covering
+    /// the most work with the AST (HAVING included in the match, not
+    /// recomputed over base tables).
+    #[test]
+    fn rewrite_replaces_the_highest_matching_box() {
+        let cat = Catalog::credit_card_sample();
+        let ast = RegisteredAst::from_sql(
+            "a",
+            "select faid, count(*) as cnt from trans group by faid",
+            &cat,
+        )
+        .unwrap();
+        let q = build_query(
+            &parse_query(
+                "select faid, count(*) as cnt from trans group by faid \
+                 having count(*) > 5",
+            )
+            .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap();
+        assert_eq!(rw.replaced_box, q.root, "top select (with HAVING) matched");
+        // The rewritten graph must not scan the fact table at all.
+        assert!(!rw
+            .graph
+            .boxes
+            .iter()
+            .any(|b| matches!(&b.kind, BoxKind::BaseTable { table } if table == "trans")));
+    }
+
+    #[test]
+    fn match_count_reports_pair_statistics() {
+        let cat = Catalog::credit_card_sample();
+        let ast = RegisteredAst::from_sql(
+            "a",
+            "select faid, flid, count(*) as cnt from trans group by faid, flid",
+            &cat,
+        )
+        .unwrap();
+        let q = build_query(
+            &parse_query("select faid, count(*) as cnt from trans group by faid").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let n = Rewriter::new(&cat).match_count(&q, &ast);
+        // At least: base/base, lower selects, group-bys, top selects.
+        assert!(n >= 4, "expected a chain of matches, got {n}");
+    }
+}

@@ -1,0 +1,394 @@
+//! Expression translation into the subsumer's context (Section 6).
+//!
+//! A subsumee expression references subsumee QNCs, which are meaningless in
+//! the subsumer's graph. Translation rewrites the expression into the *mixed
+//! space* of a candidate match: subsumer QNCs (quantifiers of the subsumer
+//! box `r`) plus rejoin columns (quantifiers of the compensation box under
+//! construction). The paper's five-step walk (Figure 15) — replace each QNC
+//! by the producing QCL expression, push down through the child
+//! compensation, stop at rejoin columns, land on subsumer QNCs — is
+//! implemented by [`translate`] + [`push_out`].
+
+use crate::context::{Ctx, Side};
+use std::collections::HashMap;
+use sumtab_qgm::{BoxId, BoxKind, ColRef, QuantId, ScalarExpr};
+
+/// Where a subsumee child's columns land after translation.
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// Exact child match: subsumee QNC `(qe, i)` becomes subsumer QNC
+    /// `(qr, colmap[i])`.
+    Exact {
+        /// The subsumer's quantifier over the matching child.
+        qr: QuantId,
+        /// Subsumee ordinal → subsumer child output ordinal.
+        colmap: Vec<usize>,
+    },
+    /// Child matched with compensation: subsumee QNC `(qe, i)` is the `i`-th
+    /// output of the compensation fragment, pushed down to mixed space.
+    Fragment {
+        /// The fragment's root box in the scratch graph.
+        root: BoxId,
+    },
+    /// A rejoin child: columns stay as references to the compensation box's
+    /// own quantifier over the rejoin clone.
+    Rejoin {
+        /// The compensation box's quantifier over the clone.
+        qnew: QuantId,
+    },
+}
+
+/// Per-match translation state.
+pub struct Translation {
+    /// Subsumee quantifier → where its columns land.
+    pub targets: HashMap<QuantId, Target>,
+    /// Subsumer child box → the subsumer's quantifier over it. Used to
+    /// rebase fragment `SubsumerRef` leaves into the subsumer's QNC space.
+    pub sub_map: HashMap<BoxId, QuantId>,
+    /// The compensation box that adopts stray fragment quantifiers
+    /// (rejoins/scalars living inside child fragments).
+    pub cbox: BoxId,
+    /// Fragment-internal quantifier → adopted compensation-box quantifier.
+    pub adopt: HashMap<QuantId, QuantId>,
+    /// The subsumer box of the *current* match. A `SubsumerRef` targeting it
+    /// (rather than one of its children) resolves outputs by inlining the
+    /// subsumer's own output expressions — this happens after a fragment has
+    /// been rebased onto the subsumer (Section 4.2.4's pullup).
+    pub top_subsumer: Option<BoxId>,
+    /// When false, fragment-internal rejoin columns are kept as-is during
+    /// push-down instead of being adopted onto `cbox`. Used on the
+    /// grouping-fragment path, where the fragment's boxes (including its
+    /// rejoins) are reused wholesale rather than re-derived.
+    pub adopt_enabled: bool,
+}
+
+impl Translation {
+    /// Fresh translation state for compensation box `cbox`.
+    pub fn new(cbox: BoxId) -> Translation {
+        Translation {
+            targets: HashMap::new(),
+            sub_map: HashMap::new(),
+            cbox,
+            adopt: HashMap::new(),
+            top_subsumer: None,
+            adopt_enabled: true,
+        }
+    }
+}
+
+/// Translate a subsumee expression (from `side`'s graph) into mixed space.
+/// Returns `None` when some column has no target (e.g. an unmatched,
+/// non-rejoin child) or a fragment push-down fails.
+pub fn translate(ctx: &mut Ctx<'_>, tr: &mut Translation, expr: &ScalarExpr) -> Option<ScalarExpr> {
+    Some(match expr {
+        ScalarExpr::Col(c) => translate_col(ctx, tr, *c)?,
+        ScalarExpr::Agg(a) => {
+            // GROUP BY subsumee output: translate the simple argument, which
+            // may expand to a general expression.
+            let arg = match a.arg {
+                None => None,
+                Some(c) => Some(Box::new(translate_col(ctx, tr, c)?)),
+            };
+            ScalarExpr::GeneralAgg {
+                func: a.func,
+                arg,
+                distinct: a.distinct,
+            }
+        }
+        ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+        ScalarExpr::BaseCol(i) => ScalarExpr::BaseCol(*i),
+        ScalarExpr::Bin(op, l, r) => {
+            ScalarExpr::bin(*op, translate(ctx, tr, l)?, translate(ctx, tr, r)?)
+        }
+        ScalarExpr::Un(op, x) => ScalarExpr::Un(*op, Box::new(translate(ctx, tr, x)?)),
+        ScalarExpr::Func(f, args) => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(translate(ctx, tr, a)?);
+            }
+            ScalarExpr::Func(*f, out)
+        }
+        ScalarExpr::Case {
+            operand,
+            arms,
+            else_expr,
+        } => {
+            let operand = match operand {
+                Some(o) => Some(Box::new(translate(ctx, tr, o)?)),
+                None => None,
+            };
+            let mut out_arms = Vec::with_capacity(arms.len());
+            for (w, t) in arms {
+                out_arms.push((translate(ctx, tr, w)?, translate(ctx, tr, t)?));
+            }
+            let else_expr = match else_expr {
+                Some(e) => Some(Box::new(translate(ctx, tr, e)?)),
+                None => None,
+            };
+            ScalarExpr::Case {
+                operand,
+                arms: out_arms,
+                else_expr,
+            }
+        }
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(translate(ctx, tr, expr)?),
+            negated: *negated,
+        },
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: Box::new(translate(ctx, tr, expr)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        ScalarExpr::GeneralAgg {
+            func,
+            arg,
+            distinct,
+        } => ScalarExpr::GeneralAgg {
+            func: *func,
+            arg: match arg {
+                Some(a) => Some(Box::new(translate(ctx, tr, a)?)),
+                None => None,
+            },
+            distinct: *distinct,
+        },
+    })
+}
+
+fn translate_col(ctx: &mut Ctx<'_>, tr: &mut Translation, c: ColRef) -> Option<ScalarExpr> {
+    match tr.targets.get(&c.qid)? {
+        Target::Exact { qr, colmap } => {
+            let ord = *colmap.get(c.ordinal)?;
+            Some(ScalarExpr::col(*qr, ord))
+        }
+        Target::Rejoin { qnew } => Some(ScalarExpr::col(*qnew, c.ordinal)),
+        Target::Fragment { root } => {
+            let root = *root;
+            push_out(ctx, tr, root, c.ordinal)
+        }
+    }
+}
+
+/// The defining expression of output `ordinal` of compensation box `b`,
+/// pushed down to mixed space.
+pub fn push_out(
+    ctx: &mut Ctx<'_>,
+    tr: &mut Translation,
+    b: BoxId,
+    ordinal: usize,
+) -> Option<ScalarExpr> {
+    let kind = ctx.comp.boxed(b).kind.clone();
+    match kind {
+        BoxKind::SubsumerRef { target, .. } => {
+            if Some(target) == tr.top_subsumer {
+                // A fragment rebased onto the subsumer itself: the output is
+                // the subsumer's own defining expression (already in the
+                // subsumer's QNC space).
+                let oc = &ctx.a.boxed(target).outputs[ordinal];
+                return Some(match &oc.expr {
+                    ScalarExpr::Agg(a) => ScalarExpr::GeneralAgg {
+                        func: a.func,
+                        arg: a.arg.map(|c| Box::new(ScalarExpr::Col(c))),
+                        distinct: a.distinct,
+                    },
+                    other => other.clone(),
+                });
+            }
+            // Mixed space sees the subsumer child's output through the
+            // subsumer's own quantifier.
+            let qr = *tr.sub_map.get(&target)?;
+            Some(ScalarExpr::col(qr, ordinal))
+        }
+        BoxKind::Select(_) => {
+            let expr = ctx.comp.boxed(b).outputs.get(ordinal)?.expr.clone();
+            push_expr(ctx, tr, &expr)
+        }
+        BoxKind::GroupBy(_) => {
+            let expr = ctx.comp.boxed(b).outputs.get(ordinal)?.expr.clone();
+            match expr {
+                ScalarExpr::Col(c) => push_col(ctx, tr, c),
+                ScalarExpr::Agg(a) => {
+                    let arg = match a.arg {
+                        None => None,
+                        Some(c) => Some(Box::new(push_col(ctx, tr, c)?)),
+                    };
+                    Some(ScalarExpr::GeneralAgg {
+                        func: a.func,
+                        arg,
+                        distinct: a.distinct,
+                    })
+                }
+                _ => None,
+            }
+        }
+        BoxKind::BaseTable { .. } => {
+            // A bare base-table leaf in the compensation graph is a rejoin
+            // clone reached directly; treat like a rejoin column.
+            None
+        }
+    }
+}
+
+/// Push a compensation-box expression down to mixed space.
+pub fn push_expr(ctx: &mut Ctx<'_>, tr: &mut Translation, expr: &ScalarExpr) -> Option<ScalarExpr> {
+    Some(match expr {
+        ScalarExpr::Col(c) => push_col(ctx, tr, *c)?,
+        ScalarExpr::Lit(v) => ScalarExpr::Lit(v.clone()),
+        ScalarExpr::BaseCol(i) => ScalarExpr::BaseCol(*i),
+        ScalarExpr::Bin(op, l, r) => {
+            ScalarExpr::bin(*op, push_expr(ctx, tr, l)?, push_expr(ctx, tr, r)?)
+        }
+        ScalarExpr::Un(op, x) => ScalarExpr::Un(*op, Box::new(push_expr(ctx, tr, x)?)),
+        ScalarExpr::Func(f, args) => {
+            let mut out = Vec::with_capacity(args.len());
+            for a in args {
+                out.push(push_expr(ctx, tr, a)?);
+            }
+            ScalarExpr::Func(*f, out)
+        }
+        ScalarExpr::Case {
+            operand,
+            arms,
+            else_expr,
+        } => {
+            let operand = match operand {
+                Some(o) => Some(Box::new(push_expr(ctx, tr, o)?)),
+                None => None,
+            };
+            let mut out_arms = Vec::with_capacity(arms.len());
+            for (w, t) in arms {
+                out_arms.push((push_expr(ctx, tr, w)?, push_expr(ctx, tr, t)?));
+            }
+            let else_expr = match else_expr {
+                Some(e) => Some(Box::new(push_expr(ctx, tr, e)?)),
+                None => None,
+            };
+            ScalarExpr::Case {
+                operand,
+                arms: out_arms,
+                else_expr,
+            }
+        }
+        ScalarExpr::IsNull { expr, negated } => ScalarExpr::IsNull {
+            expr: Box::new(push_expr(ctx, tr, expr)?),
+            negated: *negated,
+        },
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => ScalarExpr::Like {
+            expr: Box::new(push_expr(ctx, tr, expr)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        ScalarExpr::Agg(_) | ScalarExpr::GeneralAgg { .. } => return None,
+    })
+}
+
+/// Push a single compensation-graph column reference down to mixed space.
+fn push_col(ctx: &mut Ctx<'_>, tr: &mut Translation, c: ColRef) -> Option<ScalarExpr> {
+    debug_assert_eq!(c.qid.graph, ctx.comp.id, "push_col expects comp-space refs");
+    let input = ctx.comp.input_of(c.qid);
+    if ctx.reaches_subsumer(input) {
+        push_out(ctx, tr, input, c.ordinal)
+    } else if !tr.adopt_enabled {
+        // Grouping-fragment path: the fragment (and its rejoins) is reused
+        // wholesale, so its column references stay valid as they are.
+        Some(ScalarExpr::Col(c))
+    } else {
+        // A rejoin/scalar clone inside the fragment: adopt its quantifier
+        // onto the compensation box under construction.
+        let qnew = match tr.adopt.get(&c.qid) {
+            Some(&q) => q,
+            None => {
+                let kind = ctx.comp.quant(c.qid).kind;
+                let name = ctx.comp.quant(c.qid).name.clone();
+                let q = ctx.comp.add_quant(tr.cbox, input, kind, name);
+                tr.adopt.insert(c.qid, q);
+                q
+            }
+        };
+        Some(ScalarExpr::col(qnew, c.ordinal))
+    }
+}
+
+/// Register a rejoin child: clone the subsumee subgraph under `child` into
+/// the scratch graph and attach a quantifier on `cbox`.
+pub fn add_rejoin(ctx: &mut Ctx<'_>, tr: &mut Translation, side: Side, qe: QuantId) -> QuantId {
+    let (child, kind, name) = {
+        let g = ctx.egraph(side);
+        let quant = g.quant(qe);
+        (quant.input, quant.kind, quant.name.clone())
+    };
+    let clone_root = match side {
+        Side::Query => {
+            let q = ctx.q;
+            ctx.comp.clone_subgraph(q, child)
+        }
+        Side::Comp => {
+            // Already a comp-graph subgraph (e.g. a rejoin clone being
+            // re-parented); reference it directly.
+            child
+        }
+    };
+    let qnew = ctx.comp.add_quant(tr.cbox, clone_root, kind, name);
+    tr.targets.insert(qe, Target::Rejoin { qnew });
+    qnew
+}
+
+/// Available column for derivation: emit `refer` whenever an expression
+/// equals `defines` (mixed space, normalized).
+#[derive(Debug, Clone)]
+pub struct Avail {
+    /// Reference to emit in compensation space.
+    pub refer: ColRef,
+    /// Mixed-space defining expression (normalized).
+    pub defines: ScalarExpr,
+}
+
+/// The availability list over the subsumer's outputs (as seen through
+/// compensation quantifier `q_sub`) plus any rejoin quantifiers' columns.
+pub fn subsumer_avail(ctx: &Ctx<'_>, r: BoxId, q_sub: QuantId) -> Vec<Avail> {
+    ctx.a
+        .boxed(r)
+        .outputs
+        .iter()
+        .enumerate()
+        .map(|(j, oc)| {
+            let defines = match &oc.expr {
+                ScalarExpr::Agg(a) => ScalarExpr::GeneralAgg {
+                    func: a.func,
+                    arg: a.arg.map(|c| Box::new(ScalarExpr::Col(c))),
+                    distinct: a.distinct,
+                },
+                other => other.clone(),
+            };
+            Avail {
+                refer: ColRef {
+                    qid: q_sub,
+                    ordinal: j,
+                },
+                defines: defines.normalize(),
+            }
+        })
+        .collect()
+}
+
+/// Availability entries for a rejoin quantifier: each column defines itself.
+pub fn rejoin_avail(ctx: &Ctx<'_>, qnew: QuantId) -> Vec<Avail> {
+    let child = ctx.comp.input_of(qnew);
+    (0..ctx.comp.boxed(child).outputs.len())
+        .map(|i| Avail {
+            refer: ColRef {
+                qid: qnew,
+                ordinal: i,
+            },
+            defines: ScalarExpr::col(qnew, i),
+        })
+        .collect()
+}

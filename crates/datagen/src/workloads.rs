@@ -1,0 +1,242 @@
+//! The paper's example workload: every query and AST from the figures, as
+//! SQL over the credit-card schema. Shared by the integration tests, the
+//! benchmarks, and the `paper-experiments` harness.
+
+/// One figure's (query, AST, expectation) triple.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureCase {
+    /// Experiment id from DESIGN.md (e.g. "F2").
+    pub id: &'static str,
+    /// Short description.
+    pub title: &'static str,
+    /// The user query.
+    pub query: &'static str,
+    /// The AST definition.
+    pub ast: &'static str,
+    /// Whether the paper's algorithm finds a match.
+    pub matches: bool,
+}
+
+/// Figure 2: AST1.
+pub const AST1: &str = "select faid, flid, year(date) as year, count(*) as cnt \
+     from trans group by faid, flid, year(date)";
+
+/// Figure 2: Q1.
+pub const Q1: &str = "select faid, state, year(date) as year, count(*) as cnt \
+     from trans, loc where flid = lid and country = 'USA' \
+     group by faid, state, year(date) having count(*) > 2";
+
+/// Figure 5: AST2.
+pub const AST2: &str = "select tid, faid, fpgid, status, country, price, qty, disc, \
+     qty * price as value \
+     from trans, loc, acct where lid = flid and faid = aid and disc > 0.1";
+
+/// Figure 5: Q2.
+pub const Q2: &str = "select aid, status, qty * price * (1 - disc) as amt \
+     from trans, pgroup, acct \
+     where pgid = fpgid and faid = aid and price > 100 and disc > 0.1 and pgname = 'pg1'";
+
+/// Figures 6/7: the monthly-value AST.
+pub const AST6: &str = "select year(date) as year, month(date) as month, \
+     sum(qty * price) as value from trans group by year(date), month(date)";
+
+/// Figure 6: Q4.
+pub const Q4: &str =
+    "select year(date) as year, sum(qty * price) as value from trans group by year(date)";
+
+/// Figure 7: Q6.
+pub const Q6: &str = "select year(date) % 100 as year, sum(qty * price) as value \
+     from trans where month(date) >= 6 group by year(date) % 100";
+
+/// Figure 8: AST7.
+pub const AST7: &str = "select flid, year(date) as year, count(*) as cnt \
+     from trans group by flid, year(date)";
+
+/// Figure 8: Q7.
+pub const Q7: &str = "select lid, year(date) as year, count(*) as cnt \
+     from trans, loc where flid = lid and country = 'USA' group by lid, year(date)";
+
+/// Figure 10: AST8 (monthly count histogram, keyed by year).
+pub const AST8: &str = "select year, tcnt, count(*) as mcnt from \
+     (select year(date) as year, month(date) as month, count(*) as tcnt \
+      from trans group by year(date), month(date)) as m \
+     group by year, tcnt";
+
+/// Figure 10: Q8 (yearly count histogram).
+pub const Q8: &str = "select tcnt, count(*) as ycnt from \
+     (select year(date) as year, count(*) as tcnt from trans group by year(date)) as v \
+     group by tcnt";
+
+/// Figure 11: AST10. The paper's QGM preserves the `cnt` and `totcnt` QNCs
+/// at the AST output; our ASTs export only declared columns, so the
+/// experiment declares them explicitly.
+pub const AST10: &str = "select flid, year(date) as year, count(*) as cnt, \
+     (select count(*) from trans) as totcnt \
+     from trans group by flid, year(date)";
+
+/// Figure 11: Q10.
+pub const Q10: &str = "select flid, count(*) / (select count(*) from trans) as cntpct \
+     from trans, loc where flid = lid and country = 'USA' \
+     group by flid having count(*) > 2";
+
+/// Table 1: AST10 with a HAVING clause, which breaks the match.
+pub const AST10_HAVING: &str = "select flid, year(date) as year, count(*) as cnt \
+     from trans group by flid, year(date) having count(*) > 2";
+
+/// Table 1: the query whose HAVING looks identical but is not equivalent.
+pub const Q_TABLE1: &str =
+    "select flid, count(*) as cnt from trans group by flid having count(*) > 2";
+
+/// Figure 13: AST11 (grouping-sets AST).
+pub const AST11: &str = "select flid, faid, year(date) as year, month(date) as month, \
+     count(*) as cnt from trans group by grouping sets ((flid, year(date)), (flid, faid), \
+     (flid, year(date), month(date)))";
+
+/// Figure 13: Q11.1 (exact cuboid, slicing only).
+pub const Q11_1: &str = "select flid, year(date) as year, count(*) as cnt \
+     from trans where year(date) > 1990 group by flid, year(date)";
+
+/// Figure 13: Q11.2 (regroup from the finer cuboid).
+pub const Q11_2: &str = "select flid, year(date) as year, count(*) as cnt \
+     from trans where month(date) >= 6 group by flid, year(date)";
+
+/// Figure 13: Q11.3 (COUNT DISTINCT — no match).
+pub const Q11_3: &str = "select flid, year(date) as year, month(date) as month, \
+     count(distinct faid) as custcnt from trans group by flid, year(date), month(date)";
+
+/// Figure 14: AST12 (cube AST).
+pub const AST12: &str = "select flid, faid, year(date) as year, month(date) as month, \
+     count(*) as cnt from trans group by grouping sets ((flid, faid, year(date)), \
+     (flid, year(date)), (flid, year(date), month(date)), (year(date)))";
+
+/// Figure 14: Q12.1 (cube query, all cuboids present).
+pub const Q12_1: &str = "select flid, year(date) as year, count(*) as cnt \
+     from trans where year(date) > 1990 \
+     group by grouping sets ((flid, year(date)), (year(date)))";
+
+/// Figure 14: Q12.2 (cube query with a missing cuboid).
+pub const Q12_2: &str = "select flid, year(date) as year, count(*) as cnt \
+     from trans where year(date) > 1990 group by grouping sets ((flid), (year(date)))";
+
+/// The complete figure suite.
+pub const FIGURES: &[FigureCase] = &[
+    FigureCase {
+        id: "F2",
+        title: "Q1/AST1: rollup with rejoin and HAVING",
+        query: Q1,
+        ast: AST1,
+        matches: true,
+    },
+    FigureCase {
+        id: "F5",
+        title: "Q2/AST2: SELECT match, rejoin + lossless extra join",
+        query: Q2,
+        ast: AST2,
+        matches: true,
+    },
+    FigureCase {
+        id: "F6",
+        title: "Q4/AST6: regroup year from month",
+        query: Q4,
+        ast: AST6,
+        matches: true,
+    },
+    FigureCase {
+        id: "F7",
+        title: "Q6/AST6: predicate pullup + grouping expression",
+        query: Q6,
+        ast: AST6,
+        matches: true,
+    },
+    FigureCase {
+        id: "F8",
+        title: "Q7/AST7: 1:N rejoin without regrouping",
+        query: Q7,
+        ast: AST7,
+        matches: true,
+    },
+    FigureCase {
+        id: "F10",
+        title: "Q8/AST8: histogram over histogram (multi-block)",
+        query: Q8,
+        ast: AST8,
+        matches: true,
+    },
+    FigureCase {
+        id: "F11",
+        title: "Q10/AST10: scalar subquery percentage",
+        query: Q10,
+        ast: AST10,
+        matches: true,
+    },
+    FigureCase {
+        id: "T1",
+        title: "Table 1: HAVING predicates compared semantically (no match)",
+        query: Q_TABLE1,
+        ast: AST10_HAVING,
+        matches: false,
+    },
+    FigureCase {
+        id: "F13.1",
+        title: "Q11.1/AST11: exact cuboid with slicing",
+        query: Q11_1,
+        ast: AST11,
+        matches: true,
+    },
+    FigureCase {
+        id: "F13.2",
+        title: "Q11.2/AST11: regroup from finer cuboid",
+        query: Q11_2,
+        ast: AST11,
+        matches: true,
+    },
+    FigureCase {
+        id: "F13.3",
+        title: "Q11.3/AST11: COUNT DISTINCT (no match)",
+        query: Q11_3,
+        ast: AST11,
+        matches: false,
+    },
+    FigureCase {
+        id: "F14.1",
+        title: "Q12.1/AST12: cube query, all cuboids present",
+        query: Q12_1,
+        ast: AST12,
+        matches: true,
+    },
+    FigureCase {
+        id: "F14.2",
+        title: "Q12.2/AST12: cube query, missing cuboid regroups",
+        query: Q12_2,
+        ast: AST12,
+        matches: true,
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+
+    #[test]
+    fn all_workload_sql_parses_and_builds() {
+        let cat = Catalog::credit_card_sample();
+        for case in FIGURES {
+            for (what, sql) in [("query", case.query), ("ast", case.ast)] {
+                let q = parse_query(sql).unwrap_or_else(|e| panic!("{} {}: {e}", case.id, what));
+                sumtab_qgm::build_query(&q, &cat)
+                    .unwrap_or_else(|e| panic!("{} {}: {e}", case.id, what));
+            }
+        }
+    }
+
+    #[test]
+    fn figure_ids_are_unique() {
+        let mut ids: Vec<_> = FIGURES.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n);
+    }
+}

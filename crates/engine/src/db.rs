@@ -1,0 +1,184 @@
+//! In-memory table storage.
+
+use std::collections::HashMap;
+use sumtab_catalog::{Catalog, CatalogError, SqlType, Value};
+
+/// A row of values.
+pub type Row = Vec<Value>;
+
+/// In-memory storage: table name → rows. Schemas live in the
+/// [`Catalog`]; the database holds only data.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: HashMap<String, Vec<Row>>,
+}
+
+/// Errors raised while loading data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// The table is not declared in the catalog.
+    UnknownTable(String),
+    /// A row's arity or a value's type does not match the schema.
+    SchemaMismatch(String),
+    /// Underlying catalog error.
+    Catalog(CatalogError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            DbError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            DbError::Catalog(e) => write!(f, "catalog error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Insert rows after validating them against the catalog schema.
+    /// Integer values are widened to doubles where the schema requires it.
+    pub fn insert(
+        &mut self,
+        catalog: &Catalog,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<usize, DbError> {
+        let t = catalog
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?;
+        let mut validated = Vec::with_capacity(rows.len());
+        for (ri, mut row) in rows.into_iter().enumerate() {
+            if row.len() != t.columns.len() {
+                return Err(DbError::SchemaMismatch(format!(
+                    "row {ri}: expected {} values, got {}",
+                    t.columns.len(),
+                    row.len()
+                )));
+            }
+            for (ci, v) in row.iter_mut().enumerate() {
+                let col = &t.columns[ci];
+                match (v.sql_type(), col.ty) {
+                    (None, _) => {
+                        if !col.nullable {
+                            return Err(DbError::SchemaMismatch(format!(
+                                "row {ri}: NULL in non-nullable column `{}`",
+                                col.name
+                            )));
+                        }
+                    }
+                    (Some(SqlType::Int), SqlType::Double) => {
+                        *v = Value::Double(v.as_f64().unwrap());
+                    }
+                    (Some(actual), expected) if actual == expected => {}
+                    (Some(actual), expected) => {
+                        return Err(DbError::SchemaMismatch(format!(
+                            "row {ri}, column `{}`: expected {expected}, got {actual}",
+                            col.name
+                        )));
+                    }
+                }
+            }
+            validated.push(row);
+        }
+        let n = validated.len();
+        self.tables
+            .entry(t.name.clone())
+            .or_default()
+            .extend(validated);
+        Ok(n)
+    }
+
+    /// Replace a table's rows wholesale (no validation; caller guarantees
+    /// schema conformance — used by the materializer and generators).
+    pub fn put_table(&mut self, table: &str, rows: Vec<Row>) {
+        self.tables.insert(table.to_ascii_lowercase(), rows);
+    }
+
+    /// The rows of a table; empty slice when absent.
+    pub fn rows(&self, table: &str) -> &[Row] {
+        self.tables
+            .get(&table.to_ascii_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Row count of a table.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.rows(table).len()
+    }
+
+    /// Drop a table's data.
+    pub fn drop_table(&mut self, table: &str) {
+        self.tables.remove(&table.to_ascii_lowercase());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sumtab_catalog::Date;
+
+    fn cat() -> Catalog {
+        Catalog::credit_card_sample()
+    }
+
+    #[test]
+    fn insert_validates_arity_and_types() {
+        let mut db = Database::new();
+        let c = cat();
+        let row = vec![
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(20),
+            Value::Int(30),
+            Value::Date(Date::parse("1995-06-01").unwrap()),
+            Value::Int(2),
+            Value::Int(100), // Int widened to Double for `price`
+            Value::Double(0.1),
+        ];
+        assert_eq!(db.insert(&c, "trans", vec![row]).unwrap(), 1);
+        assert_eq!(db.row_count("trans"), 1);
+        assert_eq!(db.rows("TRANS")[0][6], Value::Double(100.0));
+
+        // Arity error.
+        assert!(matches!(
+            db.insert(&c, "trans", vec![vec![Value::Int(1)]]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        // Type error.
+        let mut bad = db.rows("trans")[0].clone();
+        bad[0] = Value::Str("oops".into());
+        assert!(matches!(
+            db.insert(&c, "trans", vec![bad]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        // NULL in non-nullable column.
+        let mut nullrow = db.rows("trans")[0].clone();
+        nullrow[0] = Value::Null;
+        assert!(matches!(
+            db.insert(&c, "trans", vec![nullrow]),
+            Err(DbError::SchemaMismatch(_))
+        ));
+        // Unknown table.
+        assert!(matches!(
+            db.insert(&c, "nope", vec![]),
+            Err(DbError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn put_and_drop() {
+        let mut db = Database::new();
+        db.put_table("X", vec![vec![Value::Int(1)]]);
+        assert_eq!(db.row_count("x"), 1);
+        db.drop_table("x");
+        assert_eq!(db.row_count("x"), 0);
+    }
+}

@@ -1,0 +1,441 @@
+//! Scalar expression evaluation with SQL NULL semantics.
+//!
+//! Comparisons and arithmetic over NULL yield NULL; `AND`/`OR` follow
+//! three-valued logic; a predicate holds only when it evaluates to `TRUE`.
+//! Integer division truncates (DB2 semantics); a zero divisor yields NULL
+//! (the engine is total — it never aborts a query mid-flight).
+
+use sumtab_catalog::Value;
+use sumtab_qgm::{BinOp, ColRef, ScalarExpr, ScalarFunc, UnOp};
+
+/// Evaluation errors (kept for API completeness; evaluation is total except
+/// for structural misuse).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "evaluation error: {}", self.message)
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// The evaluation environment: resolves a [`ColRef`] to a value. The
+/// executor implements it over its current partial join tuple plus the
+/// pre-computed scalar-subquery values.
+pub trait Env {
+    /// The current value of the referenced column.
+    fn col(&self, c: ColRef) -> Value;
+}
+
+impl<F: Fn(ColRef) -> Value> Env for F {
+    fn col(&self, c: ColRef) -> Value {
+        self(c)
+    }
+}
+
+/// Evaluate an expression. Aggregate nodes must not appear (the executor
+/// evaluates them via accumulators); hitting one is a programming error.
+pub fn eval_expr(e: &ScalarExpr, env: &dyn Env) -> Value {
+    match e {
+        ScalarExpr::BaseCol(_) => {
+            unreachable!("BaseCol evaluated outside a base-table box")
+        }
+        ScalarExpr::Col(c) => env.col(*c),
+        ScalarExpr::Lit(v) => v.clone(),
+        ScalarExpr::Bin(op, l, r) => {
+            let lv = eval_expr(l, env);
+            // Short-circuit three-valued AND/OR.
+            match op {
+                BinOp::And => {
+                    let lt = truth(&lv);
+                    if lt == Some(false) {
+                        return Value::Bool(false);
+                    }
+                    let rv = eval_expr(r, env);
+                    return and3(lt, truth(&rv));
+                }
+                BinOp::Or => {
+                    let lt = truth(&lv);
+                    if lt == Some(true) {
+                        return Value::Bool(true);
+                    }
+                    let rv = eval_expr(r, env);
+                    return or3(lt, truth(&rv));
+                }
+                _ => {}
+            }
+            let rv = eval_expr(r, env);
+            eval_binary(*op, &lv, &rv)
+        }
+        ScalarExpr::Un(UnOp::Neg, x) => match eval_expr(x, env) {
+            Value::Int(i) => Value::Int(i.wrapping_neg()),
+            Value::Double(d) => Value::Double(-d),
+            _ => Value::Null,
+        },
+        ScalarExpr::Un(UnOp::Not, x) => match truth(&eval_expr(x, env)) {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        },
+        ScalarExpr::Func(f, args) => {
+            let a = eval_expr(&args[0], env);
+            eval_func(*f, &a)
+        }
+        ScalarExpr::Case {
+            operand,
+            arms,
+            else_expr,
+        } => {
+            let opv = operand.as_ref().map(|o| eval_expr(o, env));
+            for (w, t) in arms {
+                let hit = match &opv {
+                    Some(val) => {
+                        let wv = eval_expr(w, env);
+                        // Simple CASE compares with `=` semantics: NULL
+                        // matches nothing.
+                        !val.is_null()
+                            && !wv.is_null()
+                            && truth(&eval_binary(BinOp::Eq, val, &wv)) == Some(true)
+                    }
+                    None => truth(&eval_expr(w, env)) == Some(true),
+                };
+                if hit {
+                    return eval_expr(t, env);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_expr(e, env),
+                None => Value::Null,
+            }
+        }
+        ScalarExpr::IsNull { expr, negated } => {
+            let v = eval_expr(expr, env);
+            Value::Bool(v.is_null() != *negated)
+        }
+        ScalarExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => match eval_expr(expr, env) {
+            Value::Str(s) => Value::Bool(like_match(&s, pattern) != *negated),
+            Value::Null => Value::Null,
+            _ => Value::Null,
+        },
+        ScalarExpr::Agg(_) | ScalarExpr::GeneralAgg { .. } => {
+            unreachable!("aggregate evaluated as scalar")
+        }
+    }
+}
+
+/// SQL truth value of a scalar: `Some(bool)` or `None` for NULL/unknown.
+pub fn truth(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        Value::Null => None,
+        // Non-boolean values in predicate position are treated as unknown.
+        _ => None,
+    }
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Value {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+        (Some(true), Some(true)) => Value::Bool(true),
+        _ => Value::Null,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Value {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+        (Some(false), Some(false)) => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+/// Evaluate a non-logical binary operator with NULL propagation.
+pub fn eval_binary(op: BinOp, l: &Value, r: &Value) -> Value {
+    if l.is_null() || r.is_null() {
+        return Value::Null;
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => arith(op, l, r),
+        BinOp::Eq => Value::Bool(cmp_eq(l, r)),
+        BinOp::NotEq => Value::Bool(!cmp_eq(l, r)),
+        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let ord = match cmp_order(l, r) {
+                Some(o) => o,
+                None => return Value::Null,
+            };
+            let b = match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::LtEq => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                BinOp::GtEq => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Value::Bool(b)
+        }
+        BinOp::And | BinOp::Or => unreachable!("handled by eval_expr"),
+    }
+}
+
+/// Value equality for predicate evaluation (both sides non-NULL).
+fn cmp_eq(l: &Value, r: &Value) -> bool {
+    match (l, r) {
+        (Value::Int(a), Value::Double(b)) | (Value::Double(b), Value::Int(a)) => (*a as f64) == *b,
+        _ => l == r,
+    }
+}
+
+/// Ordering for comparison predicates; `None` for incomparable types.
+fn cmp_order(l: &Value, r: &Value) -> Option<std::cmp::Ordering> {
+    use Value::*;
+    match (l, r) {
+        (Int(a), Int(b)) => Some(a.cmp(b)),
+        (Int(a), Double(b)) => (*a as f64).partial_cmp(b),
+        (Double(a), Int(b)) => a.partial_cmp(&(*b as f64)),
+        (Double(a), Double(b)) => a.partial_cmp(b),
+        (Str(a), Str(b)) => Some(a.cmp(b)),
+        (Date(a), Date(b)) => Some(a.cmp(b)),
+        (Bool(a), Bool(b)) => Some(a.cmp(b)),
+        _ => None,
+    }
+}
+
+fn arith(op: BinOp, l: &Value, r: &Value) -> Value {
+    match (l, r) {
+        (Value::Int(a), Value::Int(b)) => match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.wrapping_div(*b))
+                }
+            }
+            BinOp::Mod => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a.wrapping_rem(*b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => {
+            let (a, b) = match (l.as_f64(), r.as_f64()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Value::Null,
+            };
+            match op {
+                BinOp::Add => Value::Double(a + b),
+                BinOp::Sub => Value::Double(a - b),
+                BinOp::Mul => Value::Double(a * b),
+                BinOp::Div => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Double(a / b)
+                    }
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        Value::Null
+                    } else {
+                        Value::Double(a % b)
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn eval_func(f: ScalarFunc, a: &Value) -> Value {
+    if a.is_null() {
+        return Value::Null;
+    }
+    match (f, a) {
+        (ScalarFunc::Year, Value::Date(d)) => Value::Int(i64::from(d.year())),
+        (ScalarFunc::Month, Value::Date(d)) => Value::Int(i64::from(d.month())),
+        (ScalarFunc::Day, Value::Date(d)) => Value::Int(i64::from(d.day())),
+        (ScalarFunc::Abs, Value::Int(i)) => Value::Int(i.wrapping_abs()),
+        (ScalarFunc::Abs, Value::Double(d)) => Value::Double(d.abs()),
+        (ScalarFunc::Upper, Value::Str(s)) => Value::Str(s.to_uppercase()),
+        (ScalarFunc::Lower, Value::Str(s)) => Value::Str(s.to_lowercase()),
+        _ => Value::Null,
+    }
+}
+
+/// SQL `LIKE` with `%` (any sequence) and `_` (any single character).
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        match p.first() {
+            None => s.is_empty(),
+            Some('%') => {
+                // Greedy backtracking over the remaining suffixes.
+                (0..=s.len()).any(|i| rec(&s[i..], &p[1..]))
+            }
+            Some('_') => !s.is_empty() && rec(&s[1..], &p[1..]),
+            Some(c) => s.first() == Some(c) && rec(&s[1..], &p[1..]),
+        }
+    }
+    let sc: Vec<char> = s.chars().collect();
+    let pc: Vec<char> = pattern.chars().collect();
+    rec(&sc, &pc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sumtab_qgm::ScalarExpr as E;
+
+    struct NoEnv;
+    impl Env for NoEnv {
+        fn col(&self, _: ColRef) -> Value {
+            Value::Null
+        }
+    }
+
+    fn lit(v: impl Into<Value>) -> E {
+        E::Lit(v.into())
+    }
+
+    fn ev(e: &E) -> Value {
+        eval_expr(e, &NoEnv)
+    }
+
+    #[test]
+    fn arithmetic_and_widening() {
+        assert_eq!(ev(&E::bin(BinOp::Add, lit(1i64), lit(2i64))), Value::Int(3));
+        assert_eq!(
+            ev(&E::bin(BinOp::Mul, lit(2i64), lit(1.5f64))),
+            Value::Double(3.0)
+        );
+        assert_eq!(ev(&E::bin(BinOp::Div, lit(7i64), lit(2i64))), Value::Int(3));
+        assert_eq!(ev(&E::bin(BinOp::Div, lit(7i64), lit(0i64))), Value::Null);
+        assert_eq!(ev(&E::bin(BinOp::Mod, lit(7i64), lit(3i64))), Value::Int(1));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(
+            ev(&E::bin(BinOp::Add, lit(1i64), E::Lit(Value::Null))),
+            Value::Null
+        );
+        assert_eq!(
+            ev(&E::bin(BinOp::Eq, E::Lit(Value::Null), E::Lit(Value::Null))),
+            Value::Null,
+            "NULL = NULL is unknown in predicates"
+        );
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let t = lit(true);
+        let f = lit(false);
+        let n = E::Lit(Value::Null);
+        assert_eq!(
+            ev(&E::bin(BinOp::And, f.clone(), n.clone())),
+            Value::Bool(false)
+        );
+        assert_eq!(ev(&E::bin(BinOp::And, t.clone(), n.clone())), Value::Null);
+        assert_eq!(
+            ev(&E::bin(BinOp::Or, t.clone(), n.clone())),
+            Value::Bool(true)
+        );
+        assert_eq!(ev(&E::bin(BinOp::Or, f.clone(), n.clone())), Value::Null);
+        assert_eq!(ev(&E::Un(UnOp::Not, Box::new(n))), Value::Null);
+        assert_eq!(ev(&E::Un(UnOp::Not, Box::new(t))), Value::Bool(false));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            ev(&E::bin(BinOp::Lt, lit("apple"), lit("banana"))),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            ev(&E::bin(BinOp::GtEq, lit(2i64), lit(2.0f64))),
+            Value::Bool(true)
+        );
+        // Incomparable types → NULL.
+        assert_eq!(ev(&E::bin(BinOp::Lt, lit(1i64), lit("x"))), Value::Null);
+    }
+
+    #[test]
+    fn date_functions() {
+        use sumtab_catalog::Date;
+        let d = E::Lit(Value::Date(Date::parse("1997-06-09").unwrap()));
+        assert_eq!(
+            ev(&E::Func(ScalarFunc::Year, vec![d.clone()])),
+            Value::Int(1997)
+        );
+        assert_eq!(
+            ev(&E::Func(ScalarFunc::Month, vec![d.clone()])),
+            Value::Int(6)
+        );
+        assert_eq!(ev(&E::Func(ScalarFunc::Day, vec![d])), Value::Int(9));
+        assert_eq!(
+            ev(&E::Func(ScalarFunc::Year, vec![E::Lit(Value::Null)])),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn case_expressions() {
+        // Searched case.
+        let e = E::Case {
+            operand: None,
+            arms: vec![(lit(false), lit(1i64)), (lit(true), lit(2i64))],
+            else_expr: Some(Box::new(lit(3i64))),
+        };
+        assert_eq!(ev(&e), Value::Int(2));
+        // Simple case with NULL operand matches nothing.
+        let e = E::Case {
+            operand: Some(Box::new(E::Lit(Value::Null))),
+            arms: vec![(E::Lit(Value::Null), lit(1i64))],
+            else_expr: None,
+        };
+        assert_eq!(ev(&e), Value::Null);
+    }
+
+    #[test]
+    fn is_null_and_like() {
+        let e = E::IsNull {
+            expr: Box::new(E::Lit(Value::Null)),
+            negated: false,
+        };
+        assert_eq!(ev(&e), Value::Bool(true));
+        assert!(like_match("television", "tele%"));
+        assert!(like_match("tv", "_v"));
+        assert!(!like_match("tv", "_x"));
+        assert!(like_match("abc", "%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("a%b", "a%b"));
+    }
+
+    #[test]
+    fn upper_lower_abs() {
+        assert_eq!(
+            ev(&E::Func(ScalarFunc::Upper, vec![lit("Tv")])),
+            Value::from("TV")
+        );
+        assert_eq!(
+            ev(&E::Func(ScalarFunc::Lower, vec![lit("Tv")])),
+            Value::from("tv")
+        );
+        assert_eq!(
+            ev(&E::Func(ScalarFunc::Abs, vec![lit(-5i64)])),
+            Value::Int(5)
+        );
+    }
+}

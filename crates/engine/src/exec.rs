@@ -1,0 +1,952 @@
+//! The QGM executor.
+
+use crate::db::{Database, Row};
+use crate::eval::{eval_expr, truth, Env};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
+use sumtab_catalog::fx::FxHashMap;
+use sumtab_catalog::Value;
+use sumtab_qgm::{
+    AggCall, AggFunc, BinOp, BoxId, BoxKind, ColRef, QgmGraph, QuantId, QuantKind, ScalarExpr,
+};
+
+/// Execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A scalar subquery produced more than one row.
+    ScalarSubqueryCardinality(usize),
+    /// Tried to execute a matcher-internal graph.
+    SubsumerRefInGraph,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::ScalarSubqueryCardinality(n) => {
+                write!(f, "scalar subquery returned {n} rows")
+            }
+            ExecError::SubsumerRefInGraph => {
+                write!(f, "graph contains a matcher-internal SubsumerRef box")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Execute a QGM graph against a database; returns the root box's rows,
+/// with root ORDER BY / LIMIT applied.
+pub fn execute(g: &QgmGraph, db: &Database) -> Result<Vec<Row>, ExecError> {
+    let mut memo: HashMap<BoxId, Rc<Vec<Row>>> = HashMap::new();
+    let rows = exec_box(g, g.root, db, &mut memo)?;
+    let mut rows = Rc::try_unwrap(rows).unwrap_or_else(|rc| (*rc).clone());
+    if !g.order.keys.is_empty() {
+        rows.sort_by(|a, b| {
+            for &(ord, desc) in &g.order.keys {
+                let c = a[ord].cmp(&b[ord]);
+                let c = if desc { c.reverse() } else { c };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+    if let Some(n) = g.order.limit {
+        rows.truncate(n as usize);
+    }
+    Ok(rows)
+}
+
+fn exec_box(
+    g: &QgmGraph,
+    b: BoxId,
+    db: &Database,
+    memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
+) -> Result<Rc<Vec<Row>>, ExecError> {
+    if let Some(r) = memo.get(&b) {
+        return Ok(Rc::clone(r));
+    }
+    let rows = match &g.boxed(b).kind {
+        BoxKind::BaseTable { table } => Rc::new(db.rows(table).to_vec()),
+        BoxKind::SubsumerRef { .. } => return Err(ExecError::SubsumerRefInGraph),
+        BoxKind::Select(_) => Rc::new(exec_select(g, b, db, memo)?),
+        BoxKind::GroupBy(_) => Rc::new(exec_group_by(g, b, db, memo)?),
+    };
+    memo.insert(b, Rc::clone(&rows));
+    Ok(rows)
+}
+
+/// The environment for evaluating expressions of a SELECT box mid-join:
+/// bound quantifiers are offsets into a concatenated tuple; scalar
+/// quantifiers resolve to pre-computed constants.
+struct SelectEnv<'a> {
+    offsets: &'a FxHashMap<u32, usize>,
+    scalars: &'a FxHashMap<u32, Value>,
+    tuple: &'a [Value],
+}
+
+impl Env for SelectEnv<'_> {
+    fn col(&self, c: ColRef) -> Value {
+        if let Some(v) = self.scalars.get(&c.qid.idx) {
+            debug_assert_eq!(c.ordinal, 0);
+            return v.clone();
+        }
+        let off = self.offsets[&c.qid.idx];
+        self.tuple[off + c.ordinal].clone()
+    }
+}
+
+fn exec_select(
+    g: &QgmGraph,
+    b: BoxId,
+    db: &Database,
+    memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
+) -> Result<Vec<Row>, ExecError> {
+    let bx = g.boxed(b);
+    let sel = bx.as_select().expect("select box");
+
+    // 1. Pre-compute scalar subquery values.
+    let mut scalars: FxHashMap<u32, Value> = FxHashMap::default();
+    let mut foreach: Vec<QuantId> = Vec::new();
+    for &q in &bx.quants {
+        match g.quant(q).kind {
+            QuantKind::Scalar => {
+                let rows = exec_box(g, g.input_of(q), db, memo)?;
+                let v = match rows.len() {
+                    0 => Value::Null,
+                    1 => rows[0][0].clone(),
+                    n => return Err(ExecError::ScalarSubqueryCardinality(n)),
+                };
+                scalars.insert(q.idx, v);
+            }
+            QuantKind::Foreach => foreach.push(q),
+        }
+    }
+
+    // 2. Classify predicates by the foreach quantifiers they reference.
+    let quant_set: HashSet<u32> = foreach.iter().map(|q| q.idx).collect();
+    let pred_refs: Vec<HashSet<u32>> = sel
+        .predicates
+        .iter()
+        .map(|p| {
+            p.col_refs()
+                .into_iter()
+                .map(|c| c.qid.idx)
+                .filter(|i| quant_set.contains(i))
+                .collect()
+        })
+        .collect();
+    let mut pred_done = vec![false; sel.predicates.len()];
+
+    // Constant predicates (no foreach references): evaluate once.
+    {
+        let offsets = FxHashMap::default();
+        let env = SelectEnv {
+            offsets: &offsets,
+            scalars: &scalars,
+            tuple: &[],
+        };
+        for (i, p) in sel.predicates.iter().enumerate() {
+            if pred_refs[i].is_empty() {
+                pred_done[i] = true;
+                if truth(&eval_expr(p, &env)) != Some(true) {
+                    return Ok(Vec::new());
+                }
+            }
+        }
+    }
+
+    // 3. Left-deep join. `offsets` maps bound quantifier → start offset in
+    // the concatenated tuple.
+    let mut offsets: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut tuples: Vec<Row> = vec![Vec::new()];
+    let mut width = 0usize;
+    let mut remaining: Vec<QuantId> = foreach;
+
+    while !remaining.is_empty() {
+        // Pick the next quantifier: prefer one linked to the bound set by an
+        // equi-join conjunct; fall back to the first remaining.
+        let pick = remaining
+            .iter()
+            .position(|q| {
+                !offsets.is_empty()
+                    && sel.predicates.iter().enumerate().any(|(i, p)| {
+                        !pred_done[i] && is_equi_join(p, &offsets, q.idx, &pred_refs[i])
+                    })
+            })
+            .unwrap_or(0);
+        let q = remaining.remove(pick);
+        let child_rows = exec_box(g, g.input_of(q), db, memo)?;
+        let child_width = g.boxed(g.input_of(q)).outputs.len();
+
+        // Prefilter rows with single-quantifier predicates.
+        let mut single_idx = Vec::new();
+        for (i, refs) in pred_refs.iter().enumerate() {
+            if !pred_done[i] && refs.len() == 1 && refs.contains(&q.idx) {
+                pred_done[i] = true;
+                single_idx.push(i);
+            }
+        }
+        let single: Vec<&ScalarExpr> = single_idx.iter().map(|&i| &sel.predicates[i]).collect();
+        let mut local_off = FxHashMap::default();
+        local_off.insert(q.idx, 0usize);
+        let filtered: Vec<&Row> = child_rows
+            .iter()
+            .filter(|row| {
+                single.iter().all(|p| {
+                    let env = SelectEnv {
+                        offsets: &local_off,
+                        scalars: &scalars,
+                        tuple: row,
+                    };
+                    truth(&eval_expr(p, &env)) == Some(true)
+                })
+            })
+            .collect();
+
+        // Equi-join conjuncts usable for hashing.
+        let mut hash_preds: Vec<(ScalarExpr, ScalarExpr)> = Vec::new(); // (bound side, q side)
+        for (i, p) in sel.predicates.iter().enumerate() {
+            if pred_done[i] {
+                continue;
+            }
+            if let Some((bound_side, q_side)) = split_equi_join(p, &offsets, q.idx, &pred_refs[i]) {
+                hash_preds.push((bound_side, q_side));
+                pred_done[i] = true;
+            }
+        }
+
+        let mut next: Vec<Row> = Vec::new();
+        if !hash_preds.is_empty() && !offsets.is_empty() {
+            // Hash join: build on the (filtered) child rows.
+            let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+            'rows: for row in &filtered {
+                let env = SelectEnv {
+                    offsets: &local_off,
+                    scalars: &scalars,
+                    tuple: row,
+                };
+                let mut key = Vec::with_capacity(hash_preds.len());
+                for (_, qs) in &hash_preds {
+                    let v = eval_expr(qs, &env);
+                    if v.is_null() {
+                        continue 'rows; // NULL never joins
+                    }
+                    key.push(v);
+                }
+                table.entry(key).or_default().push(row);
+            }
+            for t in &tuples {
+                let env = SelectEnv {
+                    offsets: &offsets,
+                    scalars: &scalars,
+                    tuple: t,
+                };
+                let mut key = Vec::with_capacity(hash_preds.len());
+                let mut null_key = false;
+                for (bs, _) in &hash_preds {
+                    let v = eval_expr(bs, &env);
+                    if v.is_null() {
+                        null_key = true;
+                        break;
+                    }
+                    key.push(v);
+                }
+                if null_key {
+                    continue;
+                }
+                if let Some(matches) = table.get(&key) {
+                    for m in matches {
+                        let mut nt = Vec::with_capacity(width + child_width);
+                        nt.extend_from_slice(t);
+                        nt.extend_from_slice(m);
+                        next.push(nt);
+                    }
+                }
+            }
+        } else {
+            // Cross product (with any remaining predicates applied below).
+            for t in &tuples {
+                for m in &filtered {
+                    let mut nt = Vec::with_capacity(width + child_width);
+                    nt.extend_from_slice(t);
+                    nt.extend_from_slice(m);
+                    next.push(nt);
+                }
+            }
+        }
+        offsets.insert(q.idx, width);
+        width += child_width;
+        tuples = next;
+
+        // Apply any other predicate now fully bound.
+        let bound: HashSet<u32> = offsets.keys().copied().collect();
+        for (i, p) in sel.predicates.iter().enumerate() {
+            if pred_done[i] || !pred_refs[i].is_subset(&bound) {
+                continue;
+            }
+            pred_done[i] = true;
+            tuples.retain(|t| {
+                let env = SelectEnv {
+                    offsets: &offsets,
+                    scalars: &scalars,
+                    tuple: t,
+                };
+                truth(&eval_expr(p, &env)) == Some(true)
+            });
+        }
+    }
+    debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
+
+    // 4. Project the outputs.
+    let out = tuples
+        .iter()
+        .map(|t| {
+            let env = SelectEnv {
+                offsets: &offsets,
+                scalars: &scalars,
+                tuple: t,
+            };
+            bx.outputs
+                .iter()
+                .map(|oc| eval_expr(&oc.expr, &env))
+                .collect()
+        })
+        .collect();
+    Ok(out)
+}
+
+/// Is `p` an equality conjunct linking the bound set to quantifier `q`?
+fn is_equi_join(
+    p: &ScalarExpr,
+    offsets: &FxHashMap<u32, usize>,
+    q: u32,
+    refs: &HashSet<u32>,
+) -> bool {
+    if !refs.contains(&q) {
+        return false;
+    }
+    let bound_ok = refs.iter().all(|r| *r == q || offsets.contains_key(r));
+    bound_ok && refs.len() >= 2 && matches!(p, ScalarExpr::Bin(BinOp::Eq, _, _))
+}
+
+/// Split an equality conjunct into (bound-side, q-side) expressions if one
+/// side references only bound quantifiers and the other only `q`.
+fn split_equi_join(
+    p: &ScalarExpr,
+    offsets: &FxHashMap<u32, usize>,
+    q: u32,
+    refs: &HashSet<u32>,
+) -> Option<(ScalarExpr, ScalarExpr)> {
+    if !refs.contains(&q) || refs.len() < 2 {
+        return None;
+    }
+    if !refs.iter().all(|r| *r == q || offsets.contains_key(r)) {
+        return None;
+    }
+    let ScalarExpr::Bin(BinOp::Eq, l, r) = p else {
+        return None;
+    };
+    let side_refs = |e: &ScalarExpr| -> (bool, bool) {
+        let mut has_q = false;
+        let mut has_bound = false;
+        for c in e.col_refs() {
+            if c.qid.idx == q {
+                has_q = true;
+            } else if offsets.contains_key(&c.qid.idx) {
+                has_bound = true;
+            }
+        }
+        (has_q, has_bound)
+    };
+    let (lq, lb) = side_refs(l);
+    let (rq, rb) = side_refs(r);
+    match ((lq, lb), (rq, rb)) {
+        ((false, true), (true, false)) => Some(((**l).clone(), (**r).clone())),
+        ((true, false), (false, true)) => Some(((**r).clone(), (**l).clone())),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+/// A running aggregate accumulator.
+enum Acc {
+    CountStar(i64),
+    Count(i64),
+    Sum {
+        int: i64,
+        fl: f64,
+        any_float: bool,
+        seen: bool,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Distinct(HashSet<Value>, AggFunc),
+}
+
+impl Acc {
+    fn new(call: &AggCall) -> Acc {
+        if call.distinct {
+            return Acc::Distinct(HashSet::new(), call.func);
+        }
+        match call.func {
+            AggFunc::Count if call.arg.is_none() => Acc::CountStar(0),
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum {
+                int: 0,
+                fl: 0.0,
+                any_float: false,
+                seen: false,
+            },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => unreachable!("AVG is normalized during QGM build"),
+        }
+    }
+
+    fn update(&mut self, arg: Option<&Value>) {
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            Acc::Count(n) => {
+                if arg.is_some_and(|v| !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            Acc::Sum {
+                int,
+                fl,
+                any_float,
+                seen,
+            } => match arg {
+                Some(Value::Int(i)) => {
+                    *int = int.wrapping_add(*i);
+                    *fl += *i as f64;
+                    *seen = true;
+                }
+                Some(Value::Double(d)) => {
+                    *fl += d;
+                    *any_float = true;
+                    *seen = true;
+                }
+                _ => {}
+            },
+            Acc::Min(cur) => {
+                if let Some(v) = arg {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(v) = arg {
+                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
+                        *cur = Some(v.clone());
+                    }
+                }
+            }
+            Acc::Distinct(set, _) => {
+                if let Some(v) = arg {
+                    if !v.is_null() {
+                        set.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::CountStar(n) | Acc::Count(n) => Value::Int(n),
+            Acc::Sum {
+                int,
+                fl,
+                any_float,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if any_float {
+                    Value::Double(fl)
+                } else {
+                    Value::Int(int)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Distinct(set, func) => match func {
+                AggFunc::Count => Value::Int(set.len() as i64),
+                AggFunc::Sum => {
+                    let mut acc = Acc::Sum {
+                        int: 0,
+                        fl: 0.0,
+                        any_float: false,
+                        seen: false,
+                    };
+                    for v in &set {
+                        acc.update(Some(v));
+                    }
+                    acc.finish()
+                }
+                AggFunc::Min => set.iter().min().cloned().unwrap_or(Value::Null),
+                AggFunc::Max => set.iter().max().cloned().unwrap_or(Value::Null),
+                AggFunc::Avg => unreachable!("AVG is normalized during QGM build"),
+            },
+        }
+    }
+}
+
+fn exec_group_by(
+    g: &QgmGraph,
+    b: BoxId,
+    db: &Database,
+    memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
+) -> Result<Vec<Row>, ExecError> {
+    let bx = g.boxed(b);
+    let gb = bx.as_group_by().expect("group-by box");
+    let child_q = bx.quants[0];
+    let input = exec_box(g, g.input_of(child_q), db, memo)?;
+
+    let item_ords: Vec<usize> = gb.items.iter().map(|c| c.ordinal).collect();
+    // Outputs reference grouping items or carry aggregates, in any order.
+    enum OutPlan {
+        Item(usize),
+        Agg(usize),
+    }
+    let mut agg_calls: Vec<AggCall> = Vec::new();
+    let out_plan: Vec<OutPlan> = bx
+        .outputs
+        .iter()
+        .map(|oc| match &oc.expr {
+            ScalarExpr::Col(c) => {
+                let i = gb
+                    .items
+                    .iter()
+                    .position(|it| it == c)
+                    .expect("group-by output must reference a grouping item");
+                OutPlan::Item(i)
+            }
+            ScalarExpr::Agg(a) => {
+                agg_calls.push(*a);
+                OutPlan::Agg(agg_calls.len() - 1)
+            }
+            other => unreachable!("group-by output must be item or aggregate, got {other:?}"),
+        })
+        .collect();
+
+    let mut out: Vec<Row> = Vec::new();
+    // One aggregation pass per cuboid (Section 5: a cube query is the union
+    // of its cuboids, NULL-padding the grouped-out columns).
+    for set in &gb.sets {
+        let mut groups: FxHashMap<Vec<Value>, Vec<Acc>> = FxHashMap::default();
+        for row in input.iter() {
+            let key: Vec<Value> = set.iter().map(|&i| row[item_ords[i]].clone()).collect();
+            let accs = groups
+                .entry(key)
+                .or_insert_with(|| agg_calls.iter().map(Acc::new).collect());
+            for (acc, call) in accs.iter_mut().zip(&agg_calls) {
+                let arg = call.arg.map(|c| &row[c.ordinal]);
+                acc.update(arg);
+            }
+        }
+        // Aggregation over an empty input still produces one grand-total row.
+        if groups.is_empty() && set.is_empty() {
+            groups.insert(Vec::new(), agg_calls.iter().map(Acc::new).collect());
+        }
+        for (key, accs) in groups {
+            let finished: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
+            let row = out_plan
+                .iter()
+                .map(|p| match p {
+                    OutPlan::Item(i) => match set.iter().position(|&s| s == *i) {
+                        Some(k) => key[k].clone(),
+                        None => Value::Null,
+                    },
+                    OutPlan::Agg(k) => finished[*k].clone(),
+                })
+                .collect();
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Database;
+    use sumtab_catalog::{Catalog, Date};
+    use sumtab_parser::parse_query;
+    use sumtab_qgm::build_query;
+
+    fn setup() -> (Catalog, Database) {
+        let cat = Catalog::credit_card_sample();
+        let mut db = Database::new();
+        let d = |s: &str| Value::Date(Date::parse(s).unwrap());
+        // trans(tid, faid, flid, fpgid, date, qty, price, disc)
+        db.insert(
+            &cat,
+            "trans",
+            vec![
+                vec![
+                    1.into(),
+                    100.into(),
+                    1.into(),
+                    10.into(),
+                    d("1990-01-03"),
+                    2.into(),
+                    Value::Double(50.0),
+                    Value::Double(0.0),
+                ],
+                vec![
+                    2.into(),
+                    100.into(),
+                    1.into(),
+                    10.into(),
+                    d("1990-02-10"),
+                    1.into(),
+                    Value::Double(30.0),
+                    Value::Double(0.1),
+                ],
+                vec![
+                    3.into(),
+                    100.into(),
+                    1.into(),
+                    11.into(),
+                    d("1990-04-12"),
+                    3.into(),
+                    Value::Double(20.0),
+                    Value::Double(0.2),
+                ],
+                vec![
+                    4.into(),
+                    200.into(),
+                    2.into(),
+                    11.into(),
+                    d("1991-10-20"),
+                    1.into(),
+                    Value::Double(80.0),
+                    Value::Double(0.0),
+                ],
+                vec![
+                    5.into(),
+                    200.into(),
+                    2.into(),
+                    10.into(),
+                    d("1991-11-21"),
+                    2.into(),
+                    Value::Double(10.0),
+                    Value::Double(0.5),
+                ],
+            ],
+        )
+        .unwrap();
+        db.insert(
+            &cat,
+            "loc",
+            vec![
+                vec![1.into(), "san jose".into(), "CA".into(), "USA".into()],
+                vec![2.into(), "paris".into(), "IDF".into(), "France".into()],
+            ],
+        )
+        .unwrap();
+        db.insert(
+            &cat,
+            "pgroup",
+            vec![
+                vec![10.into(), "TV".into()],
+                vec![11.into(), "Radio".into()],
+            ],
+        )
+        .unwrap();
+        db.insert(
+            &cat,
+            "acct",
+            vec![
+                vec![100.into(), 1000.into(), "gold".into()],
+                vec![200.into(), 2000.into(), "basic".into()],
+            ],
+        )
+        .unwrap();
+        db.insert(
+            &cat,
+            "cust",
+            vec![
+                vec![1000.into(), "alice".into(), 30.into()],
+                vec![2000.into(), "bob".into(), 40.into()],
+            ],
+        )
+        .unwrap();
+        (cat, db)
+    }
+
+    fn run(sql: &str) -> Vec<Row> {
+        let (cat, db) = setup();
+        let q = parse_query(sql).unwrap();
+        let g = build_query(&q, &cat).unwrap();
+        execute(&g, &db).unwrap()
+    }
+
+    fn sorted(mut rows: Vec<Row>) -> Vec<Row> {
+        rows.sort();
+        rows
+    }
+
+    #[test]
+    fn scan_and_filter() {
+        let rows = run("select tid from trans where qty >= 2");
+        assert_eq!(
+            sorted(rows),
+            vec![
+                vec![Value::Int(1)],
+                vec![Value::Int(3)],
+                vec![Value::Int(5)]
+            ]
+        );
+    }
+
+    #[test]
+    fn projection_expressions() {
+        let rows = run("select tid, qty * price as amt from trans where tid = 1");
+        assert_eq!(rows, vec![vec![Value::Int(1), Value::Double(100.0)]]);
+    }
+
+    #[test]
+    fn hash_join_matches_nested_loop_semantics() {
+        let rows = run("select tid, country from trans, loc where flid = lid and country = 'USA'");
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r[1] == Value::from("USA")));
+    }
+
+    #[test]
+    fn three_way_join() {
+        let rows = run("select tid, pgname, status from trans, pgroup, acct \
+             where fpgid = pgid and faid = aid and pgname = 'TV'");
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn cross_join_without_predicate() {
+        let rows = run("select tid, lid from trans, loc");
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn group_by_count_and_sum() {
+        let rows = run("select faid, count(*) as cnt, sum(qty) as q from trans group by faid");
+        assert_eq!(
+            sorted(rows),
+            vec![
+                vec![Value::Int(100), Value::Int(3), Value::Int(6)],
+                vec![Value::Int(200), Value::Int(2), Value::Int(3)],
+            ]
+        );
+    }
+
+    #[test]
+    fn group_by_expression_and_having() {
+        let rows = run("select year(date) as y, count(*) as cnt from trans \
+             group by year(date) having count(*) > 2");
+        assert_eq!(rows, vec![vec![Value::Int(1990), Value::Int(3)]]);
+    }
+
+    #[test]
+    fn scalar_aggregation_over_empty_input() {
+        let rows = run("select count(*) as c, sum(qty) as s from trans where qty > 100");
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let rows = run("select min(price) as lo, max(price) as hi, avg(qty) as aq from trans");
+        assert_eq!(
+            rows,
+            vec![vec![
+                Value::Double(10.0),
+                Value::Double(80.0),
+                Value::Int(1) // avg = sum/count = 9/5 with integer division
+            ]]
+        );
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rows = run("select count(distinct faid) as n from trans");
+        assert_eq!(rows, vec![vec![Value::Int(2)]]);
+    }
+
+    #[test]
+    fn grouping_sets_union_with_null_padding() {
+        let rows = run("select flid, year(date) as y, count(*) as cnt from trans \
+             group by grouping sets ((flid, year(date)), (flid), ())");
+        // cuboids: (flid,year): (1,1990,3),(2,1991,2); (flid): (1,3),(2,2); (): (5)
+        let expect = vec![
+            vec![Value::Null, Value::Null, Value::Int(5)],
+            vec![Value::Int(1), Value::Null, Value::Int(3)],
+            vec![Value::Int(1), Value::Int(1990), Value::Int(3)],
+            vec![Value::Int(2), Value::Null, Value::Int(2)],
+            vec![Value::Int(2), Value::Int(1991), Value::Int(2)],
+        ];
+        assert_eq!(sorted(rows), expect);
+    }
+
+    #[test]
+    fn distinct_normalizes_to_group_by() {
+        let rows = run("select distinct faid from trans");
+        assert_eq!(
+            sorted(rows),
+            vec![vec![Value::Int(100)], vec![Value::Int(200)]]
+        );
+    }
+
+    #[test]
+    fn scalar_subquery_value() {
+        let rows = run("select tid, (select count(*) from loc) as n from trans where tid = 1");
+        assert_eq!(rows, vec![vec![Value::Int(1), Value::Int(2)]]);
+    }
+
+    #[test]
+    fn scalar_subquery_empty_is_null() {
+        let rows = run(
+            "select tid, (select min(lid) from loc where lid > 99) as n from trans where tid = 1",
+        );
+        assert_eq!(rows, vec![vec![Value::Int(1), Value::Null]]);
+    }
+
+    #[test]
+    fn derived_table_pipeline() {
+        let rows = run(
+            "select y, cnt from (select year(date) as y, count(*) as cnt from trans group by year(date)) as v \
+             where cnt >= 2 order by y",
+        );
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1990), Value::Int(3)],
+                vec![Value::Int(1991), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let rows = run("select tid from trans order by tid desc limit 2");
+        assert_eq!(rows, vec![vec![Value::Int(5)], vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn histogram_of_counts_two_level_aggregation() {
+        // Q8-flavored query: counts of yearly counts.
+        let rows = run("select tcnt, count(*) as ycnt from \
+             (select year(date) as y, count(*) as tcnt from trans group by year(date)) as v \
+             group by tcnt");
+        assert_eq!(
+            sorted(rows),
+            vec![
+                vec![Value::Int(2), Value::Int(1)],
+                vec![Value::Int(3), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn null_join_keys_do_not_match() {
+        let cat = Catalog::credit_card_sample();
+        let mut db = Database::new();
+        // Two custs, one acct with NULL fcid — wait, fcid is non-nullable in
+        // the sample schema; use a bespoke catalog instead.
+        use sumtab_catalog::{Column, SqlType, Table};
+        let mut cat2 = Catalog::new();
+        cat2.add_table(Table::new("l", vec![Column::nullable("k", SqlType::Int)]))
+            .unwrap();
+        cat2.add_table(Table::new("r", vec![Column::nullable("k", SqlType::Int)]))
+            .unwrap();
+        db.insert(&cat2, "l", vec![vec![Value::Null], vec![Value::Int(1)]])
+            .unwrap();
+        db.insert(&cat2, "r", vec![vec![Value::Null], vec![Value::Int(1)]])
+            .unwrap();
+        let q = parse_query("select l.k from l, r where l.k = r.k").unwrap();
+        let g = build_query(&q, &cat2).unwrap();
+        let rows = execute(&g, &db).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(1)]], "NULL keys never join");
+        let _ = cat;
+    }
+
+    #[test]
+    fn cube_rollup_shorthand() {
+        let rows = run(
+            "select flid, year(date) as y, count(*) as cnt from trans group by rollup(flid, year(date))",
+        );
+        // sets: (flid,y), (flid), ()
+        assert_eq!(rows.len(), 2 + 2 + 1);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use crate::db::Database;
+    use sumtab_catalog::{Catalog, Column, SqlType, Table, Value};
+    use sumtab_parser::parse_query;
+    use sumtab_qgm::build_query;
+
+    #[test]
+    fn scalar_subquery_cardinality_error() {
+        let mut cat = Catalog::new();
+        cat.add_table(Table::new("t", vec![Column::new("a", SqlType::Int)]))
+            .unwrap();
+        let mut db = Database::new();
+        db.insert(&cat, "t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        let q = parse_query("select a, (select a from t) as s from t").unwrap();
+        let g = build_query(&q, &cat).unwrap();
+        assert_eq!(
+            execute(&g, &db),
+            Err(ExecError::ScalarSubqueryCardinality(2))
+        );
+    }
+
+    #[test]
+    fn subsumer_ref_graph_is_rejected() {
+        use sumtab_qgm::{BoxKind, GraphId, OutputCol, QgmGraph, ScalarExpr};
+        let mut g = QgmGraph::new();
+        let sr = g.add_box(BoxKind::SubsumerRef {
+            graph: GraphId(0),
+            target: sumtab_qgm::BoxId(0),
+        });
+        g.boxed_mut(sr).outputs = vec![OutputCol {
+            name: "x".into(),
+            expr: ScalarExpr::BaseCol(0),
+        }];
+        g.root = sr;
+        let db = Database::new();
+        assert_eq!(execute(&g, &db), Err(ExecError::SubsumerRefInGraph));
+    }
+
+    #[test]
+    fn cloned_subgraph_executes_identically() {
+        let cat = Catalog::credit_card_sample();
+        let mut db = Database::new();
+        db.insert(
+            &cat,
+            "pgroup",
+            vec![
+                vec![Value::Int(1), Value::from("a")],
+                vec![Value::Int(2), Value::from("b")],
+            ],
+        )
+        .unwrap();
+        let q = parse_query("select pgname, count(*) as c from pgroup group by pgname").unwrap();
+        let g = build_query(&q, &cat).unwrap();
+        let mut g2 = sumtab_qgm::QgmGraph::new();
+        let root = g2.clone_subgraph(&g, g.root);
+        g2.root = root;
+        let mut a = execute(&g, &db).unwrap();
+        let mut b = execute(&g2, &db).unwrap();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,240 @@
+//! A convenience session: catalog + database + SQL entry points.
+//!
+//! `Session` executes DDL (`CREATE TABLE`, `CREATE SUMMARY TABLE`,
+//! `ALTER TABLE ... ADD FOREIGN KEY`), `INSERT ... VALUES`, and queries. It
+//! does **not** perform AST rewriting — that is the matcher's job; the
+//! `sumtab` facade crate combines both.
+
+use crate::db::{Database, Row};
+use crate::exec::execute;
+use crate::materialize::materialize;
+use sumtab_catalog::{Catalog, Column, SummaryTableDef, Table, Value};
+use sumtab_parser::{parse_statements, render::render_query, Statement};
+use sumtab_qgm::build_query;
+
+/// Result of running one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementResult {
+    /// Query output: header names and rows.
+    Rows(Vec<String>, Vec<Row>),
+    /// Rows affected (INSERT).
+    Count(usize),
+    /// DDL success.
+    Done,
+}
+
+/// A generic error wrapper for session operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+fn err(e: impl std::fmt::Display) -> SessionError {
+    SessionError {
+        message: e.to_string(),
+    }
+}
+
+/// Catalog + data + SQL front end.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    /// Schema and constraints.
+    pub catalog: Catalog,
+    /// Table data.
+    pub db: Database,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A session over an existing catalog.
+    pub fn with_catalog(catalog: Catalog) -> Session {
+        Session {
+            catalog,
+            db: Database::new(),
+        }
+    }
+
+    /// Run a semicolon-separated SQL script; returns one result per
+    /// statement.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SessionError> {
+        let stmts = parse_statements(sql).map_err(err)?;
+        stmts.iter().map(|s| self.run_statement(s)).collect()
+    }
+
+    /// Run a single parsed statement.
+    pub fn run_statement(&mut self, stmt: &Statement) -> Result<StatementResult, SessionError> {
+        match stmt {
+            Statement::Query(q) => {
+                let g = build_query(q, &self.catalog).map_err(err)?;
+                let header = g
+                    .boxed(g.root)
+                    .outputs
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                let rows = execute(&g, &self.db).map_err(err)?;
+                Ok(StatementResult::Rows(header, rows))
+            }
+            Statement::CreateTable(ct) => {
+                let cols = ct
+                    .columns
+                    .iter()
+                    .map(|c| {
+                        if c.nullable {
+                            Column::nullable(&c.name, c.ty)
+                        } else {
+                            Column::new(&c.name, c.ty)
+                        }
+                    })
+                    .collect();
+                let mut table = Table::new(&ct.name, cols);
+                if !ct.primary_key.is_empty() {
+                    let keys: Vec<&str> = ct.primary_key.iter().map(String::as_str).collect();
+                    table = table.with_primary_key(&keys);
+                }
+                self.catalog.add_table(table).map_err(err)?;
+                Ok(StatementResult::Done)
+            }
+            Statement::CreateSummaryTable { name, query } => {
+                let g = build_query(query, &self.catalog).map_err(err)?;
+                let backing = materialize(name, &g, &self.catalog, &mut self.db).map_err(err)?;
+                self.catalog
+                    .add_summary_table(
+                        SummaryTableDef {
+                            name: name.clone(),
+                            query_sql: render_query(query),
+                        },
+                        backing,
+                    )
+                    .map_err(err)?;
+                Ok(StatementResult::Done)
+            }
+            Statement::AddForeignKey {
+                child_table,
+                columns,
+                parent_table,
+            } => {
+                let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+                self.catalog
+                    .add_foreign_key(child_table, &cols, parent_table)
+                    .map_err(err)?;
+                Ok(StatementResult::Done)
+            }
+            Statement::Insert { table, rows } => {
+                let mut values = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut out = Vec::with_capacity(row.len());
+                    for e in row {
+                        out.push(literal_value(e)?);
+                    }
+                    values.push(out);
+                }
+                let n = self.db.insert(&self.catalog, table, values).map_err(err)?;
+                Ok(StatementResult::Count(n))
+            }
+        }
+    }
+
+    /// Run a single SELECT and return `(header, rows)`.
+    pub fn query(&mut self, sql: &str) -> Result<(Vec<String>, Vec<Row>), SessionError> {
+        let q = sumtab_parser::parse_query(sql).map_err(err)?;
+        match self.run_statement(&Statement::Query(Box::new(q)))? {
+            StatementResult::Rows(h, r) => Ok((h, r)),
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Evaluate a literal (possibly negated) INSERT value.
+fn literal_value(e: &sumtab_parser::Expr) -> Result<Value, SessionError> {
+    match e {
+        sumtab_parser::Expr::Lit(v) => Ok(v.clone()),
+        other => Err(SessionError {
+            message: format!("INSERT values must be literals, got {other:?}"),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_script() {
+        let mut s = Session::new();
+        let results = s
+            .run_script(
+                "create table t (a int not null, b varchar, primary key (a));\
+                 insert into t values (1, 'x'), (2, 'y'), (3, 'x');\
+                 select b, count(*) as n from t group by b;",
+            )
+            .unwrap();
+        assert_eq!(results[0], StatementResult::Done);
+        assert_eq!(results[1], StatementResult::Count(3));
+        match &results[2] {
+            StatementResult::Rows(header, rows) => {
+                assert_eq!(header, &["b", "n"]);
+                let mut rows = rows.clone();
+                rows.sort();
+                assert_eq!(
+                    rows,
+                    vec![
+                        vec![Value::from("x"), Value::Int(2)],
+                        vec![Value::from("y"), Value::Int(1)],
+                    ]
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_table_ddl_materializes() {
+        let mut s = Session::new();
+        s.run_script(
+            "create table t (a int not null, v int not null);\
+             insert into t values (1, 10), (1, 20), (2, 5);\
+             create summary table st as (select a, sum(v) as sv from t group by a);",
+        )
+        .unwrap();
+        assert!(s.catalog.is_summary_table("st"));
+        assert_eq!(s.db.row_count("st"), 2);
+        // The backing table is queryable like any base table.
+        let (_, rows) = s.query("select sv from st where a = 1").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(30)]]);
+    }
+
+    #[test]
+    fn fk_ddl() {
+        let mut s = Session::new();
+        s.run_script(
+            "create table p (id int not null, primary key (id));\
+             create table c (fid int not null);\
+             alter table c add foreign key (fid) references p;",
+        )
+        .unwrap();
+        assert_eq!(s.catalog.foreign_keys().len(), 1);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.run_script("select a from nope").is_err());
+        assert!(s
+            .run_script("create table t (a int); insert into t values (1, 2)")
+            .is_err());
+    }
+}

@@ -1,0 +1,179 @@
+//! Property-based tests of the execution engine's algebraic invariants.
+
+use proptest::prelude::*;
+use sumtab_catalog::{Catalog, Column, SqlType, Table, Value};
+use sumtab_engine::{execute, Database};
+use sumtab_parser::parse_query;
+use sumtab_qgm::build_query;
+
+fn two_table_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add_table(Table::new(
+        "l",
+        vec![
+            Column::new("k", SqlType::Int),
+            Column::new("v", SqlType::Int),
+        ],
+    ))
+    .unwrap();
+    cat.add_table(Table::new(
+        "r",
+        vec![
+            Column::new("k", SqlType::Int),
+            Column::new("w", SqlType::Int),
+        ],
+    ))
+    .unwrap();
+    cat
+}
+
+fn run(cat: &Catalog, db: &Database, sql: &str) -> Vec<Vec<Value>> {
+    let g = build_query(&parse_query(sql).unwrap(), cat).unwrap();
+    let mut rows = execute(&g, db).unwrap();
+    rows.sort();
+    rows
+}
+
+fn row2(a: i64, b: i64) -> Vec<Value> {
+    vec![Value::Int(a), Value::Int(b)]
+}
+
+proptest! {
+    /// The engine's hash equi-join must agree with an explicitly computed
+    /// nested-loop join.
+    #[test]
+    fn hash_join_equals_nested_loop(
+        left in proptest::collection::vec((0i64..6, -5i64..5), 0..24),
+        right in proptest::collection::vec((0i64..6, -5i64..5), 0..24),
+    ) {
+        let cat = two_table_catalog();
+        let mut db = Database::new();
+        db.insert(&cat, "l", left.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        db.insert(&cat, "r", right.iter().map(|&(k, w)| row2(k, w)).collect()).unwrap();
+        let joined = run(&cat, &db, "select l.v, r.w from l, r where l.k = r.k");
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for &(lk, lv) in &left {
+            for &(rk, rw) in &right {
+                if lk == rk {
+                    expected.push(vec![Value::Int(lv), Value::Int(rw)]);
+                }
+            }
+        }
+        expected.sort();
+        prop_assert_eq!(joined, expected);
+    }
+
+    /// Partial/total aggregation consistency — the invariant behind the
+    /// paper's Section 4.1.2: summing per-(k,v) partial counts/sums gives
+    /// exactly the per-k totals.
+    #[test]
+    fn partial_aggregates_recombine(
+        rows in proptest::collection::vec((0i64..5, -4i64..8), 1..40),
+    ) {
+        let cat = two_table_catalog();
+        let mut db = Database::new();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        let direct = run(&cat, &db, "select k, count(*) as c, sum(v) as s from l group by k");
+        let via_partials = run(
+            &cat,
+            &db,
+            "select k, sum(c) as c, sum(s) as s from \
+             (select k, v, count(*) as c, sum(v) as s from l group by k, v) as p \
+             group by k",
+        );
+        prop_assert_eq!(direct, via_partials);
+    }
+
+    /// Grouping-sets output equals the union of independently computed
+    /// cuboids with NULL padding (Section 5 semantics).
+    #[test]
+    fn grouping_sets_equal_union_of_cuboids(
+        rows in proptest::collection::vec((0i64..4, 0i64..3), 1..30),
+    ) {
+        let cat = two_table_catalog();
+        let mut db = Database::new();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        let cube = run(
+            &cat,
+            &db,
+            "select k, v, count(*) as c from l group by grouping sets ((k, v), (k), ())",
+        );
+        let mut union: Vec<Vec<Value>> = Vec::new();
+        for row in run(&cat, &db, "select k, v, count(*) as c from l group by k, v") {
+            union.push(row);
+        }
+        for row in run(&cat, &db, "select k, count(*) as c from l group by k") {
+            union.push(vec![row[0].clone(), Value::Null, row[1].clone()]);
+        }
+        for row in run(&cat, &db, "select count(*) as c from l") {
+            union.push(vec![Value::Null, Value::Null, row[0].clone()]);
+        }
+        union.sort();
+        prop_assert_eq!(cube, union);
+    }
+
+    /// SELECT DISTINCT equals GROUP BY over the same columns (footnote 2's
+    /// bridge, applied by the builder).
+    #[test]
+    fn distinct_equals_group_by(
+        rows in proptest::collection::vec((0i64..4, 0i64..4), 0..30),
+    ) {
+        let cat = two_table_catalog();
+        let mut db = Database::new();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        let distinct = run(&cat, &db, "select distinct k, v from l");
+        let grouped = run(&cat, &db, "select k, v from l group by k, v");
+        prop_assert_eq!(distinct, grouped);
+    }
+
+    /// MIN/MAX agree with a direct fold; AVG equals SUM/COUNT under integer
+    /// division.
+    #[test]
+    fn min_max_avg_agree_with_fold(
+        rows in proptest::collection::vec((0i64..3, -50i64..50), 1..30),
+    ) {
+        let cat = two_table_catalog();
+        let mut db = Database::new();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        let got = run(
+            &cat,
+            &db,
+            "select k, min(v) as mn, max(v) as mx, avg(v) as av from l group by k",
+        );
+        use std::collections::BTreeMap;
+        let mut folds: BTreeMap<i64, (i64, i64, i64, i64)> = BTreeMap::new();
+        for &(k, v) in &rows {
+            let e = folds.entry(k).or_insert((i64::MAX, i64::MIN, 0, 0));
+            e.0 = e.0.min(v);
+            e.1 = e.1.max(v);
+            e.2 += v;
+            e.3 += 1;
+        }
+        let expected: Vec<Vec<Value>> = folds
+            .into_iter()
+            .map(|(k, (mn, mx, s, c))| {
+                vec![
+                    Value::Int(k),
+                    Value::Int(mn),
+                    Value::Int(mx),
+                    Value::Int(s.div_euclid(c).max(s / c)), // integer division semantics
+                ]
+            })
+            .collect();
+        // Integer division in the engine truncates toward zero (wrapping_div).
+        let expected: Vec<Vec<Value>> = expected
+            .into_iter()
+            .map(|mut r| {
+                if let (Value::Int(k), _) = (&r[0], ()) {
+                    let (s, c) = rows
+                        .iter()
+                        .filter(|(rk, _)| rk == k)
+                        .fold((0i64, 0i64), |(s, c), &(_, v)| (s + v, c + 1));
+                    r[3] = Value::Int(s / c);
+                }
+                r
+            })
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,1005 @@
+//! Recursive-descent parser.
+
+use crate::lexer::Lexer;
+use crate::syntax::*;
+use crate::token::{Keyword, Spanned, Token};
+use sumtab_catalog::{Date, SqlType, Value};
+
+/// A parse error with byte offset and message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset of the offending token.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a single `SELECT` query.
+pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let q = p.query()?;
+    p.expect_end()?;
+    Ok(q)
+}
+
+/// Parse a single statement.
+pub fn parse_statement(sql: &str) -> Result<Statement, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let s = p.statement()?;
+    p.eat(&Token::Semicolon);
+    p.expect_end()?;
+    Ok(s)
+}
+
+/// Parse a semicolon-separated script.
+pub fn parse_statements(sql: &str) -> Result<Vec<Statement>, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let mut out = Vec::new();
+    loop {
+        while p.eat(&Token::Semicolon) {}
+        if p.at_end() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+    }
+}
+
+/// Parse a standalone scalar expression (used by tests and tools).
+pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(sql)?;
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(sql: &str) -> Result<Parser, ParseError> {
+        let toks = Lexer::tokenize(sql).map_err(|e| ParseError {
+            message: e.message,
+            offset: e.offset,
+        })?;
+        Ok(Parser { toks, pos: 0 })
+    }
+
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_at(&self, n: usize) -> &Token {
+        let i = (self.pos + n).min(self.toks.len() - 1);
+        &self.toks[i].tok
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        *self.peek() == Token::Eof
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        self.eat(&Token::Keyword(k))
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<(), ParseError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{t}`, found `{}`", self.peek()))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<(), ParseError> {
+        self.expect(&Token::Keyword(k))
+    }
+
+    fn expect_end(&mut self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            self.err(format!("unexpected trailing `{}`", self.peek()))
+        }
+    }
+
+    /// An identifier; a few keywords double as names (the paper's fact table
+    /// has a `date` column).
+    fn name(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            Token::Keyword(Keyword::DATE) => {
+                self.bump();
+                Ok("date".into())
+            }
+            other => self.err(format!("expected identifier, found `{other}`")),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        match self.peek() {
+            Token::Keyword(Keyword::SELECT) => Ok(Statement::Query(Box::new(self.query()?))),
+            Token::Keyword(Keyword::CREATE) => self.create(),
+            Token::Keyword(Keyword::ALTER) => self.alter(),
+            Token::Keyword(Keyword::INSERT) => self.insert(),
+            other => self.err(format!("expected statement, found `{other}`")),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::CREATE)?;
+        if self.eat_kw(Keyword::SUMMARY) {
+            self.expect_kw(Keyword::TABLE)?;
+            let name = self.name()?;
+            self.expect_kw(Keyword::AS)?;
+            self.expect(&Token::LParen)?;
+            let query = self.query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Statement::CreateSummaryTable {
+                name,
+                query: Box::new(query),
+            });
+        }
+        self.expect_kw(Keyword::TABLE)?;
+        let name = self.name()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        let mut primary_key = Vec::new();
+        loop {
+            if self.eat_kw(Keyword::PRIMARY) {
+                self.expect_kw(Keyword::KEY)?;
+                self.expect(&Token::LParen)?;
+                loop {
+                    primary_key.push(self.name()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            } else {
+                let cname = self.name()?;
+                let tyname = match self.peek().clone() {
+                    Token::Ident(s) => {
+                        self.bump();
+                        s
+                    }
+                    Token::Keyword(Keyword::DATE) => {
+                        self.bump();
+                        "date".into()
+                    }
+                    other => return self.err(format!("expected type name, found `{other}`")),
+                };
+                let ty = SqlType::from_sql_name(&tyname).ok_or_else(|| ParseError {
+                    message: format!("unknown type `{tyname}`"),
+                    offset: self.offset(),
+                })?;
+                let mut nullable = true;
+                if self.eat_kw(Keyword::NOT) {
+                    self.expect_kw(Keyword::NULL)?;
+                    nullable = false;
+                }
+                columns.push(ColumnDef {
+                    name: cname,
+                    ty,
+                    nullable,
+                });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok(Statement::CreateTable(CreateTable {
+            name,
+            columns,
+            primary_key,
+        }))
+    }
+
+    fn alter(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::ALTER)?;
+        self.expect_kw(Keyword::TABLE)?;
+        let child_table = self.name()?;
+        self.expect_kw(Keyword::ADD)?;
+        self.expect_kw(Keyword::FOREIGN)?;
+        self.expect_kw(Keyword::KEY)?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            columns.push(self.name()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen)?;
+        self.expect_kw(Keyword::REFERENCES)?;
+        let parent_table = self.name()?;
+        Ok(Statement::AddForeignKey {
+            child_table,
+            columns,
+            parent_table,
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::INSERT)?;
+        self.expect_kw(Keyword::INTO)?;
+        let table = self.name()?;
+        self.expect_kw(Keyword::VALUES)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen)?;
+            let mut row = Vec::new();
+            if !self.eat(&Token::RParen) {
+                loop {
+                    row.push(self.expr()?);
+                    if !self.eat(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw(Keyword::SELECT)?;
+        let distinct = self.eat_kw(Keyword::DISTINCT);
+        let mut select = Vec::new();
+        loop {
+            select.push(self.select_item()?);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let mut from = Vec::new();
+        let mut where_clause: Option<Expr> = None;
+        if self.eat_kw(Keyword::FROM) {
+            loop {
+                from.push(self.table_ref()?);
+                // `[INNER] JOIN <ref> ON <cond>`: flatten, folding ON into WHERE.
+                loop {
+                    let inner = self.eat_kw(Keyword::INNER);
+                    if self.eat_kw(Keyword::JOIN) {
+                        from.push(self.table_ref()?);
+                        self.expect_kw(Keyword::ON)?;
+                        let cond = self.expr()?;
+                        where_clause = Some(match where_clause.take() {
+                            None => cond,
+                            Some(w) => Expr::bin(BinOp::And, w, cond),
+                        });
+                    } else if inner {
+                        return self.err("expected JOIN after INNER");
+                    } else {
+                        break;
+                    }
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        if self.eat_kw(Keyword::WHERE) {
+            let w = self.expr()?;
+            where_clause = Some(match where_clause.take() {
+                None => w,
+                Some(prev) => Expr::bin(BinOp::And, prev, w),
+            });
+        }
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::GROUP) {
+            self.expect_kw(Keyword::BY)?;
+            loop {
+                group_by.push(self.grouping_element()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw(Keyword::HAVING) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::ORDER) {
+            self.expect_kw(Keyword::BY)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(Keyword::DESC) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::ASC);
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::LIMIT) {
+            match self.bump() {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return self.err(format!("expected LIMIT count, found `{other}`")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        if self.eat(&Token::Star) {
+            return Ok(SelectItem::Wildcard);
+        }
+        // `qualifier.*`
+        if let Token::Ident(q) = self.peek().clone() {
+            if *self.peek_at(1) == Token::Dot && *self.peek_at(2) == Token::Star {
+                self.bump();
+                self.bump();
+                self.bump();
+                return Ok(SelectItem::QualifiedWildcard(q));
+            }
+        }
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::AS) {
+            Some(self.name()?)
+        } else if matches!(self.peek(), Token::Ident(_)) {
+            // Implicit alias: `select a b from t`.
+            Some(self.name()?)
+        } else {
+            None
+        };
+        Ok(SelectItem::Expr { expr, alias })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef, ParseError> {
+        if self.eat(&Token::LParen) {
+            let query = self.query()?;
+            self.expect(&Token::RParen)?;
+            self.eat_kw(Keyword::AS);
+            let alias = self.name()?;
+            return Ok(TableRef::Derived {
+                query: Box::new(query),
+                alias,
+            });
+        }
+        let name = self.name()?;
+        let alias = if self.eat_kw(Keyword::AS) || matches!(self.peek(), Token::Ident(_)) {
+            Some(self.name()?)
+        } else {
+            None
+        };
+        Ok(TableRef::Named { name, alias })
+    }
+
+    fn grouping_element(&mut self) -> Result<GroupingElement, ParseError> {
+        if self.eat_kw(Keyword::ROLLUP) {
+            self.expect(&Token::LParen)?;
+            let exprs = self.expr_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(GroupingElement::Rollup(exprs));
+        }
+        if self.eat_kw(Keyword::CUBE) {
+            self.expect(&Token::LParen)?;
+            let exprs = self.expr_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(GroupingElement::Cube(exprs));
+        }
+        if self.eat_kw(Keyword::GROUPING) {
+            self.expect_kw(Keyword::SETS)?;
+            self.expect(&Token::LParen)?;
+            let mut sets = Vec::new();
+            loop {
+                self.expect(&Token::LParen)?;
+                if self.eat(&Token::RParen) {
+                    sets.push(Vec::new()); // the grand-total set `()`
+                } else {
+                    sets.push(self.expr_list()?);
+                    self.expect(&Token::RParen)?;
+                }
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            return Ok(GroupingElement::GroupingSets(sets));
+        }
+        Ok(GroupingElement::Expr(self.expr()?))
+    }
+
+    fn expr_list(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut out = vec![self.expr()?];
+        while self.eat(&Token::Comma) {
+            out.push(self.expr()?);
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (precedence climbing)
+    // ------------------------------------------------------------------
+
+    /// Entry point: OR level.
+    pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::OR) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::bin(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::AND) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::bin(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw(Keyword::NOT) {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(inner),
+            });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        // Postfix predicates: IS [NOT] NULL, [NOT] BETWEEN/IN/LIKE.
+        if self.eat_kw(Keyword::IS) {
+            let negated = self.eat_kw(Keyword::NOT);
+            self.expect_kw(Keyword::NULL)?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        let negated = if *self.peek() == Token::Keyword(Keyword::NOT)
+            && matches!(
+                self.peek_at(1),
+                Token::Keyword(Keyword::BETWEEN)
+                    | Token::Keyword(Keyword::IN)
+                    | Token::Keyword(Keyword::LIKE)
+            ) {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw(Keyword::BETWEEN) {
+            let low = self.additive()?;
+            self.expect_kw(Keyword::AND)?;
+            let high = self.additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                low: Box::new(low),
+                high: Box::new(high),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::IN) {
+            self.expect(&Token::LParen)?;
+            let list = self.expr_list()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::LIKE) {
+            match self.bump() {
+                Token::Str(pattern) => {
+                    return Ok(Expr::Like {
+                        expr: Box::new(lhs),
+                        pattern,
+                        negated,
+                    })
+                }
+                other => return self.err(format!("expected LIKE pattern string, got `{other}`")),
+            }
+        }
+        if negated {
+            return self.err("expected BETWEEN, IN, or LIKE after NOT");
+        }
+        let op = match self.peek() {
+            Token::Eq => BinOp::Eq,
+            Token::NotEq => BinOp::NotEq,
+            Token::Lt => BinOp::Lt,
+            Token::LtEq => BinOp::LtEq,
+            Token::Gt => BinOp::Gt,
+            Token::GtEq => BinOp::GtEq,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.additive()?;
+        Ok(Expr::bin(op, lhs, rhs))
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                Token::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = Expr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            // Fold negation into numeric literals for cleaner trees.
+            return Ok(match inner {
+                Expr::Lit(Value::Int(i)) => Expr::Lit(Value::Int(-i)),
+                Expr::Lit(Value::Double(d)) => Expr::Lit(Value::Double(-d)),
+                other => Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(other),
+                },
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(i) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Int(i)))
+            }
+            Token::Float(x) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Double(x)))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Str(s)))
+            }
+            Token::Keyword(Keyword::TRUE) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(true)))
+            }
+            Token::Keyword(Keyword::FALSE) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(false)))
+            }
+            Token::Keyword(Keyword::NULL) => {
+                self.bump();
+                Ok(Expr::Lit(Value::Null))
+            }
+            Token::Keyword(Keyword::CASE) => self.case_expr(),
+            Token::Keyword(Keyword::DATE) => {
+                // `DATE 'yyyy-mm-dd'` literal, or the column named `date`.
+                if let Token::Str(s) = self.peek_at(1).clone() {
+                    self.bump();
+                    self.bump();
+                    let d = Date::parse(&s).ok_or_else(|| ParseError {
+                        message: format!("invalid date literal `{s}`"),
+                        offset: self.offset(),
+                    })?;
+                    Ok(Expr::Lit(Value::Date(d)))
+                } else {
+                    self.bump();
+                    self.column_or_call("date".into())
+                }
+            }
+            Token::LParen => {
+                self.bump();
+                if *self.peek() == Token::Keyword(Keyword::SELECT) {
+                    let q = self.query()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(Expr::ScalarSubquery(Box::new(q)))
+                } else {
+                    let e = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(e)
+                }
+            }
+            Token::Ident(name) => {
+                self.bump();
+                self.column_or_call(name)
+            }
+            other => self.err(format!("expected expression, found `{other}`")),
+        }
+    }
+
+    /// After consuming a leading identifier: a function call, a qualified
+    /// column, or a bare column.
+    fn column_or_call(&mut self, name: String) -> Result<Expr, ParseError> {
+        if self.eat(&Token::LParen) {
+            if let Some(func) = AggFunc::from_name(&name) {
+                if func == AggFunc::Count && self.eat(&Token::Star) {
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Agg {
+                        func,
+                        arg: None,
+                        distinct: false,
+                    });
+                }
+                let distinct = self.eat_kw(Keyword::DISTINCT);
+                let arg = self.expr()?;
+                self.expect(&Token::RParen)?;
+                return Ok(Expr::Agg {
+                    func,
+                    arg: Some(Box::new(arg)),
+                    distinct,
+                });
+            }
+            if let Some(func) = ScalarFunc::from_name(&name) {
+                let args = self.expr_list()?;
+                self.expect(&Token::RParen)?;
+                if args.len() != func.arity() {
+                    return self.err(format!(
+                        "function {} takes {} argument(s), got {}",
+                        func.sql(),
+                        func.arity(),
+                        args.len()
+                    ));
+                }
+                return Ok(Expr::Func { func, args });
+            }
+            return self.err(format!("unknown function `{name}`"));
+        }
+        if self.eat(&Token::Dot) {
+            let col = self.name()?;
+            return Ok(Expr::Column {
+                qualifier: Some(name),
+                name: col,
+            });
+        }
+        Ok(Expr::Column {
+            qualifier: None,
+            name,
+        })
+    }
+
+    fn case_expr(&mut self) -> Result<Expr, ParseError> {
+        self.expect_kw(Keyword::CASE)?;
+        let operand = if *self.peek() != Token::Keyword(Keyword::WHEN) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        let mut arms = Vec::new();
+        while self.eat_kw(Keyword::WHEN) {
+            let when = self.expr()?;
+            self.expect_kw(Keyword::THEN)?;
+            let then = self.expr()?;
+            arms.push((when, then));
+        }
+        if arms.is_empty() {
+            return self.err("CASE requires at least one WHEN arm");
+        }
+        let else_expr = if self.eat_kw(Keyword::ELSE) {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw(Keyword::END)?;
+        Ok(Expr::Case {
+            operand,
+            arms,
+            else_expr,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::bin(
+                BinOp::Add,
+                Expr::Lit(Value::Int(1)),
+                Expr::bin(
+                    BinOp::Mul,
+                    Expr::Lit(Value::Int(2)),
+                    Expr::Lit(Value::Int(3))
+                )
+            )
+        );
+        let e = parse_expr("a = 1 or b = 2 and c = 3").unwrap();
+        // AND binds tighter than OR.
+        match e {
+            Expr::Binary { op: BinOp::Or, .. } => {}
+            other => panic!("expected OR at top, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn qualified_columns_and_functions() {
+        assert_eq!(
+            parse_expr("t.x").unwrap(),
+            Expr::Column {
+                qualifier: Some("t".into()),
+                name: "x".into()
+            }
+        );
+        assert_eq!(
+            parse_expr("year(date)").unwrap(),
+            Expr::Func {
+                func: ScalarFunc::Year,
+                args: vec![Expr::col("date")]
+            }
+        );
+        assert!(parse_expr("nosuchfn(1)").is_err());
+    }
+
+    #[test]
+    fn aggregates() {
+        assert_eq!(
+            parse_expr("count(*)").unwrap(),
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false
+            }
+        );
+        assert_eq!(
+            parse_expr("count(distinct faid)").unwrap(),
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: Some(Box::new(Expr::col("faid"))),
+                distinct: true
+            }
+        );
+        assert!(matches!(
+            parse_expr("sum(qty * price)").unwrap(),
+            Expr::Agg {
+                func: AggFunc::Sum,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn date_literal_vs_date_column() {
+        assert_eq!(
+            parse_expr("date '1995-01-01'").unwrap(),
+            Expr::Lit(Value::Date(Date::parse("1995-01-01").unwrap()))
+        );
+        assert_eq!(parse_expr("date").unwrap(), Expr::col("date"));
+        assert_eq!(
+            parse_expr("year(date) % 100").unwrap(),
+            Expr::bin(
+                BinOp::Mod,
+                Expr::Func {
+                    func: ScalarFunc::Year,
+                    args: vec![Expr::col("date")]
+                },
+                Expr::Lit(Value::Int(100))
+            )
+        );
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        assert_eq!(parse_expr("-5").unwrap(), Expr::Lit(Value::Int(-5)));
+        assert_eq!(parse_expr("- 2.5").unwrap(), Expr::Lit(Value::Double(-2.5)));
+        assert!(matches!(
+            parse_expr("-x").unwrap(),
+            Expr::Unary { op: UnOp::Neg, .. }
+        ));
+    }
+
+    #[test]
+    fn query_clauses() {
+        let q = parse_query(
+            "select faid, state, year(date) as year, count(*) as cnt \
+             from trans, loc where flid = lid and country = 'USA' \
+             group by faid, state, year(date) having count(*) > 100",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 4);
+        assert_eq!(q.from.len(), 2);
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by.len(), 3);
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn join_on_folds_into_where() {
+        let q = parse_query("select a from t join u on t.id = u.id where b > 0").unwrap();
+        assert_eq!(q.from.len(), 2);
+        match q.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::And, .. } => {}
+            other => panic!("expected AND of ON and WHERE, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_tables_and_scalar_subqueries() {
+        let q = parse_query("select s.c from (select count(*) as c from t) as s").unwrap();
+        assert!(matches!(q.from[0], TableRef::Derived { .. }));
+        let q =
+            parse_query("select flid, (select count(*) from trans) as totcnt from trans").unwrap();
+        match &q.select[1] {
+            SelectItem::Expr {
+                expr: Expr::ScalarSubquery(_),
+                ..
+            } => {}
+            other => panic!("expected scalar subquery, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grouping_sets_forms() {
+        let q = parse_query(
+            "select flid, year(date) from trans \
+             group by grouping sets ((flid, year(date)), (year(date)), ())",
+        )
+        .unwrap();
+        match &q.group_by[0] {
+            GroupingElement::GroupingSets(sets) => {
+                assert_eq!(sets.len(), 3);
+                assert_eq!(sets[2].len(), 0);
+            }
+            other => panic!("expected grouping sets, got {other:?}"),
+        }
+        let q = parse_query("select a from t group by rollup(a, b), cube(c)").unwrap();
+        assert!(matches!(q.group_by[0], GroupingElement::Rollup(_)));
+        assert!(matches!(q.group_by[1], GroupingElement::Cube(_)));
+    }
+
+    #[test]
+    fn order_and_limit() {
+        let q = parse_query("select a from t order by a desc, b limit 7").unwrap();
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert_eq!(q.limit, Some(7));
+    }
+
+    #[test]
+    fn wildcards() {
+        let q = parse_query("select *, t.* from t").unwrap();
+        assert_eq!(q.select[0], SelectItem::Wildcard);
+        assert_eq!(q.select[1], SelectItem::QualifiedWildcard("t".into()));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_query("select from").unwrap_err();
+        assert!(err.offset >= 7, "offset {} should be at FROM", err.offset);
+        assert!(parse_query("select a from t where").is_err());
+        assert!(parse_query("select a t where").is_err());
+    }
+
+    #[test]
+    fn script_parsing() {
+        let stmts =
+            parse_statements("create table t (a int); insert into t values (1); select a from t;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn between_in_like_negation() {
+        assert!(matches!(
+            parse_expr("x not between 1 and 2").unwrap(),
+            Expr::Between { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x not in (1, 2)").unwrap(),
+            Expr::InList { negated: true, .. }
+        ));
+        assert!(matches!(
+            parse_expr("s not like 'a%'").unwrap(),
+            Expr::Like { negated: true, .. }
+        ));
+        assert!(parse_expr("x not 5").is_err());
+    }
+
+    #[test]
+    fn case_forms() {
+        assert!(matches!(
+            parse_expr("case when a > 0 then 1 else 2 end").unwrap(),
+            Expr::Case { operand: None, .. }
+        ));
+        assert!(matches!(
+            parse_expr("case a when 1 then 'one' end").unwrap(),
+            Expr::Case {
+                operand: Some(_),
+                ..
+            }
+        ));
+        assert!(parse_expr("case end").is_err());
+    }
+}

@@ -1,0 +1,513 @@
+//! The SQL syntax tree produced by the parser.
+//!
+//! This is a faithful surface-syntax representation; semantic analysis
+//! (name resolution, aggregate placement, supergroup canonicalization)
+//! happens in `sumtab-qgm`.
+
+use sumtab_catalog::{SqlType, Value};
+
+/// A top-level SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// A `SELECT` query.
+    Query(Box<Query>),
+    /// `CREATE TABLE name (col type [NOT NULL], ..., [PRIMARY KEY (cols)])`.
+    CreateTable(CreateTable),
+    /// `CREATE SUMMARY TABLE name AS (query)` — registers an AST.
+    CreateSummaryTable {
+        /// The summary table's name.
+        name: String,
+        /// Its defining query.
+        query: Box<Query>,
+    },
+    /// `ALTER TABLE child ADD FOREIGN KEY (cols) REFERENCES parent`.
+    AddForeignKey {
+        /// Referencing table.
+        child_table: String,
+        /// Referencing columns.
+        columns: Vec<String>,
+        /// Referenced table (its primary key is the target).
+        parent_table: String,
+    },
+    /// `INSERT INTO table VALUES (..), (..)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows.
+        rows: Vec<Vec<Expr>>,
+    },
+}
+
+/// A `CREATE TABLE` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTable {
+    /// Table name.
+    pub name: String,
+    /// Column definitions in order.
+    pub columns: Vec<ColumnDef>,
+    /// Primary-key column names, if declared.
+    pub primary_key: Vec<String>,
+}
+
+/// One column in a `CREATE TABLE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub ty: SqlType,
+    /// True unless `NOT NULL` was specified.
+    pub nullable: bool,
+}
+
+/// A query expression: a single select block (set operations are out of
+/// scope; the paper excludes them, and cube queries express their unions
+/// internally).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// The projection list.
+    pub select: Vec<SelectItem>,
+    /// `FROM` items (comma or `JOIN ... ON` joins, already flattened; `ON`
+    /// conditions are folded into `where_clause` by the parser).
+    pub from: Vec<TableRef>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<Expr>,
+    /// `GROUP BY` elements.
+    pub group_by: Vec<GroupingElement>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+/// An item in the `SELECT` list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// A bare `*`.
+    Wildcard,
+    /// `qualifier.*`.
+    QualifiedWildcard(String),
+    /// An expression with an optional `AS` alias.
+    Expr {
+        /// The projected expression.
+        expr: Expr,
+        /// The alias, if given.
+        alias: Option<String>,
+    },
+}
+
+/// A `FROM`-list item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base (or summary) table with an optional alias.
+    Named {
+        /// Table name.
+        name: String,
+        /// Correlation name, if given.
+        alias: Option<String>,
+    },
+    /// A derived table `(query) AS alias`.
+    Derived {
+        /// The subquery.
+        query: Box<Query>,
+        /// Its mandatory correlation name.
+        alias: String,
+    },
+}
+
+impl TableRef {
+    /// The name other parts of the query use to refer to this item.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Named { name, alias } => alias.as_deref().unwrap_or(name),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// A `GROUP BY` element; elements combine by cross product per SQL:1999.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GroupingElement {
+    /// A plain grouping expression.
+    Expr(Expr),
+    /// `ROLLUP(e1, ..., en)`.
+    Rollup(Vec<Expr>),
+    /// `CUBE(e1, ..., en)`.
+    Cube(Vec<Expr>),
+    /// `GROUPING SETS ((..), (..), ())`.
+    GroupingSets(Vec<Vec<Expr>>),
+}
+
+/// One `ORDER BY` key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Mod => "%",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        }
+    }
+
+    /// True for `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` or `COUNT(expr)`.
+    Count,
+    /// `SUM(expr)`.
+    Sum,
+    /// `MIN(expr)`.
+    Min,
+    /// `MAX(expr)`.
+    Max,
+    /// `AVG(expr)` (normalized to SUM/COUNT during QGM construction).
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+
+    /// Recognize an aggregate function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            "AVG" => Some(AggFunc::Avg),
+            _ => None,
+        }
+    }
+}
+
+/// Scalar built-in functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarFunc {
+    /// `YEAR(date)` — the paper's Time-dimension extractor.
+    Year,
+    /// `MONTH(date)`.
+    Month,
+    /// `DAY(date)`.
+    Day,
+    /// `ABS(x)`.
+    Abs,
+    /// `UPPER(s)`.
+    Upper,
+    /// `LOWER(s)`.
+    Lower,
+}
+
+impl ScalarFunc {
+    /// SQL spelling.
+    pub fn sql(self) -> &'static str {
+        match self {
+            ScalarFunc::Year => "YEAR",
+            ScalarFunc::Month => "MONTH",
+            ScalarFunc::Day => "DAY",
+            ScalarFunc::Abs => "ABS",
+            ScalarFunc::Upper => "UPPER",
+            ScalarFunc::Lower => "LOWER",
+        }
+    }
+
+    /// Recognize a scalar built-in by name.
+    pub fn from_name(name: &str) -> Option<ScalarFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "YEAR" => Some(ScalarFunc::Year),
+            "MONTH" => Some(ScalarFunc::Month),
+            "DAY" => Some(ScalarFunc::Day),
+            "ABS" => Some(ScalarFunc::Abs),
+            "UPPER" => Some(ScalarFunc::Upper),
+            "LOWER" => Some(ScalarFunc::Lower),
+            _ => None,
+        }
+    }
+
+    /// Number of arguments the function takes.
+    pub fn arity(self) -> usize {
+        1
+    }
+}
+
+/// A surface-syntax expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Possibly-qualified column reference.
+    Column {
+        /// Table qualifier, if written.
+        qualifier: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Aggregate call. `arg = None` means `COUNT(*)`.
+    Agg {
+        /// The aggregate function.
+        func: AggFunc,
+        /// Argument (`None` only for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+        /// `DISTINCT`?
+        distinct: bool,
+    },
+    /// Scalar built-in function call.
+    Func {
+        /// The function.
+        func: ScalarFunc,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`.
+    Case {
+        /// Optional comparand (simple CASE).
+        operand: Option<Box<Expr>>,
+        /// `(when, then)` arms.
+        arms: Vec<(Expr, Expr)>,
+        /// `ELSE` result.
+        else_expr: Option<Box<Expr>>,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (e1, e2, ...)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern` (pattern restricted to a literal).
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// The literal pattern (`%` and `_` wildcards).
+        pattern: String,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// A scalar subquery `(SELECT ...)` used as a value.
+    ScalarSubquery(Box<Query>),
+}
+
+impl Expr {
+    /// Convenience constructor for binary expressions.
+    pub fn bin(op: BinOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor for unqualified column references.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column {
+            qualifier: None,
+            name: name.to_ascii_lowercase(),
+        }
+    }
+
+    /// True when the expression contains an aggregate call at any depth
+    /// (not descending into scalar subqueries, which have their own scope).
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Lit(_) | Expr::Column { .. } | Expr::ScalarSubquery(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Unary { expr, .. } => expr.contains_aggregate(),
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Case {
+                operand,
+                arms,
+                else_expr,
+            } => {
+                operand.as_deref().is_some_and(Expr::contains_aggregate)
+                    || arms
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_expr.as_deref().is_some_and(Expr::contains_aggregate)
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::Between {
+                expr, low, high, ..
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_walks_structure() {
+        let agg = Expr::Agg {
+            func: AggFunc::Count,
+            arg: None,
+            distinct: false,
+        };
+        let e = Expr::bin(BinOp::Gt, agg, Expr::Lit(Value::Int(10)));
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        // Scalar subqueries are their own scope.
+        let q = Query {
+            distinct: false,
+            select: vec![SelectItem::Expr {
+                expr: Expr::Agg {
+                    func: AggFunc::Count,
+                    arg: None,
+                    distinct: false,
+                },
+                alias: None,
+            }],
+            from: vec![],
+            where_clause: None,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit: None,
+        };
+        assert!(!Expr::ScalarSubquery(Box::new(q)).contains_aggregate());
+    }
+
+    #[test]
+    fn binding_names() {
+        let t = TableRef::Named {
+            name: "trans".into(),
+            alias: Some("t".into()),
+        };
+        assert_eq!(t.binding_name(), "t");
+        let u = TableRef::Named {
+            name: "trans".into(),
+            alias: None,
+        };
+        assert_eq!(u.binding_name(), "trans");
+    }
+
+    #[test]
+    fn agg_func_names() {
+        assert_eq!(AggFunc::from_name("count"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("median"), None);
+        assert_eq!(ScalarFunc::from_name("Year"), Some(ScalarFunc::Year));
+    }
+}

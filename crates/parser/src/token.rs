@@ -1,0 +1,153 @@
+//! Token definitions shared by the lexer and parser.
+
+use sumtab_catalog::Date;
+
+/// A lexical token with its source position (byte offset), for error messages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Token,
+    /// Byte offset of the token start in the source text.
+    pub offset: usize,
+}
+
+/// SQL tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (always stored upper-case).
+    Keyword(Keyword),
+    /// Non-keyword identifier (stored lower-case; the dialect is
+    /// case-insensitive and unquoted-only).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// `DATE 'yyyy-mm-dd'` literal, recognized in the parser; the lexer emits
+    /// the DATE keyword + string, but this variant is used for rendering.
+    DateLit(Date),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+    /// End of input.
+    Eof,
+}
+
+macro_rules! keywords {
+    ($($name:ident),* $(,)?) => {
+        /// Reserved words of the dialect.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)]
+        pub enum Keyword {
+            $($name,)*
+        }
+
+        impl Keyword {
+            /// Parse a keyword from an identifier, case-insensitively.
+            #[allow(clippy::should_implement_trait)] // fallible lookup, not std::str::FromStr
+            pub fn from_str(s: &str) -> Option<Keyword> {
+                let up = s.to_ascii_uppercase();
+                match up.as_str() {
+                    $(stringify!($name) => Some(Keyword::$name),)*
+                    _ => None,
+                }
+            }
+
+            /// The canonical (upper-case) spelling.
+            pub fn as_str(self) -> &'static str {
+                match self {
+                    $(Keyword::$name => stringify!($name),)*
+                }
+            }
+        }
+    };
+}
+
+keywords! {
+    SELECT, DISTINCT, FROM, WHERE, GROUP, BY, HAVING, ORDER, LIMIT, ASC, DESC,
+    AS, AND, OR, NOT, NULL, IS, IN, BETWEEN, LIKE, CASE, WHEN, THEN, ELSE, END,
+    JOIN, INNER, ON, CREATE, TABLE, SUMMARY, PRIMARY, KEY, FOREIGN, REFERENCES,
+    ALTER, ADD, INSERT, INTO, VALUES, ROLLUP, CUBE, GROUPING, SETS, TRUE,
+    FALSE, DATE, UNION, ALL,
+}
+
+impl std::fmt::Display for Token {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Token::Keyword(k) => f.write_str(k.as_str()),
+            Token::Ident(s) => f.write_str(s),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::DateLit(d) => write!(f, "DATE '{d}'"),
+            Token::LParen => f.write_str("("),
+            Token::RParen => f.write_str(")"),
+            Token::Comma => f.write_str(","),
+            Token::Dot => f.write_str("."),
+            Token::Plus => f.write_str("+"),
+            Token::Minus => f.write_str("-"),
+            Token::Star => f.write_str("*"),
+            Token::Slash => f.write_str("/"),
+            Token::Percent => f.write_str("%"),
+            Token::Eq => f.write_str("="),
+            Token::NotEq => f.write_str("<>"),
+            Token::Lt => f.write_str("<"),
+            Token::LtEq => f.write_str("<="),
+            Token::Gt => f.write_str(">"),
+            Token::GtEq => f.write_str(">="),
+            Token::Semicolon => f.write_str(";"),
+            Token::Eof => f.write_str("<eof>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup_is_case_insensitive() {
+        assert_eq!(Keyword::from_str("select"), Some(Keyword::SELECT));
+        assert_eq!(Keyword::from_str("SeLeCt"), Some(Keyword::SELECT));
+        assert_eq!(Keyword::from_str("grouping"), Some(Keyword::GROUPING));
+        assert_eq!(Keyword::from_str("frobnicate"), None);
+    }
+
+    #[test]
+    fn display_round_trips_spelling() {
+        assert_eq!(Token::Keyword(Keyword::GROUP).to_string(), "GROUP");
+        assert_eq!(Token::NotEq.to_string(), "<>");
+        assert_eq!(Token::Str("a'b".into()).to_string(), "'a'b'");
+    }
+}

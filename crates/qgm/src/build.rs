@@ -1,0 +1,1199 @@
+//! SQL syntax → QGM translation.
+//!
+//! Produces the canonical box shapes of Section 2:
+//!
+//! * a non-aggregated block becomes a single SELECT box over its FROM items;
+//! * an aggregated block becomes `SELECT(top) ← GROUPBY ← SELECT(lower)`:
+//!   the lower SELECT joins, filters, and computes grouping expressions and
+//!   aggregate arguments; the GROUP BY box groups by *simple* input columns
+//!   and computes aggregates of simple input columns; the top SELECT applies
+//!   HAVING and computes the final projection (compare Figure 3);
+//! * `SELECT DISTINCT` is normalized to a trailing GROUP BY box with no
+//!   aggregates (the footnote-2 bridge);
+//! * `AVG(x)` is normalized to `SUM(x) / COUNT(x)`;
+//! * `BETWEEN` and `IN (list)` are normalized to comparison conjunctions /
+//!   disjunctions;
+//! * supergroup functions are canonicalized to a single grouping-sets list
+//!   (Section 5);
+//! * scalar subqueries become `Scalar` quantifiers on the consuming box.
+//!
+//! Correlated subqueries are rejected (their QGM graphs contain cycles,
+//! which the paper excludes).
+
+use crate::expr::{AggCall, ColRef, ScalarExpr};
+use crate::graph::GroupByBox;
+use crate::graph::{BoxId, BoxKind, OutputCol, QgmGraph, QuantId, QuantKind, SelectBox};
+use crate::grouping::{canonical_grouping_sets, expand_cube, expand_rollup};
+use sumtab_catalog::{Catalog, Value};
+use sumtab_parser as sql;
+use sumtab_parser::{AggFunc, BinOp};
+
+/// Errors raised during QGM construction (semantic analysis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildError {
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl BuildError {
+    fn new(msg: impl Into<String>) -> BuildError {
+        BuildError {
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "semantic error: {}", self.message)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+type Result<T> = std::result::Result<T, BuildError>;
+
+/// Translate a parsed query into a QGM graph.
+pub fn build_query(q: &sql::Query, catalog: &Catalog) -> Result<QgmGraph> {
+    build_query_with_params(q, catalog, true)
+}
+
+/// Like [`build_query`], optionally skipping the final normalization pass
+/// (merging of consecutive SELECT boxes); useful in tests.
+pub fn build_query_with_params(
+    q: &sql::Query,
+    catalog: &Catalog,
+    normalize: bool,
+) -> Result<QgmGraph> {
+    let mut b = Builder {
+        catalog,
+        g: QgmGraph::new(),
+    };
+    let root = b.build_block(q, true)?;
+    b.g.root = root;
+    let mut g = b.g;
+    if normalize {
+        crate::normalize::merge_selects(&mut g);
+    }
+    #[cfg(debug_assertions)]
+    g.validate();
+    Ok(g)
+}
+
+/// One name binding in a FROM scope.
+struct Binding {
+    name: String,
+    qid: QuantId,
+    cols: Vec<String>,
+}
+
+struct Scope {
+    bindings: Vec<Binding>,
+}
+
+impl Scope {
+    fn resolve(&self, qualifier: Option<&str>, name: &str) -> Result<ColRef> {
+        let lname = name.to_ascii_lowercase();
+        match qualifier {
+            Some(q) => {
+                let lq = q.to_ascii_lowercase();
+                let b = self
+                    .bindings
+                    .iter()
+                    .find(|b| b.name == lq)
+                    .ok_or_else(|| BuildError::new(format!("unknown table alias `{q}`")))?;
+                let ord = b
+                    .cols
+                    .iter()
+                    .position(|c| *c == lname)
+                    .ok_or_else(|| BuildError::new(format!("unknown column `{q}.{name}`")))?;
+                Ok(ColRef {
+                    qid: b.qid,
+                    ordinal: ord,
+                })
+            }
+            None => {
+                let mut found = None;
+                for b in &self.bindings {
+                    if let Some(ord) = b.cols.iter().position(|c| *c == lname) {
+                        if found.is_some() {
+                            return Err(BuildError::new(format!("ambiguous column `{name}`")));
+                        }
+                        found = Some(ColRef {
+                            qid: b.qid,
+                            ordinal: ord,
+                        });
+                    }
+                }
+                found.ok_or_else(|| BuildError::new(format!("unknown column `{name}`")))
+            }
+        }
+    }
+}
+
+struct Builder<'a> {
+    catalog: &'a Catalog,
+    g: QgmGraph,
+}
+
+impl<'a> Builder<'a> {
+    /// Build one query block; returns its root box. `is_outermost` controls
+    /// whether ORDER BY / LIMIT decorate the graph root.
+    fn build_block(&mut self, q: &sql::Query, is_outermost: bool) -> Result<BoxId> {
+        // 1. The main (lower) SELECT box and its FROM scope.
+        let sel = self.g.add_box(BoxKind::Select(SelectBox::default()));
+        let mut scope = Scope {
+            bindings: Vec::new(),
+        };
+        if q.from.is_empty() && q.select.is_empty() {
+            return Err(BuildError::new("empty select"));
+        }
+        for tr in &q.from {
+            let (child, cols) = match tr {
+                sql::TableRef::Named { name, .. } => {
+                    let table = self
+                        .catalog
+                        .table(name)
+                        .ok_or_else(|| BuildError::new(format!("unknown table `{name}`")))?;
+                    let cols: Vec<String> = table.columns.iter().map(|c| c.name.clone()).collect();
+                    let tb = self.g.add_box(BoxKind::BaseTable {
+                        table: table.name.clone(),
+                    });
+                    self.g.boxed_mut(tb).outputs = cols
+                        .iter()
+                        .enumerate()
+                        .map(|(i, n)| OutputCol {
+                            name: n.clone(),
+                            expr: ScalarExpr::BaseCol(i),
+                        })
+                        .collect();
+                    (tb, cols)
+                }
+                sql::TableRef::Derived { query, .. } => {
+                    let sub = self.build_block(query, false)?;
+                    let cols = self
+                        .g
+                        .boxed(sub)
+                        .outputs
+                        .iter()
+                        .map(|c| c.name.clone())
+                        .collect();
+                    (sub, cols)
+                }
+            };
+            let bind_name = tr.binding_name().to_ascii_lowercase();
+            if scope.bindings.iter().any(|b| b.name == bind_name) {
+                return Err(BuildError::new(format!(
+                    "duplicate table alias `{bind_name}`"
+                )));
+            }
+            let qid = self
+                .g
+                .add_quant(sel, child, QuantKind::Foreach, bind_name.clone());
+            scope.bindings.push(Binding {
+                name: bind_name,
+                qid,
+                cols,
+            });
+        }
+
+        // 2. WHERE (no aggregates allowed).
+        if let Some(w) = &q.where_clause {
+            if w.contains_aggregate() {
+                return Err(BuildError::new("aggregates are not allowed in WHERE"));
+            }
+            let pred = self.resolve_expr(w, &scope, sel)?;
+            let conjuncts = pred.split_conjuncts();
+            match &mut self.g.boxed_mut(sel).kind {
+                BoxKind::Select(s) => s.predicates.extend(conjuncts),
+                _ => unreachable!(),
+            }
+        }
+
+        // 3. Expand wildcards into explicit items.
+        let items = self.expand_select_items(&q.select, &scope)?;
+
+        let has_aggs = !q.group_by.is_empty()
+            || items.iter().any(|(e, _)| e.contains_aggregate())
+            || q.having.as_ref().is_some_and(sql::Expr::contains_aggregate);
+
+        let mut root = if !has_aggs {
+            if q.having.is_some() {
+                return Err(BuildError::new("HAVING without GROUP BY or aggregates"));
+            }
+            // Simple select-project-join block.
+            let mut outputs = Vec::with_capacity(items.len());
+            for (i, (e, alias)) in items.iter().enumerate() {
+                let expr = self.resolve_expr(e, &scope, sel)?;
+                outputs.push(OutputCol {
+                    name: output_name(e, alias.as_deref(), i),
+                    expr,
+                });
+            }
+            self.g.boxed_mut(sel).outputs = outputs;
+            sel
+        } else {
+            self.build_aggregation(q, &items, sel, &scope)?
+        };
+
+        // 4. SELECT DISTINCT → trailing GROUP BY box with no aggregates.
+        if q.distinct {
+            root = self.add_distinct(root);
+        }
+
+        // 5. ORDER BY / LIMIT decorate the outermost root only.
+        if is_outermost && (!q.order_by.is_empty() || q.limit.is_some()) {
+            let mut keys = Vec::new();
+            for k in &q.order_by {
+                let ord = self.resolve_order_key(&k.expr, root, &scope, has_aggs, q)?;
+                keys.push((ord, k.desc));
+            }
+            self.g.order.keys = keys;
+            self.g.order.limit = q.limit;
+        }
+        Ok(root)
+    }
+
+    /// Expand `*` and `t.*` into explicit `(expr, alias)` pairs.
+    fn expand_select_items(
+        &self,
+        items: &[sql::SelectItem],
+        scope: &Scope,
+    ) -> Result<Vec<(sql::Expr, Option<String>)>> {
+        let mut out = Vec::new();
+        for item in items {
+            match item {
+                sql::SelectItem::Wildcard => {
+                    for b in &scope.bindings {
+                        for c in &b.cols {
+                            out.push((
+                                sql::Expr::Column {
+                                    qualifier: Some(b.name.clone()),
+                                    name: c.clone(),
+                                },
+                                Some(c.clone()),
+                            ));
+                        }
+                    }
+                }
+                sql::SelectItem::QualifiedWildcard(t) => {
+                    let lt = t.to_ascii_lowercase();
+                    let b = scope
+                        .bindings
+                        .iter()
+                        .find(|b| b.name == lt)
+                        .ok_or_else(|| BuildError::new(format!("unknown table alias `{t}`")))?;
+                    for c in &b.cols {
+                        out.push((
+                            sql::Expr::Column {
+                                qualifier: Some(b.name.clone()),
+                                name: c.clone(),
+                            },
+                            Some(c.clone()),
+                        ));
+                    }
+                }
+                sql::SelectItem::Expr { expr, alias } => out.push((expr.clone(), alias.clone())),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Build `GROUPBY ← top SELECT` over the lower `sel` box.
+    fn build_aggregation(
+        &mut self,
+        q: &sql::Query,
+        items: &[(sql::Expr, Option<String>)],
+        sel: BoxId,
+        scope: &Scope,
+    ) -> Result<BoxId> {
+        // --- Grouping items -------------------------------------------------
+        // Resolve every grouping expression in lower (sel) space, dedup, and
+        // record per-element alternatives for canonicalization.
+        let mut item_exprs: Vec<ScalarExpr> = Vec::new(); // normalized
+        let mut item_display: Vec<sql::Expr> = Vec::new();
+        let intern_item = |exprs: &mut Vec<ScalarExpr>,
+                           display: &mut Vec<sql::Expr>,
+                           e: ScalarExpr,
+                           d: &sql::Expr|
+         -> usize {
+            let n = e.normalize();
+            if let Some(i) = exprs.iter().position(|x| *x == n) {
+                i
+            } else {
+                exprs.push(n);
+                display.push(d.clone());
+                exprs.len() - 1
+            }
+        };
+        let mut elements: Vec<Vec<Vec<usize>>> = Vec::new();
+        for ge in &q.group_by {
+            let resolve_list = |this: &mut Self,
+                                exprs: &mut Vec<ScalarExpr>,
+                                display: &mut Vec<sql::Expr>,
+                                list: &[sql::Expr]|
+             -> Result<Vec<usize>> {
+                let mut out = Vec::new();
+                for e in list {
+                    if e.contains_aggregate() {
+                        return Err(BuildError::new("aggregates not allowed in GROUP BY"));
+                    }
+                    let r = this.resolve_expr_no_subquery(e, scope)?;
+                    out.push(intern_item(exprs, display, r, e));
+                }
+                Ok(out)
+            };
+            match ge {
+                sql::GroupingElement::Expr(e) => {
+                    let idx = resolve_list(
+                        self,
+                        &mut item_exprs,
+                        &mut item_display,
+                        std::slice::from_ref(e),
+                    )?;
+                    elements.push(vec![idx]);
+                }
+                sql::GroupingElement::Rollup(es) => {
+                    let idx = resolve_list(self, &mut item_exprs, &mut item_display, es)?;
+                    elements.push(expand_rollup(&idx));
+                }
+                sql::GroupingElement::Cube(es) => {
+                    let idx = resolve_list(self, &mut item_exprs, &mut item_display, es)?;
+                    elements.push(expand_cube(&idx));
+                }
+                sql::GroupingElement::GroupingSets(sets) => {
+                    let mut alts = Vec::new();
+                    for set in sets {
+                        alts.push(resolve_list(self, &mut item_exprs, &mut item_display, set)?);
+                    }
+                    elements.push(alts);
+                }
+            }
+        }
+        let sets = if elements.is_empty() {
+            vec![vec![]] // scalar aggregation: one grand-total group
+        } else {
+            canonical_grouping_sets(&elements)
+        };
+
+        // --- Lower SELECT outputs -------------------------------------------
+        // One output per grouping item; aggregate arguments are appended as
+        // they are discovered.
+        let mut lower_outputs: Vec<OutputCol> = Vec::new();
+        for (i, e) in item_exprs.iter().enumerate() {
+            lower_outputs.push(OutputCol {
+                name: grouping_name(&item_display[i], i),
+                expr: e.clone(),
+            });
+        }
+
+        // --- GROUP BY box ----------------------------------------------------
+        let gb = self.g.add_box(BoxKind::GroupBy(GroupByBox {
+            items: vec![],
+            sets: sets.clone(),
+        }));
+        let q_gb = self.g.add_quant(gb, sel, QuantKind::Foreach, "gbin");
+        let n_items = item_exprs.len();
+        let gb_items: Vec<ColRef> = (0..n_items)
+            .map(|i| ColRef {
+                qid: q_gb,
+                ordinal: i,
+            })
+            .collect();
+        let mut gb_outputs: Vec<OutputCol> = gb_items
+            .iter()
+            .enumerate()
+            .map(|(i, c)| OutputCol {
+                name: lower_outputs[i].name.clone(),
+                expr: ScalarExpr::Col(*c),
+            })
+            .collect();
+
+        // --- Top SELECT box ----------------------------------------------------
+        let top = self.g.add_box(BoxKind::Select(SelectBox::default()));
+        let q_top = self.g.add_quant(top, gb, QuantKind::Foreach, "gbout");
+
+        // Shared state for aggregate interning.
+        let mut aggs: Vec<(AggFunc, Option<usize>, bool)> = Vec::new(); // (func, lower ordinal, distinct)
+
+        // Translate the SELECT list and HAVING against grouping items and
+        // aggregates.
+        let mut ctx = AggBlockCtx {
+            scope,
+            sel,
+            item_exprs: &item_exprs,
+            lower_outputs: &mut lower_outputs,
+            aggs: &mut aggs,
+
+            q_top,
+            n_items,
+            top,
+        };
+
+        let mut top_outputs = Vec::with_capacity(items.len());
+        for (i, (e, alias)) in items.iter().enumerate() {
+            let expr = self.resolve_agg_space(e, &mut ctx)?;
+            top_outputs.push(OutputCol {
+                name: output_name(e, alias.as_deref(), i),
+                expr,
+            });
+        }
+        let mut having_preds = Vec::new();
+        if let Some(h) = &q.having {
+            let pred = self.resolve_agg_space(h, &mut ctx)?;
+            having_preds = pred.split_conjuncts();
+        }
+
+        // --- Wire everything up ------------------------------------------------
+        for (func, arg_ord, distinct) in aggs.iter() {
+            gb_outputs.push(OutputCol {
+                name: format!("agg{}", gb_outputs.len() - n_items),
+                expr: ScalarExpr::Agg(AggCall {
+                    func: *func,
+                    arg: arg_ord.map(|o| ColRef {
+                        qid: q_gb,
+                        ordinal: o,
+                    }),
+                    distinct: *distinct,
+                }),
+            });
+        }
+        self.g.boxed_mut(sel).outputs = lower_outputs;
+        match &mut self.g.boxed_mut(gb).kind {
+            BoxKind::GroupBy(g) => g.items = gb_items,
+            _ => unreachable!(),
+        }
+        self.g.boxed_mut(gb).outputs = gb_outputs;
+        self.g.boxed_mut(top).outputs = top_outputs;
+        match &mut self.g.boxed_mut(top).kind {
+            BoxKind::Select(s) => s.predicates = having_preds,
+            _ => unreachable!(),
+        }
+        Ok(top)
+    }
+
+    /// Wrap `root` in a duplicate-eliminating GROUP BY box, topped by an
+    /// identity SELECT so the block keeps the canonical Select-rooted shape
+    /// (matching compares boxes of equal type; aggregation blocks always
+    /// end in a SELECT).
+    fn add_distinct(&mut self, root: BoxId) -> BoxId {
+        let gb = self.add_distinct_gb(root);
+        let sel = self.g.add_box(BoxKind::Select(SelectBox::default()));
+        let q = self.g.add_quant(sel, gb, QuantKind::Foreach, "dout");
+        self.g.boxed_mut(sel).outputs = self
+            .g
+            .boxed(gb)
+            .outputs
+            .iter()
+            .enumerate()
+            .map(|(i, oc)| OutputCol {
+                name: oc.name.clone(),
+                expr: ScalarExpr::col(q, i),
+            })
+            .collect();
+        sel
+    }
+
+    /// The DISTINCT GROUP BY itself.
+    fn add_distinct_gb(&mut self, root: BoxId) -> BoxId {
+        let n = self.g.boxed(root).outputs.len();
+        let names: Vec<String> = self
+            .g
+            .boxed(root)
+            .outputs
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let gb = self.g.add_box(BoxKind::GroupBy(GroupByBox {
+            items: vec![],
+            sets: vec![(0..n).collect()],
+        }));
+        let qd = self.g.add_quant(gb, root, QuantKind::Foreach, "dist");
+        let items: Vec<ColRef> = (0..n)
+            .map(|i| ColRef {
+                qid: qd,
+                ordinal: i,
+            })
+            .collect();
+        self.g.boxed_mut(gb).outputs = items
+            .iter()
+            .zip(names)
+            .map(|(c, name)| OutputCol {
+                name,
+                expr: ScalarExpr::Col(*c),
+            })
+            .collect();
+        match &mut self.g.boxed_mut(gb).kind {
+            BoxKind::GroupBy(g) => g.items = items,
+            _ => unreachable!(),
+        }
+        gb
+    }
+
+    /// Resolve an expression in a box's own space; scalar subqueries create
+    /// `Scalar` quantifiers on `owner`.
+    fn resolve_expr(&mut self, e: &sql::Expr, scope: &Scope, owner: BoxId) -> Result<ScalarExpr> {
+        match e {
+            sql::Expr::Lit(v) => Ok(ScalarExpr::Lit(v.clone())),
+            sql::Expr::Column { qualifier, name } => {
+                let c = scope.resolve(qualifier.as_deref(), name)?;
+                Ok(ScalarExpr::Col(c))
+            }
+            sql::Expr::Binary { op, left, right } => Ok(ScalarExpr::bin(
+                *op,
+                self.resolve_expr(left, scope, owner)?,
+                self.resolve_expr(right, scope, owner)?,
+            )),
+            sql::Expr::Unary { op, expr } => Ok(ScalarExpr::Un(
+                *op,
+                Box::new(self.resolve_expr(expr, scope, owner)?),
+            )),
+            sql::Expr::Func { func, args } => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(self.resolve_expr(a, scope, owner)?);
+                }
+                Ok(ScalarExpr::Func(*func, out))
+            }
+            sql::Expr::Case {
+                operand,
+                arms,
+                else_expr,
+            } => {
+                let operand = match operand {
+                    Some(o) => Some(Box::new(self.resolve_expr(o, scope, owner)?)),
+                    None => None,
+                };
+                let mut rarms = Vec::with_capacity(arms.len());
+                for (w, t) in arms {
+                    rarms.push((
+                        self.resolve_expr(w, scope, owner)?,
+                        self.resolve_expr(t, scope, owner)?,
+                    ));
+                }
+                let else_expr = match else_expr {
+                    Some(e) => Some(Box::new(self.resolve_expr(e, scope, owner)?)),
+                    None => None,
+                };
+                Ok(ScalarExpr::Case {
+                    operand,
+                    arms: rarms,
+                    else_expr,
+                })
+            }
+            sql::Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                expr: Box::new(self.resolve_expr(expr, scope, owner)?),
+                negated: *negated,
+            }),
+            sql::Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                // e BETWEEN a AND b  ≡  e >= a AND e <= b
+                let e1 = self.resolve_expr(expr, scope, owner)?;
+                let lo = self.resolve_expr(low, scope, owner)?;
+                let hi = self.resolve_expr(high, scope, owner)?;
+                let both = ScalarExpr::bin(
+                    BinOp::And,
+                    ScalarExpr::bin(BinOp::GtEq, e1.clone(), lo),
+                    ScalarExpr::bin(BinOp::LtEq, e1, hi),
+                );
+                Ok(if *negated {
+                    ScalarExpr::Un(sql::UnOp::Not, Box::new(both))
+                } else {
+                    both
+                })
+            }
+            sql::Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                // e IN (a, b)  ≡  e = a OR e = b
+                let e1 = self.resolve_expr(expr, scope, owner)?;
+                let mut alts = Vec::with_capacity(list.len());
+                for item in list {
+                    let r = self.resolve_expr(item, scope, owner)?;
+                    alts.push(ScalarExpr::bin(BinOp::Eq, e1.clone(), r));
+                }
+                let mut it = alts.into_iter();
+                let first = it.next().ok_or_else(|| BuildError::new("empty IN list"))?;
+                let ored = it.fold(first, |acc, a| ScalarExpr::bin(BinOp::Or, acc, a));
+                Ok(if *negated {
+                    ScalarExpr::Un(sql::UnOp::Not, Box::new(ored))
+                } else {
+                    ored
+                })
+            }
+            sql::Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(ScalarExpr::Like {
+                expr: Box::new(self.resolve_expr(expr, scope, owner)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            }),
+            sql::Expr::ScalarSubquery(sub) => {
+                let sub_root = self.build_block(sub, false)?;
+                if self.g.boxed(sub_root).outputs.len() != 1 {
+                    return Err(BuildError::new(
+                        "scalar subquery must produce exactly one column",
+                    ));
+                }
+                let qid = self.g.add_quant(owner, sub_root, QuantKind::Scalar, "sq");
+                Ok(ScalarExpr::col(qid, 0))
+            }
+            sql::Expr::Agg { .. } => Err(BuildError::new(
+                "aggregate used where no aggregation context exists",
+            )),
+        }
+    }
+
+    /// Like [`Builder::resolve_expr`] but rejecting subqueries (used for
+    /// GROUP BY elements, where a Scalar quantifier has no box to attach to).
+    fn resolve_expr_no_subquery(&mut self, e: &sql::Expr, scope: &Scope) -> Result<ScalarExpr> {
+        if contains_subquery(e) {
+            return Err(BuildError::new("subqueries not allowed in GROUP BY"));
+        }
+        // Owner is irrelevant: no subquery means no quantifier is created.
+        self.resolve_expr(e, scope, BoxId(0))
+    }
+
+    /// Translate an expression into top-SELECT space: grouping expressions
+    /// become references to GROUP BY grouping outputs, aggregates become
+    /// references to GROUP BY aggregate outputs.
+    fn resolve_agg_space(
+        &mut self,
+        e: &sql::Expr,
+        ctx: &mut AggBlockCtx<'_>,
+    ) -> Result<ScalarExpr> {
+        // Whole-node grouping-item check (aggregate- and subquery-free only).
+        if !e.contains_aggregate() && !contains_subquery(e) {
+            let resolved = self.resolve_expr(e, ctx.scope, ctx.sel)?.normalize();
+            if let Some(i) = ctx.item_exprs.iter().position(|x| *x == resolved) {
+                return Ok(ScalarExpr::col(ctx.q_top, i));
+            }
+        }
+        match e {
+            sql::Expr::Lit(v) => Ok(ScalarExpr::Lit(v.clone())),
+            sql::Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => {
+                if *func == AggFunc::Avg {
+                    // AVG(x) → SUM(x) / COUNT(x); COUNT ignores NULLs, so the
+                    // NULL-skipping semantics match.
+                    let arg = arg
+                        .as_deref()
+                        .ok_or_else(|| BuildError::new("AVG requires an argument"))?;
+                    let sum = self.intern_agg(AggFunc::Sum, Some(arg), *distinct, ctx)?;
+                    let cnt = self.intern_agg(AggFunc::Count, Some(arg), *distinct, ctx)?;
+                    return Ok(ScalarExpr::bin(BinOp::Div, sum, cnt));
+                }
+                self.intern_agg(*func, arg.as_deref(), *distinct, ctx)
+            }
+            sql::Expr::Binary { op, left, right } => Ok(ScalarExpr::bin(
+                *op,
+                self.resolve_agg_space(left, ctx)?,
+                self.resolve_agg_space(right, ctx)?,
+            )),
+            sql::Expr::Unary { op, expr } => Ok(ScalarExpr::Un(
+                *op,
+                Box::new(self.resolve_agg_space(expr, ctx)?),
+            )),
+            sql::Expr::Func { func, args } => {
+                let mut out = Vec::with_capacity(args.len());
+                for a in args {
+                    out.push(self.resolve_agg_space(a, ctx)?);
+                }
+                Ok(ScalarExpr::Func(*func, out))
+            }
+            sql::Expr::Case {
+                operand,
+                arms,
+                else_expr,
+            } => {
+                let operand = match operand {
+                    Some(o) => Some(Box::new(self.resolve_agg_space(o, ctx)?)),
+                    None => None,
+                };
+                let mut rarms = Vec::with_capacity(arms.len());
+                for (w, t) in arms {
+                    rarms.push((
+                        self.resolve_agg_space(w, ctx)?,
+                        self.resolve_agg_space(t, ctx)?,
+                    ));
+                }
+                let else_expr = match else_expr {
+                    Some(x) => Some(Box::new(self.resolve_agg_space(x, ctx)?)),
+                    None => None,
+                };
+                Ok(ScalarExpr::Case {
+                    operand,
+                    arms: rarms,
+                    else_expr,
+                })
+            }
+            sql::Expr::IsNull { expr, negated } => Ok(ScalarExpr::IsNull {
+                expr: Box::new(self.resolve_agg_space(expr, ctx)?),
+                negated: *negated,
+            }),
+            sql::Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let e1 = self.resolve_agg_space(expr, ctx)?;
+                let lo = self.resolve_agg_space(low, ctx)?;
+                let hi = self.resolve_agg_space(high, ctx)?;
+                let both = ScalarExpr::bin(
+                    BinOp::And,
+                    ScalarExpr::bin(BinOp::GtEq, e1.clone(), lo),
+                    ScalarExpr::bin(BinOp::LtEq, e1, hi),
+                );
+                Ok(if *negated {
+                    ScalarExpr::Un(sql::UnOp::Not, Box::new(both))
+                } else {
+                    both
+                })
+            }
+            sql::Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let e1 = self.resolve_agg_space(expr, ctx)?;
+                let mut alts = Vec::with_capacity(list.len());
+                for item in list {
+                    let r = self.resolve_agg_space(item, ctx)?;
+                    alts.push(ScalarExpr::bin(BinOp::Eq, e1.clone(), r));
+                }
+                let mut it = alts.into_iter();
+                let first = it.next().ok_or_else(|| BuildError::new("empty IN list"))?;
+                let ored = it.fold(first, |acc, a| ScalarExpr::bin(BinOp::Or, acc, a));
+                Ok(if *negated {
+                    ScalarExpr::Un(sql::UnOp::Not, Box::new(ored))
+                } else {
+                    ored
+                })
+            }
+            sql::Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => Ok(ScalarExpr::Like {
+                expr: Box::new(self.resolve_agg_space(expr, ctx)?),
+                pattern: pattern.clone(),
+                negated: *negated,
+            }),
+            sql::Expr::ScalarSubquery(sub) => {
+                // Evaluated once per group: attach to the top box.
+                let sub_root = self.build_block(sub, false)?;
+                if self.g.boxed(sub_root).outputs.len() != 1 {
+                    return Err(BuildError::new(
+                        "scalar subquery must produce exactly one column",
+                    ));
+                }
+                let qid = self.g.add_quant(ctx.top, sub_root, QuantKind::Scalar, "sq");
+                Ok(ScalarExpr::col(qid, 0))
+            }
+            sql::Expr::Column { qualifier, name } => {
+                let q = qualifier
+                    .as_ref()
+                    .map(|q| format!("{q}."))
+                    .unwrap_or_default();
+                Err(BuildError::new(format!(
+                    "column `{q}{name}` must appear in GROUP BY or inside an aggregate"
+                )))
+            }
+        }
+    }
+
+    /// Intern an aggregate call: resolve its argument in lower space, ensure
+    /// the lower SELECT outputs it, register the aggregate on the GROUP BY
+    /// box, and return a reference to the aggregate output in top space.
+    fn intern_agg(
+        &mut self,
+        func: AggFunc,
+        arg: Option<&sql::Expr>,
+        distinct: bool,
+        ctx: &mut AggBlockCtx<'_>,
+    ) -> Result<ScalarExpr> {
+        if arg.is_some_and(sql::Expr::contains_aggregate) {
+            return Err(BuildError::new("nested aggregate calls are not allowed"));
+        }
+        let arg_ord = match arg {
+            None => None,
+            Some(a) => {
+                if contains_subquery(a) {
+                    return Err(BuildError::new(
+                        "subqueries in aggregate arguments are not supported",
+                    ));
+                }
+                let resolved = self.resolve_expr(a, ctx.scope, ctx.sel)?.normalize();
+                let ord = match ctx.lower_outputs.iter().position(|c| c.expr == resolved) {
+                    Some(i) => i,
+                    None => {
+                        ctx.lower_outputs.push(OutputCol {
+                            name: format!("e{}", ctx.lower_outputs.len()),
+                            expr: resolved,
+                        });
+                        ctx.lower_outputs.len() - 1
+                    }
+                };
+                Some(ord)
+            }
+        };
+        let key = (func, arg_ord, distinct);
+        let agg_idx = match ctx.aggs.iter().position(|a| *a == key) {
+            Some(i) => i,
+            None => {
+                ctx.aggs.push(key);
+                ctx.aggs.len() - 1
+            }
+        };
+        Ok(ScalarExpr::col(ctx.q_top, ctx.n_items + agg_idx))
+    }
+
+    /// Map an ORDER BY key to a root output ordinal.
+    fn resolve_order_key(
+        &mut self,
+        e: &sql::Expr,
+        root: BoxId,
+        scope: &Scope,
+        has_aggs: bool,
+        q: &sql::Query,
+    ) -> Result<usize> {
+        // `ORDER BY 2` — positional.
+        if let sql::Expr::Lit(Value::Int(i)) = e {
+            let i = *i;
+            let n = self.g.boxed(root).outputs.len() as i64;
+            if i >= 1 && i <= n {
+                return Ok((i - 1) as usize);
+            }
+            return Err(BuildError::new(format!(
+                "ORDER BY position {i} out of range"
+            )));
+        }
+        // By output name / alias.
+        if let sql::Expr::Column {
+            qualifier: None,
+            name,
+        } = e
+        {
+            if let Some(i) = self.g.boxed(root).output_index(name) {
+                return Ok(i);
+            }
+        }
+        // By expression equality against the select list.
+        for (i, item) in q.select.iter().enumerate() {
+            if let sql::SelectItem::Expr { expr, .. } = item {
+                if expr == e {
+                    return Ok(i);
+                }
+            }
+        }
+        // By resolved-expression equality (non-aggregate path only; for
+        // aggregated queries the select-list comparison above suffices).
+        if !has_aggs {
+            let resolved = self.resolve_expr(e, scope, root)?.normalize();
+            let found = self
+                .g
+                .boxed(root)
+                .outputs
+                .iter()
+                .position(|c| c.expr.normalize() == resolved);
+            if let Some(i) = found {
+                return Ok(i);
+            }
+        }
+        Err(BuildError::new(
+            "ORDER BY expression does not appear in the select list",
+        ))
+    }
+}
+
+/// Per-aggregation-block translation state.
+struct AggBlockCtx<'b> {
+    scope: &'b Scope,
+    sel: BoxId,
+    item_exprs: &'b [ScalarExpr],
+    lower_outputs: &'b mut Vec<OutputCol>,
+    aggs: &'b mut Vec<(AggFunc, Option<usize>, bool)>,
+    q_top: QuantId,
+    n_items: usize,
+    top: BoxId,
+}
+
+/// True when the expression contains a scalar subquery at any depth.
+fn contains_subquery(e: &sql::Expr) -> bool {
+    match e {
+        sql::Expr::ScalarSubquery(_) => true,
+        sql::Expr::Lit(_) | sql::Expr::Column { .. } => false,
+        sql::Expr::Binary { left, right, .. } => {
+            contains_subquery(left) || contains_subquery(right)
+        }
+        sql::Expr::Unary { expr, .. } => contains_subquery(expr),
+        sql::Expr::Agg { arg, .. } => arg.as_deref().is_some_and(contains_subquery),
+        sql::Expr::Func { args, .. } => args.iter().any(contains_subquery),
+        sql::Expr::Case {
+            operand,
+            arms,
+            else_expr,
+        } => {
+            operand.as_deref().is_some_and(contains_subquery)
+                || arms
+                    .iter()
+                    .any(|(w, t)| contains_subquery(w) || contains_subquery(t))
+                || else_expr.as_deref().is_some_and(contains_subquery)
+        }
+        sql::Expr::IsNull { expr, .. } | sql::Expr::Like { expr, .. } => contains_subquery(expr),
+        sql::Expr::Between {
+            expr, low, high, ..
+        } => contains_subquery(expr) || contains_subquery(low) || contains_subquery(high),
+        sql::Expr::InList { expr, list, .. } => {
+            contains_subquery(expr) || list.iter().any(contains_subquery)
+        }
+    }
+}
+
+/// Pick an output column name: alias, else simple column name, else `c{i}`.
+fn output_name(e: &sql::Expr, alias: Option<&str>, i: usize) -> String {
+    if let Some(a) = alias {
+        return a.to_ascii_lowercase();
+    }
+    if let sql::Expr::Column { name, .. } = e {
+        return name.clone();
+    }
+    format!("c{i}")
+}
+
+/// Pick a grouping-output name: simple column name, else `g{i}`.
+fn grouping_name(e: &sql::Expr, i: usize) -> String {
+    if let sql::Expr::Column { name, .. } = e {
+        return name.clone();
+    }
+    format!("g{i}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::QuantKind;
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+
+    fn build(sql: &str) -> QgmGraph {
+        let cat = Catalog::credit_card_sample();
+        build_query(&parse_query(sql).unwrap(), &cat).unwrap()
+    }
+
+    fn build_err(sql: &str) -> String {
+        let cat = Catalog::credit_card_sample();
+        match build_query(&parse_query(sql).unwrap(), &cat) {
+            Ok(_) => panic!("expected semantic error for `{sql}`"),
+            Err(e) => e.message,
+        }
+    }
+
+    #[test]
+    fn figure3_shape_for_q1() {
+        // The paper's Figure 3: Q1 becomes SELECT <- GROUPBY <- SELECT
+        // with the join and grouping-expression computation at the bottom
+        // and the HAVING at the top.
+        let g = build(
+            "select faid, state, year(date) as year, count(*) as cnt \
+             from trans, loc where flid = lid and country = 'USA' \
+             group by faid, state, year(date) having count(*) > 100",
+        );
+        let root = g.boxed(g.root);
+        assert!(root.is_select());
+        assert_eq!(root.as_select().unwrap().predicates.len(), 1, "HAVING");
+        let gb = g.input_of(root.quants[0]);
+        assert!(g.boxed(gb).is_group_by());
+        let gbx = g.boxed(gb).as_group_by().unwrap();
+        assert_eq!(gbx.items.len(), 3);
+        assert!(gbx.is_simple());
+        let lower = g.input_of(g.boxed(gb).quants[0]);
+        assert!(g.boxed(lower).is_select());
+        assert_eq!(
+            g.boxed(lower).as_select().unwrap().predicates.len(),
+            2,
+            "join + selection predicates live in the lower select"
+        );
+    }
+
+    #[test]
+    fn grouping_expressions_computed_below_group_by() {
+        let g = build("select year(date) as y, count(*) as c from trans group by year(date)");
+        let gb = g.input_of(g.boxed(g.root).quants[0]);
+        let gbx = g.boxed(gb).as_group_by().unwrap();
+        // The grouping item is a *simple* column of the lower select.
+        assert!(matches!(g.boxed(gb).outputs[0].expr, ScalarExpr::Col(_)));
+        let lower = g.input_of(gbx.items[0].qid);
+        assert!(matches!(
+            g.boxed(lower).outputs[gbx.items[0].ordinal].expr,
+            ScalarExpr::Func(..)
+        ));
+    }
+
+    #[test]
+    fn aggregate_args_are_simple_columns() {
+        let g = build("select sum(qty * price) as v from trans");
+        let gb = g.input_of(g.boxed(g.root).quants[0]);
+        match &g.boxed(gb).outputs[0].expr {
+            ScalarExpr::Agg(a) => {
+                let arg = a.arg.expect("sum has an argument");
+                let lower = g.input_of(arg.qid);
+                assert!(matches!(
+                    g.boxed(lower).outputs[arg.ordinal].expr,
+                    ScalarExpr::Bin(..)
+                ));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn avg_normalizes_to_sum_over_count() {
+        let g = build("select avg(qty) as a from trans");
+        let root = g.boxed(g.root);
+        assert!(
+            matches!(root.outputs[0].expr, ScalarExpr::Bin(BinOp::Div, ..)),
+            "AVG becomes SUM/COUNT: {:?}",
+            root.outputs[0].expr
+        );
+        let gb = g.input_of(root.quants[0]);
+        assert_eq!(g.boxed(gb).outputs.len(), 2, "SUM and COUNT aggregates");
+    }
+
+    #[test]
+    fn duplicate_aggregates_are_shared() {
+        let g = build(
+            "select count(*) as a, count(*) + 1 as b from trans group by faid having count(*) > 2",
+        );
+        let gb = g.input_of(g.boxed(g.root).quants[0]);
+        let aggs = g
+            .boxed(gb)
+            .outputs
+            .iter()
+            .filter(|o| matches!(o.expr, ScalarExpr::Agg(_)))
+            .count();
+        assert_eq!(aggs, 1, "one COUNT(*) output serves all three uses");
+    }
+
+    #[test]
+    fn between_and_in_normalize() {
+        let g = build("select tid from trans where qty between 1 and 3 and fpgid in (10, 11)");
+        let preds = &g.boxed(g.root).as_select().unwrap().predicates;
+        // BETWEEN splits into two conjuncts; IN stays one OR conjunct.
+        assert_eq!(preds.len(), 3);
+    }
+
+    #[test]
+    fn scalar_subquery_gets_scalar_quantifier() {
+        let g = build("select tid, (select max(price) from trans) as m from trans");
+        let root = g.boxed(g.root);
+        let kinds: Vec<QuantKind> = root.quants.iter().map(|&q| g.quant(q).kind).collect();
+        assert!(kinds.contains(&QuantKind::Scalar));
+        assert!(kinds.contains(&QuantKind::Foreach));
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        assert!(build_err("select nosuch from trans").contains("unknown column"));
+        assert!(build_err("select qty from nosuch").contains("unknown table"));
+        assert!(build_err(
+            "select lid from trans, loc, acct where aid = lid and lid = flid \
+                           group by flid"
+        )
+        .contains("GROUP BY"));
+        assert!(build_err("select count(*) from trans where count(*) > 1")
+            .contains("not allowed in WHERE"));
+        assert!(build_err("select qty from trans, trans").contains("duplicate table alias"));
+        assert!(build_err("select t.qty from trans as t, loc as t").contains("duplicate"));
+        assert!(build_err("select sum(count(*)) from trans").contains("nested aggregate"));
+        assert!(
+            build_err("select qty from trans group by (select count(*) from loc)")
+                .contains("subqueries not allowed in GROUP BY")
+        );
+        assert!(
+            build_err("select price from trans group by qty").contains("must appear in GROUP BY")
+        );
+        assert!(
+            build_err("select qty from trans having qty > 1").contains("HAVING without GROUP BY")
+        );
+    }
+
+    #[test]
+    fn ambiguous_column_is_rejected() {
+        // `date` exists only in trans; `lid`/`flid` are unambiguous; but a
+        // self-join via aliases makes columns ambiguous.
+        let cat = Catalog::credit_card_sample();
+        let q = parse_query("select qty from trans as a, trans as b").unwrap();
+        let err = build_query(&q, &cat).unwrap_err();
+        assert!(err.message.contains("ambiguous"));
+    }
+
+    #[test]
+    fn order_by_resolution_variants() {
+        // By alias.
+        let g = build("select qty as q from trans order by q desc");
+        assert_eq!(g.order.keys, vec![(0, true)]);
+        // By position.
+        let g = build("select tid, qty from trans order by 2");
+        assert_eq!(g.order.keys, vec![(1, false)]);
+        // By expression equality.
+        let g = build("select qty * price as v from trans order by qty * price");
+        assert_eq!(g.order.keys, vec![(0, false)]);
+        // Aggregated query: by select-list expression.
+        let g = build("select faid, count(*) as c from trans group by faid order by count(*)");
+        assert_eq!(g.order.keys, vec![(1, false)]);
+        // Unresolvable.
+        let cat = Catalog::credit_card_sample();
+        let q = parse_query("select qty from trans order by price").unwrap();
+        assert!(build_query(&q, &cat).is_err());
+    }
+
+    #[test]
+    fn grouping_sets_cross_product_with_plain_columns() {
+        // GROUP BY a, ROLLUP(b) => gs((a,b),(a)).
+        let g = build("select faid, flid, count(*) as c from trans group by faid, rollup(flid)");
+        let gb = g.input_of(g.boxed(g.root).quants[0]);
+        let gbx = g.boxed(gb).as_group_by().unwrap();
+        assert_eq!(gbx.items.len(), 2);
+        assert_eq!(gbx.sets, vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    fn scalar_aggregation_has_grand_total_set() {
+        let g = build("select count(*) as c from trans");
+        let gb = g.input_of(g.boxed(g.root).quants[0]);
+        let gbx = g.boxed(gb).as_group_by().unwrap();
+        assert!(gbx.items.is_empty());
+        assert_eq!(gbx.sets, vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn wildcard_expansion() {
+        let g = build("select * from pgroup");
+        assert_eq!(g.boxed(g.root).outputs.len(), 2);
+        let g = build("select loc.* from trans, loc where flid = lid");
+        assert_eq!(g.boxed(g.root).outputs.len(), 4);
+    }
+
+    #[test]
+    fn distinct_wraps_with_identity_select_over_group_by() {
+        let g = build("select distinct state from loc");
+        let root = g.boxed(g.root);
+        assert!(root.is_select(), "canonical Select-rooted shape");
+        let gb = g.input_of(root.quants[0]);
+        assert!(g.boxed(gb).is_group_by());
+        assert!(g.boxed(gb).as_group_by().unwrap().is_simple());
+    }
+}

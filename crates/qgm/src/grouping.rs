@@ -1,0 +1,129 @@
+//! Canonicalization of supergroup functions (Section 5).
+//!
+//! "Every supergroup expression can be converted to an equivalent canonical
+//! expression that consists of a single `gs` function: `gs(GS1, ..., GSk)`."
+//! This module performs that conversion over *item indices*: the builder
+//! first maps each distinct grouping expression to an index, then hands the
+//! per-element alternatives here for cross-producting and deduplication.
+
+/// Expand `ROLLUP(e0, ..., e_{n-1})` over item indices: the prefixes
+/// `{e0..e_{n-1}}, {e0..e_{n-2}}, ..., {e0}, {}`.
+pub fn expand_rollup(items: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = Vec::with_capacity(items.len() + 1);
+    for len in (0..=items.len()).rev() {
+        out.push(items[..len].to_vec());
+    }
+    out
+}
+
+/// Expand `CUBE(e0, ..., e_{n-1})`: all `2^n` subsets.
+pub fn expand_cube(items: &[usize]) -> Vec<Vec<usize>> {
+    let n = items.len();
+    assert!(n <= 16, "CUBE over more than 16 columns is unsupported");
+    let mut out = Vec::with_capacity(1 << n);
+    for mask in (0..(1u32 << n)).rev() {
+        let mut set = Vec::new();
+        for (i, &item) in items.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                set.push(item);
+            }
+        }
+        out.push(set);
+    }
+    out
+}
+
+/// Combine per-element alternative sets by cross product (SQL:1999
+/// semantics: `GROUP BY a, ROLLUP(b)` means `gs((a,b),(a))`), then sort and
+/// deduplicate each resulting set and the set list.
+///
+/// Each input element is a list of alternative index sets; the output is the
+/// canonical list of grouping sets, each sorted ascending, with duplicates
+/// removed (first occurrence kept).
+pub fn canonical_grouping_sets(elements: &[Vec<Vec<usize>>]) -> Vec<Vec<usize>> {
+    let mut combined: Vec<Vec<usize>> = vec![Vec::new()];
+    for alts in elements {
+        let mut next = Vec::with_capacity(combined.len() * alts.len());
+        for base in &combined {
+            for alt in alts {
+                let mut set = base.clone();
+                set.extend_from_slice(alt);
+                next.push(set);
+            }
+        }
+        combined = next;
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for mut set in combined {
+        set.sort_unstable();
+        set.dedup();
+        if seen.insert(set.clone()) {
+            out.push(set);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rollup_prefixes() {
+        assert_eq!(
+            expand_rollup(&[0, 1, 2]),
+            vec![vec![0, 1, 2], vec![0, 1], vec![0], vec![]]
+        );
+        assert_eq!(expand_rollup(&[]), vec![Vec::<usize>::new()]);
+    }
+
+    #[test]
+    fn cube_subsets() {
+        let subs = expand_cube(&[0, 1]);
+        assert_eq!(subs.len(), 4);
+        assert!(subs.contains(&vec![0, 1]));
+        assert!(subs.contains(&vec![0]));
+        assert!(subs.contains(&vec![1]));
+        assert!(subs.contains(&vec![]));
+    }
+
+    #[test]
+    fn plain_group_by_is_single_set() {
+        // GROUP BY a, b  =>  elements [[{0}], [{1}]]  =>  gs((a,b))
+        let sets = canonical_grouping_sets(&[vec![vec![0]], vec![vec![1]]]);
+        assert_eq!(sets, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn mixed_element_cross_product() {
+        // GROUP BY a, ROLLUP(b)  =>  gs((a,b),(a))
+        let sets = canonical_grouping_sets(&[vec![vec![0]], expand_rollup(&[1])]);
+        assert_eq!(sets, vec![vec![0, 1], vec![0]]);
+    }
+
+    #[test]
+    fn duplicate_sets_are_removed() {
+        // ROLLUP(a) x ROLLUP(a) would produce {a},{a},{a},{} variants.
+        let sets = canonical_grouping_sets(&[expand_rollup(&[0]), expand_rollup(&[0])]);
+        assert_eq!(sets, vec![vec![0], vec![]]);
+    }
+
+    #[test]
+    fn paper_figure_14_like_ast() {
+        // gs((flid,faid,year),(flid,year),(flid,year,month),(year)) is taken
+        // verbatim; canonicalization only sorts within sets.
+        let raw = vec![vec![vec![0, 1, 2], vec![0, 2], vec![0, 2, 3], vec![2]]];
+        let sets = canonical_grouping_sets(&raw);
+        assert_eq!(
+            sets,
+            vec![vec![0, 1, 2], vec![0, 2], vec![0, 2, 3], vec![2]]
+        );
+    }
+
+    #[test]
+    fn within_set_duplicates_collapse() {
+        let sets = canonical_grouping_sets(&[vec![vec![0, 0, 1]]]);
+        assert_eq!(sets, vec![vec![0, 1]]);
+    }
+}

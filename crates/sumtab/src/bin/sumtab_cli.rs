@@ -1,0 +1,217 @@
+//! `sumtab-cli` — an interactive SQL shell with transparent Automatic
+//! Summary Table rewriting.
+//!
+//! ```text
+//! cargo run --release -p sumtab --bin sumtab-cli            # empty session
+//! cargo run --release -p sumtab --bin sumtab-cli -- --demo  # generated star schema
+//! ```
+//!
+//! Statements end with `;`. Dot-commands:
+//!
+//! * `.help` — this text
+//! * `.tables` — list tables and row counts
+//! * `.asts` — list registered summary tables
+//! * `.explain <select...>;` — show the rewritten SQL without running it
+//! * `.qgm <select...>;` — dump the Query Graph Model
+//! * `.norewrite <select...>;` — run against base tables only
+//! * `.import <table> <file.csv>` — load a CSV file (with header) into a table
+//! * `.export <file.csv> <select...>;` — run a query and write CSV
+//! * `.quit`
+
+use std::io::{BufRead, Write};
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::{format_table, SummarySession};
+
+fn main() {
+    let demo = std::env::args().any(|a| a == "--demo");
+    let mut session = if demo {
+        let cfg = GenConfig {
+            transactions: 20_000,
+            ..GenConfig::scale(20_000)
+        };
+        eprintln!(
+            "generating demo star schema ({} transactions)...",
+            cfg.transactions
+        );
+        let (catalog, db) = generate(&cfg);
+        let mut s = SummarySession::with_data(catalog, db);
+        s.run_script(
+            "create summary table demo_ast as (
+                 select faid, flid, year(date) as year, count(*) as cnt
+                 from trans group by faid, flid, year(date));",
+        )
+        .expect("demo AST");
+        eprintln!("demo AST `demo_ast` materialized. Try:");
+        eprintln!("  select faid, count(*) as cnt from trans group by faid;");
+        eprintln!(
+            "  .explain select year(date) as y, count(*) as c from trans group by year(date);"
+        );
+        s
+    } else {
+        SummarySession::new()
+    };
+
+    let stdin = std::io::stdin();
+    let mut buffer = String::new();
+    print_prompt(&buffer);
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with('.') {
+            if !dot_command(&mut session, trimmed) {
+                break;
+            }
+            print_prompt(&buffer);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            run_buffer(&mut session, &std::mem::take(&mut buffer));
+        }
+        print_prompt(&buffer);
+    }
+}
+
+fn print_prompt(buffer: &str) {
+    let p = if buffer.is_empty() {
+        "sumtab> "
+    } else {
+        "   ...> "
+    };
+    print!("{p}");
+    let _ = std::io::stdout().flush();
+}
+
+/// Returns false to quit.
+fn dot_command(session: &mut SummarySession, cmd: &str) -> bool {
+    let (head, rest) = match cmd.split_once(' ') {
+        Some((h, r)) => (h, r.trim().trim_end_matches(';')),
+        None => (cmd, ""),
+    };
+    match head {
+        ".quit" | ".exit" => return false,
+        ".help" => {
+            println!(
+                ".tables | .asts | .explain <q>; | .qgm <q>; | .norewrite <q>; | \
+                 .import <table> <csv> | .export <csv> <q>; | .quit"
+            )
+        }
+        ".tables" => {
+            for t in session.session.catalog.tables() {
+                let kind = if session.session.catalog.is_summary_table(&t.name) {
+                    " (summary)"
+                } else {
+                    ""
+                };
+                println!(
+                    "  {:<24} {:>8} rows{}",
+                    t.name,
+                    session.session.db.row_count(&t.name),
+                    kind
+                );
+            }
+        }
+        ".asts" => {
+            for ast in session.asts() {
+                println!("  {}", ast.name);
+                if let Some(def) = session.session.catalog.summary_table(&ast.name) {
+                    println!("      {}", def.query_sql);
+                }
+            }
+        }
+        ".explain" => match session.explain(rest) {
+            Ok(plan) => println!("{plan}"),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".qgm" => match sumtab::parser::parse_query(rest)
+            .map_err(|e| e.to_string())
+            .and_then(|q| {
+                sumtab::build_query(&q, &session.session.catalog).map_err(|e| e.to_string())
+            }) {
+            Ok(g) => println!("{}", sumtab::qgm::dump_graph(&g)),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".norewrite" => match session.query_no_rewrite(rest) {
+            Ok(r) => println!("{}", format_table(&r.header, &r.rows)),
+            Err(e) => eprintln!("error: {e}"),
+        },
+        ".import" => {
+            let mut parts = rest.splitn(2, ' ');
+            match (parts.next(), parts.next()) {
+                (Some(table), Some(path)) => match std::fs::read_to_string(path.trim()) {
+                    Ok(text) => match sumtab::engine::load_csv(
+                        &session.session.catalog,
+                        &mut session.session.db,
+                        table,
+                        &text,
+                        true,
+                    ) {
+                        Ok(n) => println!("loaded {n} rows into {table}"),
+                        Err(e) => eprintln!("error: {e}"),
+                    },
+                    Err(e) => eprintln!("error reading {path}: {e}"),
+                },
+                _ => eprintln!("usage: .import <table> <file.csv>"),
+            }
+        }
+        ".export" => {
+            let mut parts = rest.splitn(2, ' ');
+            match (parts.next(), parts.next()) {
+                (Some(path), Some(sql)) => match session.query(sql) {
+                    Ok(r) => {
+                        let csv = sumtab::engine::to_csv(&r.header, &r.rows);
+                        match std::fs::write(path, csv) {
+                            Ok(()) => println!("wrote {} rows to {path}", r.rows.len()),
+                            Err(e) => eprintln!("error writing {path}: {e}"),
+                        }
+                    }
+                    Err(e) => eprintln!("error: {e}"),
+                },
+                _ => eprintln!("usage: .export <file.csv> <select...>;"),
+            }
+        }
+        other => eprintln!("unknown command `{other}` — try .help"),
+    }
+    true
+}
+
+fn run_buffer(session: &mut SummarySession, sql: &str) {
+    let sql = sql.trim().trim_end_matches(';');
+    if sql.is_empty() {
+        return;
+    }
+    // SELECTs go through the rewriting path so we can report routing.
+    if sql.trim_start().to_ascii_lowercase().starts_with("select") {
+        match session.query(sql) {
+            Ok(r) => {
+                if let Some(ast) = &r.used_ast {
+                    eprintln!("-- answered from summary table `{ast}`");
+                }
+                println!("{}", format_table(&r.header, &r.rows));
+                println!("({} rows)", r.rows.len());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+        return;
+    }
+    match session.run_script(sql) {
+        Ok(results) => {
+            for res in results {
+                match res {
+                    sumtab::engine::session::StatementResult::Rows(h, rows) => {
+                        println!("{}", format_table(&h, &rows));
+                    }
+                    sumtab::engine::session::StatementResult::Count(n) => {
+                        println!("({n} rows affected)");
+                    }
+                    sumtab::engine::session::StatementResult::Done => println!("ok"),
+                }
+            }
+        }
+        Err(e) => eprintln!("error: {e}"),
+    }
+}

@@ -1,0 +1,432 @@
+//! # sumtab
+//!
+//! Answering complex SQL queries using Automatic Summary Tables — a Rust
+//! reproduction of Zaharioudakis et al., SIGMOD 2000.
+//!
+//! This facade crate re-exports the whole workspace and adds
+//! [`SummarySession`]: a SQL session in which `CREATE SUMMARY TABLE`
+//! registers an AST for *transparent* use — subsequent queries are
+//! automatically rewritten to read the summary table whenever the matching
+//! algorithm proves they can be.
+//!
+//! ```
+//! use sumtab::SummarySession;
+//!
+//! let mut s = SummarySession::new();
+//! s.run_script(
+//!     "create table sales (prod varchar not null, qty int not null);
+//!      insert into sales values ('tv', 2), ('tv', 3), ('radio', 1);
+//!      create summary table by_prod as
+//!        (select prod, sum(qty) as total, count(*) as cnt from sales group by prod);",
+//! ).unwrap();
+//! let result = s.query("select prod, sum(qty) as total from sales group by prod").unwrap();
+//! assert_eq!(result.used_ast.as_deref(), Some("by_prod"));
+//! assert_eq!(result.rows.len(), 2);
+//! ```
+
+pub mod maintain;
+
+pub use sumtab_catalog as catalog;
+pub use sumtab_datagen as datagen;
+pub use sumtab_engine as engine;
+pub use sumtab_matcher as matcher;
+pub use sumtab_parser as parser;
+pub use sumtab_qgm as qgm;
+
+pub use sumtab_catalog::{Catalog, Date, SqlType, Value};
+pub use sumtab_engine::{format_table, sort_rows, Database, Row, Session};
+pub use sumtab_matcher::{baseline::baseline_matches, RegisteredAst, Rewrite, Rewriter};
+pub use sumtab_qgm::{build_query, render_graph_sql, QgmGraph};
+
+use sumtab_engine::session::{SessionError, StatementResult};
+use sumtab_parser::{parse_query, parse_statements, Statement};
+
+fn err(e: impl std::fmt::Display) -> SessionError {
+    SessionError {
+        message: e.to_string(),
+    }
+}
+
+/// The result of a transparently-rewritten query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub header: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+    /// The summary table the query was answered from, if any.
+    pub used_ast: Option<String>,
+    /// The executed (possibly rewritten) query, rendered as SQL.
+    pub executed_sql: String,
+}
+
+/// A SQL session with transparent AST rewriting.
+///
+/// `CREATE SUMMARY TABLE` both materializes the summary and registers it
+/// with the rewriter; `query` then routes each statement through the
+/// matching algorithm, picking the smallest matching AST.
+#[derive(Default)]
+pub struct SummarySession {
+    /// The underlying engine session (catalog + data).
+    pub session: Session,
+    asts: Vec<RegisteredAst>,
+}
+
+impl SummarySession {
+    /// An empty session.
+    pub fn new() -> SummarySession {
+        SummarySession::default()
+    }
+
+    /// A session over a pre-built catalog and database.
+    pub fn with_data(catalog: Catalog, db: Database) -> SummarySession {
+        let mut asts = Vec::new();
+        // Re-register any summary tables already present in the catalog.
+        for def in catalog.summary_tables() {
+            if let Ok(ast) = RegisteredAst::from_sql(&def.name, &def.query_sql, &catalog) {
+                asts.push(ast);
+            }
+        }
+        SummarySession {
+            session: Session { catalog, db },
+            asts,
+        }
+    }
+
+    /// The registered ASTs.
+    pub fn asts(&self) -> &[RegisteredAst] {
+        &self.asts
+    }
+
+    /// Run a semicolon-separated script. `CREATE SUMMARY TABLE` statements
+    /// are additionally registered for rewriting.
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SessionError> {
+        let stmts = parse_statements(sql).map_err(|e| SessionError {
+            message: e.to_string(),
+        })?;
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in &stmts {
+            out.push(self.session.run_statement(stmt)?);
+            if let Statement::CreateSummaryTable { name, .. } = stmt {
+                let def = self
+                    .session
+                    .catalog
+                    .summary_table(name)
+                    .expect("just created");
+                let ast = RegisteredAst::from_sql(&def.name, &def.query_sql, &self.session.catalog)
+                    .map_err(|m| SessionError { message: m })?;
+                self.asts.push(ast);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Plan a query: build its QGM and rewrite it against the registered
+    /// ASTs, iteratively (Section 7: the result of one rewrite is matched
+    /// against the remaining ASTs). Returns the final graph and the names
+    /// of the ASTs used.
+    pub fn plan(&self, sql: &str) -> Result<(QgmGraph, Vec<String>), SessionError> {
+        let q = parse_query(sql).map_err(|e| SessionError {
+            message: e.to_string(),
+        })?;
+        let mut graph = build_query(&q, &self.session.catalog).map_err(|e| SessionError {
+            message: e.to_string(),
+        })?;
+        let rewriter = Rewriter::new(&self.session.catalog);
+        let mut used = Vec::new();
+        let mut remaining: Vec<&RegisteredAst> = self.asts.iter().collect();
+        loop {
+            let best = remaining
+                .iter()
+                .enumerate()
+                .filter_map(|(i, ast)| rewriter.rewrite(&graph, ast).map(|rw| (i, rw)))
+                .min_by_key(|(_, rw)| self.session.db.row_count(&rw.ast_name));
+            match best {
+                Some((i, rw)) => {
+                    used.push(rw.ast_name.clone());
+                    graph = rw.graph;
+                    remaining.remove(i);
+                }
+                None => break,
+            }
+        }
+        Ok((graph, used))
+    }
+
+    /// Execute a query with transparent rewriting.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, SessionError> {
+        let (graph, used) = self.plan(sql)?;
+        let header = graph
+            .boxed(graph.root)
+            .outputs
+            .iter()
+            .map(|c| c.name.clone())
+            .collect();
+        let rows = sumtab_engine::execute(&graph, &self.session.db).map_err(|e| SessionError {
+            message: e.to_string(),
+        })?;
+        Ok(QueryResult {
+            header,
+            rows,
+            used_ast: used.first().cloned(),
+            executed_sql: render_graph_sql(&graph),
+        })
+    }
+
+    /// Execute a query WITHOUT rewriting (the baseline for comparisons).
+    pub fn query_no_rewrite(&mut self, sql: &str) -> Result<QueryResult, SessionError> {
+        let (header, rows) = self.session.query(sql)?;
+        Ok(QueryResult {
+            header,
+            rows,
+            used_ast: None,
+            executed_sql: sql.to_string(),
+        })
+    }
+
+    /// EXPLAIN-style view: the SQL that would actually run.
+    pub fn explain(&self, sql: &str) -> Result<String, SessionError> {
+        let (graph, used) = self.plan(sql)?;
+        let mut out = String::new();
+        if used.is_empty() {
+            out.push_str("-- no summary table applicable\n");
+        } else {
+            out.push_str(&format!("-- answered from: {}\n", used.join(", ")));
+        }
+        out.push_str(&render_graph_sql(&graph));
+        Ok(out)
+    }
+
+    /// Append rows to a base table and maintain every affected summary
+    /// table — incrementally when its definition is insert-maintainable
+    /// (see [`maintain`]), by full recomputation otherwise.
+    ///
+    /// Returns the names of the incrementally-maintained ASTs.
+    pub fn append(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<String>, SessionError> {
+        // Plan first, against the pre-append state.
+        let mut incremental = Vec::new();
+        let mut full = Vec::new();
+        for ast in &self.asts {
+            let touches = ast.graph.boxes.iter().any(|b| {
+                matches!(&b.kind, qgm::BoxKind::BaseTable { table: t }
+                         if t.eq_ignore_ascii_case(table))
+            });
+            if !touches {
+                continue;
+            }
+            match maintain::maintenance_plan(&ast.graph, &table.to_ascii_lowercase()) {
+                Some(plan) => incremental.push((ast.name.clone(), plan)),
+                None => full.push(ast.name.clone()),
+            }
+        }
+        // Incremental ASTs merge the delta (computed against the dimension
+        // state visible to the new rows, i.e. post-append for all other
+        // tables). Insert the rows first, then run deltas with the fact
+        // table overridden to just the new rows inside `apply_append`.
+        self.session
+            .db
+            .insert(&self.session.catalog, table, rows.clone())
+            .map_err(err)?;
+        let mut maintained = Vec::new();
+        for (name, plan) in incremental {
+            let ast = self.asts.iter().find(|a| a.name == name).unwrap();
+            maintain::apply_append(
+                &ast.graph,
+                &plan,
+                &name,
+                &table.to_ascii_lowercase(),
+                &rows,
+                &mut self.session.db,
+            )
+            .map_err(err)?;
+            maintained.push(name);
+        }
+        for name in full {
+            self.refresh(&name)?;
+        }
+        Ok(maintained)
+    }
+
+    /// Refresh one summary table from current base data (full recompute —
+    /// related problem (c) is out of the paper's scope; see DESIGN.md).
+    pub fn refresh(&mut self, name: &str) -> Result<(), SessionError> {
+        let ast = self
+            .asts
+            .iter()
+            .find(|a| a.name == name)
+            .ok_or_else(|| SessionError {
+                message: format!("unknown summary table `{name}`"),
+            })?;
+        let rows =
+            sumtab_engine::execute(&ast.graph, &self.session.db).map_err(|e| SessionError {
+                message: e.to_string(),
+            })?;
+        self.session.db.put_table(name, rows);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transparent_rewriting_round_trip() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null, v int not null);
+             insert into t values (1, 10), (1, 20), (2, 30);
+             create summary table st as (select k, sum(v) as sv, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        let with = s.query("select k, sum(v) as sv from t group by k").unwrap();
+        assert_eq!(with.used_ast.as_deref(), Some("st"));
+        let without = s
+            .query_no_rewrite("select k, sum(v) as sv from t group by k")
+            .unwrap();
+        assert_eq!(sort_rows(with.rows), sort_rows(without.rows));
+    }
+
+    #[test]
+    fn explain_reports_routing() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null, v int not null);
+             insert into t values (1, 1);
+             create summary table st as (select k, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        let plan = s
+            .explain("select k, count(*) as c from t group by k")
+            .unwrap();
+        assert!(plan.contains("answered from: st"), "{plan}");
+        let plan2 = s.explain("select v from t").unwrap();
+        assert!(plan2.contains("no summary table applicable"), "{plan2}");
+    }
+
+    #[test]
+    fn refresh_recomputes() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null);
+             insert into t values (1);
+             create summary table st as (select k, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        s.run_script("insert into t values (1), (2)").unwrap();
+        // Stale before refresh (summary tables are snapshots).
+        assert_eq!(s.session.db.row_count("st"), 1);
+        s.refresh("st").unwrap();
+        assert_eq!(s.session.db.row_count("st"), 2);
+        let r = s
+            .query("select k, count(*) as c from t group by k")
+            .unwrap();
+        assert_eq!(
+            sort_rows(r.rows),
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn with_data_reregisters_asts() {
+        let mut s1 = SummarySession::new();
+        s1.run_script(
+            "create table t (k int not null);
+             insert into t values (1), (1);
+             create summary table st as (select k, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        let s2 = SummarySession::with_data(s1.session.catalog.clone(), s1.session.db.clone());
+        assert_eq!(s2.asts().len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod maintain_integration_tests {
+    use super::*;
+
+    #[test]
+    fn append_maintains_incrementally_and_stays_consistent() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null, v int not null);
+             insert into t values (1, 10), (2, 5);
+             create summary table st as
+               (select k, count(*) as c, sum(v) as s, min(v) as mn, max(v) as mx
+                from t group by k);",
+        )
+        .unwrap();
+        let maintained = s
+            .append(
+                "t",
+                vec![
+                    vec![Value::Int(1), Value::Int(3)],
+                    vec![Value::Int(3), Value::Int(7)],
+                ],
+            )
+            .unwrap();
+        assert_eq!(maintained, vec!["st".to_string()], "incremental path used");
+        // The maintained summary equals a from-scratch recomputation.
+        let direct = s
+            .query_no_rewrite(
+                "select k, count(*) as c, sum(v) as s, min(v) as mn, max(v) as mx \
+                 from t group by k",
+            )
+            .unwrap();
+        let stored = s
+            .query_no_rewrite("select k, c, s, mn, mx from st")
+            .unwrap();
+        assert_eq!(sort_rows(direct.rows), sort_rows(stored.rows));
+        // And queries routed through it see the fresh data.
+        let routed = s.query("select k, sum(v) as s from t group by k").unwrap();
+        assert_eq!(routed.used_ast.as_deref(), Some("st"));
+        assert_eq!(
+            sort_rows(routed.rows),
+            vec![
+                vec![Value::Int(1), Value::Int(13)],
+                vec![Value::Int(2), Value::Int(5)],
+                vec![Value::Int(3), Value::Int(7)],
+            ]
+        );
+    }
+
+    #[test]
+    fn append_falls_back_to_refresh_for_having_asts() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null);
+             insert into t values (1), (1), (2);
+             create summary table big as
+               (select k, count(*) as c from t group by k having count(*) > 1);",
+        )
+        .unwrap();
+        let maintained = s.append("t", vec![vec![Value::Int(2)]]).unwrap();
+        assert!(maintained.is_empty(), "HAVING forces full refresh");
+        let stored = s.query_no_rewrite("select k, c from big").unwrap();
+        assert_eq!(
+            sort_rows(stored.rows),
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(2)],
+            ]
+        );
+    }
+
+    #[test]
+    fn append_to_unrelated_table_leaves_asts_alone() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null);
+             create table u (k int not null);
+             insert into t values (1);
+             create summary table st as (select k, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        let maintained = s.append("u", vec![vec![Value::Int(9)]]).unwrap();
+        assert!(maintained.is_empty());
+        assert_eq!(s.session.db.row_count("st"), 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! AST routing: when several summary tables can answer a query, pick the
+//! cheapest (smallest) one — the paper's related problem (b). Also shows
+//! iterative multi-AST rewriting (Section 7): different parts of one query
+//! routed to different ASTs.
+//!
+//! Run with: `cargo run --release --example advisor`
+
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::{RegisteredAst, Rewriter, SummarySession};
+
+fn main() {
+    let cfg = GenConfig {
+        transactions: 60_000,
+        ..GenConfig::scale(60_000)
+    };
+    println!("Generating {} transactions...\n", cfg.transactions);
+    let (catalog, db) = generate(&cfg);
+    let mut session = SummarySession::with_data(catalog, db);
+
+    // Three summary tables at different granularities.
+    session
+        .run_script(
+            "create summary table by_acct_loc_year as (
+                 select faid, flid, year(date) as year, count(*) as cnt
+                 from trans group by faid, flid, year(date)
+             );
+             create summary table by_acct_year as (
+                 select faid, year(date) as year, count(*) as cnt
+                 from trans group by faid, year(date)
+             );
+             create summary table by_year as (
+                 select year(date) as year, count(*) as cnt
+                 from trans group by year(date)
+             );",
+        )
+        .expect("materialize candidates");
+
+    for name in ["by_acct_loc_year", "by_acct_year", "by_year"] {
+        println!(
+            "  {name:<18} {:>8} rows",
+            session.session.db.row_count(name)
+        );
+    }
+
+    // Which ASTs can answer each query, and which is chosen?
+    let queries = [
+        "select faid, year(date) as year, count(*) as cnt from trans group by faid, year(date)",
+        "select year(date) as year, count(*) as cnt from trans group by year(date)",
+        "select faid, flid, count(*) as cnt from trans group by faid, flid",
+    ];
+    for sql in queries {
+        println!("\nQuery: {sql}");
+        let candidates: Vec<String> = {
+            let rewriter = Rewriter::new(&session.session.catalog);
+            let q = sumtab::build_query(
+                &sumtab::parser::parse_query(sql).unwrap(),
+                &session.session.catalog,
+            )
+            .unwrap();
+            session
+                .asts()
+                .iter()
+                .filter(|ast: &&RegisteredAst| rewriter.rewrite(&q, ast).is_some())
+                .map(|a| {
+                    format!(
+                        "{} ({} rows)",
+                        a.name,
+                        session.session.db.row_count(&a.name)
+                    )
+                })
+                .collect()
+        };
+        println!(
+            "  candidates: {}",
+            if candidates.is_empty() {
+                "(none)".to_string()
+            } else {
+                candidates.join(", ")
+            }
+        );
+        let result = session.query(sql).unwrap();
+        println!(
+            "  chosen: {}",
+            result.used_ast.as_deref().unwrap_or("(base tables)")
+        );
+        // Verify against the base tables.
+        let plain = session.query_no_rewrite(sql).unwrap();
+        assert_eq!(
+            sumtab::sort_rows(result.rows),
+            sumtab::sort_rows(plain.rows)
+        );
+        println!("  ✓ results verified against base tables");
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: create a schema, load data, define an Automatic Summary
+//! Table, and watch queries get transparently rewritten to use it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sumtab::{format_table, SummarySession};
+
+fn main() {
+    let mut session = SummarySession::new();
+
+    // 1. A tiny sales schema with some data.
+    session
+        .run_script(
+            "create table sales (
+                 region varchar not null,
+                 product varchar not null,
+                 day date not null,
+                 qty int not null,
+                 price double not null
+             );
+             insert into sales values
+                 ('west', 'tv',    date '1999-01-05', 2, 499.0),
+                 ('west', 'tv',    date '1999-02-11', 1, 499.0),
+                 ('west', 'radio', date '1999-02-12', 5,  49.0),
+                 ('east', 'tv',    date '1999-03-02', 3, 520.0),
+                 ('east', 'radio', date '1999-03-15', 2,  45.0),
+                 ('east', 'radio', date '2000-01-20', 7,  39.0),
+                 ('west', 'tv',    date '2000-02-28', 1, 479.0);",
+        )
+        .expect("schema + data");
+
+    // 2. An Automatic Summary Table: monthly revenue per region/product.
+    session
+        .run_script(
+            "create summary table monthly_sales as (
+                 select region, product, year(day) as year, month(day) as month,
+                        sum(qty * price) as revenue, count(*) as cnt
+                 from sales
+                 group by region, product, year(day), month(day)
+             );",
+        )
+        .expect("summary table");
+
+    // 3. Ask a coarser question: yearly revenue per region. The matcher
+    //    proves it can be answered from the summary and rewrites the query.
+    let sql = "select region, year(day) as year, sum(qty * price) as revenue \
+               from sales group by region, year(day)";
+    println!("User query:\n  {sql}\n");
+    println!("{}\n", session.explain(sql).unwrap());
+
+    let result = session.query(sql).unwrap();
+    println!(
+        "Answered from: {}\n",
+        result.used_ast.as_deref().unwrap_or("(base tables)")
+    );
+    println!(
+        "{}",
+        format_table(&result.header, &sumtab::sort_rows(result.rows.clone()))
+    );
+
+    // 4. Sanity: identical to the unrewritten answer.
+    let plain = session.query_no_rewrite(sql).unwrap();
+    assert_eq!(
+        sumtab::sort_rows(result.rows),
+        sumtab::sort_rows(plain.rows)
+    );
+    println!("✓ rewritten result matches the base-table result");
+
+    // 5. A question the summary cannot answer (needs day granularity).
+    let daily = "select day, sum(qty) as q from sales group by day";
+    println!("\nUser query:\n  {daily}\n");
+    println!("{}", session.explain(daily).unwrap());
+}

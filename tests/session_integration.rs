@@ -1,0 +1,125 @@
+//! End-to-end SQL session scenarios exercising the whole stack: DDL, data
+//! loading, AST materialization, transparent rewriting, ORDER BY/LIMIT,
+//! and error paths.
+
+use sumtab::{sort_rows, SummarySession, Value};
+
+#[test]
+fn warehouse_lifecycle() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table store (sid int not null, region varchar not null, primary key (sid));
+         create table sales (id int not null, fsid int not null, amount double not null,
+                             day date not null);
+         alter table sales add foreign key (fsid) references store;
+         insert into store values (1, 'west'), (2, 'west'), (3, 'east');
+         insert into sales values
+            (1, 1, 100.0, date '2001-01-10'),
+            (2, 1, 150.0, date '2001-02-11'),
+            (3, 2,  80.0, date '2001-02-15'),
+            (4, 3, 200.0, date '2002-03-01'),
+            (5, 3,  70.0, date '2002-07-04');",
+    )
+    .unwrap();
+    s.run_script(
+        "create summary table sales_by_store_year as (
+             select fsid, year(day) as year, sum(amount) as total, count(*) as cnt
+             from sales group by fsid, year(day));",
+    )
+    .unwrap();
+
+    // Rejoin to the dimension + regroup to region level.
+    let sql = "select region, year(day) as year, sum(amount) as total \
+               from sales, store where fsid = sid group by region, year(day)";
+    let res = s.query(sql).unwrap();
+    assert_eq!(res.used_ast.as_deref(), Some("sales_by_store_year"));
+    let plain = s.query_no_rewrite(sql).unwrap();
+    assert_eq!(sort_rows(res.rows.clone()), sort_rows(plain.rows));
+    assert_eq!(res.rows.len(), 2);
+
+    // ORDER BY / LIMIT still honored on the rewritten query.
+    let top = s
+        .query(
+            "select fsid, sum(amount) as total from sales group by fsid \
+             order by total desc limit 1",
+        )
+        .unwrap();
+    assert_eq!(top.rows, vec![vec![Value::Int(3), Value::Double(270.0)]]);
+    assert_eq!(top.used_ast.as_deref(), Some("sales_by_store_year"));
+}
+
+#[test]
+fn queries_outside_ast_scope_fall_back() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (a int not null, b int not null);
+         insert into t values (1, 1), (2, 4);
+         create summary table st as (select a, count(*) as c from t group by a);",
+    )
+    .unwrap();
+    // Needs column `b`, absent from the AST.
+    let res = s.query("select a, sum(b) as sb from t group by a").unwrap();
+    assert_eq!(res.used_ast, None);
+    assert_eq!(res.rows.len(), 2);
+}
+
+#[test]
+fn error_paths_are_clean() {
+    let mut s = SummarySession::new();
+    assert!(s.query("select x from missing").is_err());
+    assert!(s
+        .run_script("create summary table st as (select * from missing)")
+        .is_err());
+    s.run_script("create table t (a int not null)").unwrap();
+    assert!(
+        s.run_script("create table t (a int)").is_err(),
+        "duplicate table"
+    );
+    assert!(s.refresh("nope").is_err());
+}
+
+#[test]
+fn distinct_queries_use_group_by_bridge() {
+    // SELECT DISTINCT normalizes to GROUP BY (footnote 2), so a grouping
+    // AST can answer it.
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (a int not null, b int not null);
+         insert into t values (1, 1), (1, 2), (2, 1), (1, 1);
+         create summary table st as (select a, b, count(*) as c from t group by a, b);",
+    )
+    .unwrap();
+    let res = s.query("select distinct a from t").unwrap();
+    assert_eq!(res.used_ast.as_deref(), Some("st"));
+    assert_eq!(
+        sort_rows(res.rows),
+        vec![vec![Value::Int(1)], vec![Value::Int(2)]]
+    );
+}
+
+#[test]
+fn decimal_style_aggregates_preserved() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table m (g int not null, x double not null);
+         insert into m values (1, 0.5), (1, 0.25), (2, 1.75);
+         create summary table sm as
+            (select g, sum(x) as sx, count(x) as cx, min(x) as mn, max(x) as mx
+             from m group by g);",
+    )
+    .unwrap();
+    let res = s
+        .query(
+            "select g, sum(x) as sx, min(x) as mn, max(x) as mx, avg(x) as ax \
+                from m group by g",
+        )
+        .unwrap();
+    assert_eq!(res.used_ast.as_deref(), Some("sm"));
+    let plain = s
+        .query_no_rewrite(
+            "select g, sum(x) as sx, min(x) as mn, max(x) as mx, avg(x) as ax \
+             from m group by g",
+        )
+        .unwrap();
+    assert_eq!(sort_rows(res.rows), sort_rows(plain.rows));
+}

@@ -1,0 +1,260 @@
+//! Property-based soundness: for randomly generated (query, AST) pairs over
+//! the credit-card schema, whenever the matcher produces a rewrite, the
+//! rewritten query returns exactly the original's multiset of rows on
+//! random data.
+//!
+//! This is the repository's strongest correctness guarantee: the matcher is
+//! free to refuse (it implements sufficient conditions only), but it must
+//! never rewrite wrongly.
+
+use proptest::prelude::*;
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::{sort_rows, RegisteredAst, Rewriter};
+
+/// Grouping expressions the generator can pick from.
+const GROUPINGS: &[&str] = &[
+    "faid",
+    "flid",
+    "fpgid",
+    "year(date)",
+    "month(date)",
+    "qty",
+    "year(date) % 100",
+];
+
+/// Aggregate expressions (name, sql).
+const AGGS: &[(&str, &str)] = &[
+    ("cnt", "count(*)"),
+    ("sq", "sum(qty)"),
+    ("sv", "sum(qty * price)"),
+    ("mn", "min(price)"),
+    ("mx", "max(price)"),
+    ("cq", "count(qty)"),
+];
+
+/// WHERE predicates (those marked `true` require the Loc join).
+const PREDS: &[(&str, bool)] = &[
+    ("year(date) > 1990", false),
+    ("month(date) >= 6", false),
+    ("qty > 2", false),
+    ("disc > 0.1", false),
+    ("country = 'USA'", true),
+    ("price > 50", false),
+];
+
+#[derive(Debug, Clone)]
+struct SpecQuery {
+    groupings: Vec<usize>,
+    aggs: Vec<usize>,
+    preds: Vec<usize>,
+    having_cnt: Option<i64>,
+    /// When true, group by ROLLUP(groupings) instead of plain GROUP BY —
+    /// exercising the Section 5 cube patterns.
+    rollup: bool,
+}
+
+impl SpecQuery {
+    fn needs_loc(&self) -> bool {
+        self.preds.iter().any(|&i| PREDS[i].1)
+    }
+
+    fn sql(&self) -> String {
+        let mut select: Vec<String> = self
+            .groupings
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| format!("{} as g{i}", GROUPINGS[g]))
+            .collect();
+        for &a in &self.aggs {
+            let (name, sql) = AGGS[a];
+            select.push(format!("{sql} as {name}"));
+        }
+        let from = if self.needs_loc() {
+            "trans, loc"
+        } else {
+            "trans"
+        };
+        let mut preds: Vec<String> = self.preds.iter().map(|&i| PREDS[i].0.to_string()).collect();
+        if self.needs_loc() {
+            preds.insert(0, "flid = lid".to_string());
+        }
+        let mut sql = format!("select {} from {from}", select.join(", "));
+        if !preds.is_empty() {
+            sql.push_str(&format!(" where {}", preds.join(" and ")));
+        }
+        if !self.groupings.is_empty() {
+            let gb: Vec<&str> = self.groupings.iter().map(|&g| GROUPINGS[g]).collect();
+            if self.rollup {
+                sql.push_str(&format!(" group by rollup({})", gb.join(", ")));
+            } else {
+                sql.push_str(&format!(" group by {}", gb.join(", ")));
+            }
+        }
+        if let Some(h) = self.having_cnt {
+            sql.push_str(&format!(" having count(*) > {h}"));
+        }
+        sql
+    }
+}
+
+fn spec_strategy(max_preds: usize) -> impl Strategy<Value = SpecQuery> {
+    (
+        proptest::sample::subsequence((0..GROUPINGS.len()).collect::<Vec<_>>(), 1..=3),
+        proptest::sample::subsequence((0..AGGS.len()).collect::<Vec<_>>(), 1..=3),
+        proptest::sample::subsequence((0..PREDS.len()).collect::<Vec<_>>(), 0..=max_preds),
+        proptest::option::of(1i64..5),
+        proptest::bool::weighted(0.25),
+    )
+        .prop_map(|(groupings, aggs, preds, having_cnt, rollup)| SpecQuery {
+            groupings,
+            aggs,
+            preds,
+            having_cnt: if rollup { None } else { having_cnt },
+            rollup,
+        })
+}
+
+fn fixture() -> (sumtab::Catalog, sumtab::Database) {
+    generate(&GenConfig {
+        transactions: 800,
+        accounts: 8,
+        customers: 6,
+        locations: 6,
+        pgroups: 3,
+        years: 3,
+        ..GenConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Random query vs random AST: any produced rewrite is result-preserving.
+    #[test]
+    fn rewrites_are_sound(query in spec_strategy(2), ast in spec_strategy(1)) {
+        let (cat, mut db) = fixture();
+        let ast_sql = ast.sql();
+        let query_sql = query.sql();
+        let registered = RegisteredAst::from_sql("past", &ast_sql, &cat).unwrap();
+        sumtab::engine::materialize("past", &registered.graph, &cat, &mut db).unwrap();
+        let q = sumtab::build_query(
+            &sumtab::parser::parse_query(&query_sql).unwrap(),
+            &cat,
+        )
+        .unwrap();
+        if let Some(rw) = Rewriter::new(&cat).rewrite(&q, &registered) {
+            let original = sumtab::engine::execute(&q, &db).unwrap();
+            let rewritten = sumtab::engine::execute(&rw.graph, &db).unwrap();
+            prop_assert_eq!(
+                sort_rows(original),
+                sort_rows(rewritten),
+                "unsound rewrite!\n  query: {}\n  ast:   {}\n  rewritten: {}",
+                query_sql,
+                ast_sql,
+                sumtab::render_graph_sql(&rw.graph)
+            );
+        }
+    }
+
+    /// A query must always match an identical AST (reflexivity of matching).
+    #[test]
+    fn identical_definitions_always_match(spec in spec_strategy(2)) {
+        // HAVING-free specs only: a HAVING clause on the AST constrains its
+        // content, and matching it requires predicate-equivalence at the top
+        // box, which holds — but keep the reflexivity property unconditional
+        // by clearing it. Rollup ASTs additionally need non-nullable
+        // grouping columns for slicing, which the pool guarantees.
+        let spec = SpecQuery { having_cnt: None, ..spec };
+        let (cat, _db) = fixture();
+        let sql = spec.sql();
+        let registered = RegisteredAst::from_sql("past", &sql, &cat).unwrap();
+        let q = sumtab::build_query(&sumtab::parser::parse_query(&sql).unwrap(), &cat).unwrap();
+        prop_assert!(
+            Rewriter::new(&cat).rewrite(&q, &registered).is_some(),
+            "query failed to match its own definition: {}",
+            sql
+        );
+    }
+
+    /// Rollup-AST completeness: a plain GROUP BY over any prefix of a
+    /// rollup AST's columns must match (the prefix cuboid exists by
+    /// construction), and the slicing rewrite must be sound.
+    #[test]
+    fn rollup_prefix_cuboids_match_and_are_sound(
+        groupings in proptest::sample::subsequence(vec![0usize, 1, 3, 4], 2..=3),
+        prefix in 1usize..=2,
+    ) {
+        let (cat, mut db) = fixture();
+        let ast_spec = SpecQuery {
+            groupings: groupings.clone(),
+            aggs: vec![0, 1],
+            preds: vec![],
+            having_cnt: None,
+            rollup: true,
+        };
+        let query_spec = SpecQuery {
+            groupings: groupings[..prefix.min(groupings.len())].to_vec(),
+            aggs: vec![0],
+            preds: vec![],
+            having_cnt: None,
+            rollup: false,
+        };
+        let registered = RegisteredAst::from_sql("past", &ast_spec.sql(), &cat).unwrap();
+        sumtab::engine::materialize("past", &registered.graph, &cat, &mut db).unwrap();
+        let q = sumtab::build_query(
+            &sumtab::parser::parse_query(&query_spec.sql()).unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let rw = Rewriter::new(&cat).rewrite(&q, &registered);
+        prop_assert!(
+            rw.is_some(),
+            "prefix cuboid must match\n  query: {}\n  ast: {}",
+            query_spec.sql(),
+            ast_spec.sql()
+        );
+        let rw = rw.unwrap();
+        let original = sumtab::engine::execute(&q, &db).unwrap();
+        let rewritten = sumtab::engine::execute(&rw.graph, &db).unwrap();
+        prop_assert_eq!(sort_rows(original), sort_rows(rewritten));
+    }
+
+    /// A coarser re-grouping of an AST's own definition must match whenever
+    /// the query's groupings/aggregates/predicates are drawn from the AST's.
+    #[test]
+    fn coarser_regrouping_matches(
+        groupings in proptest::sample::subsequence(vec![0usize, 1, 3, 4], 2..=4),
+        query_take in 1usize..=2,
+    ) {
+        let (cat, _db) = fixture();
+        let ast_spec = SpecQuery {
+            groupings: groupings.clone(),
+            aggs: vec![0, 1],
+            preds: vec![],
+            having_cnt: None,
+            rollup: false,
+        };
+        let query_spec = SpecQuery {
+            groupings: groupings[..query_take.min(groupings.len())].to_vec(),
+            aggs: vec![0],
+            preds: vec![],
+            having_cnt: None,
+            rollup: false,
+        };
+        let registered = RegisteredAst::from_sql("past", &ast_spec.sql(), &cat).unwrap();
+        let q = sumtab::build_query(
+            &sumtab::parser::parse_query(&query_spec.sql()).unwrap(),
+            &cat,
+        )
+        .unwrap();
+        prop_assert!(
+            Rewriter::new(&cat).rewrite(&q, &registered).is_some(),
+            "coarser regrouping should match\n  query: {}\n  ast: {}",
+            query_spec.sql(),
+            ast_spec.sql()
+        );
+    }
+}
