@@ -1,28 +1,36 @@
-//! One Criterion benchmark per paper figure: execution time of the original
-//! query vs its AST rewrite on a shared generated database (50k fact rows).
-//! The paper's claim is a large per-figure gap; absolute times depend on
-//! the substrate engine, the *ratios* are the reproduced result.
+//! One benchmark per paper figure: execution time of the original query vs
+//! its AST rewrite on a shared generated database (50k fact rows). The
+//! paper's claim is a large per-figure gap; absolute times depend on the
+//! substrate engine, the *ratios* are the reproduced result.
+//!
+//! Plain `harness = false` benchmark (no external benchmark framework —
+//! the workspace builds offline); prints one line per figure.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use sumtab_bench::prepare;
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sumtab_bench::{median_time, prepare};
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let fx = prepare(50_000);
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}",
+        "figure", "original", "rewritten", "ratio"
+    );
     for case in &fx.cases {
         let Some(rewritten) = &case.rewritten else {
             continue; // no-match cases have nothing to compare
         };
-        let mut group = c.benchmark_group(format!("fig_{}", case.case.id));
-        group.sample_size(10);
-        group.bench_function("original", |b| {
-            b.iter(|| sumtab::engine::execute(&case.original, &fx.db).unwrap())
+        let orig = median_time(10, || {
+            sumtab::engine::execute(&case.original, &fx.db).unwrap();
         });
-        group.bench_function("rewritten", |b| {
-            b.iter(|| sumtab::engine::execute(rewritten, &fx.db).unwrap())
+        let rw = median_time(10, || {
+            sumtab::engine::execute(rewritten, &fx.db).unwrap();
         });
-        group.finish();
+        let ratio = orig.as_secs_f64() / rw.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "{:<8} {:>10.3?} {:>10.3?} {:>7.1}x",
+            case.case.id, orig, rw, ratio
+        );
     }
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

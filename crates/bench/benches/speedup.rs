@@ -1,14 +1,22 @@
 //! Experiment E-P1 (the paper's headline claim): orders-of-magnitude
 //! speedup from answering Q1 via AST1, swept over fact-table scales.
+//!
+//! Plain `harness = false` benchmark (no external benchmark framework —
+//! the workspace builds offline); prints one line per scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab::datagen::workloads::{AST1, Q1};
 use sumtab::datagen::{generate, GenConfig};
 use sumtab::{RegisteredAst, Rewriter};
+use sumtab_bench::median_time;
 
-fn bench_speedup(c: &mut Criterion) {
-    let mut group = c.benchmark_group("speedup_q1");
-    group.sample_size(10);
+fn main() {
+    println!(
+        "{:<10} {:>12} {:>12} {:>8}",
+        "scale", "original", "rewritten", "speedup"
+    );
     for &scale in &[10_000usize, 50_000, 200_000] {
         let cfg = GenConfig {
             transactions: scale,
@@ -18,17 +26,21 @@ fn bench_speedup(c: &mut Criterion) {
         let ast = RegisteredAst::from_sql("ast1", AST1, &catalog).unwrap();
         sumtab::engine::materialize("ast1", &ast.graph, &catalog, &mut db).unwrap();
         let q = sumtab::build_query(&sumtab::parser::parse_query(Q1).unwrap(), &catalog).unwrap();
-        let rw = Rewriter::new(&catalog).rewrite(&q, &ast).unwrap().graph;
-        group.throughput(Throughput::Elements(scale as u64));
-        group.bench_with_input(BenchmarkId::new("original", scale), &scale, |b, _| {
-            b.iter(|| sumtab::engine::execute(&q, &db).unwrap())
+        let rw = Rewriter::new(&catalog)
+            .rewrite(&q, &ast)
+            .unwrap()
+            .expect("Q1 must match AST1")
+            .graph;
+        let orig = median_time(10, || {
+            sumtab::engine::execute(&q, &db).unwrap();
         });
-        group.bench_with_input(BenchmarkId::new("rewritten", scale), &scale, |b, _| {
-            b.iter(|| sumtab::engine::execute(&rw, &db).unwrap())
+        let rewr = median_time(10, || {
+            sumtab::engine::execute(&rw, &db).unwrap();
         });
+        let ratio = orig.as_secs_f64() / rewr.as_secs_f64().max(f64::EPSILON);
+        println!(
+            "{:<10} {:>10.3?} {:>10.3?} {:>7.1}x",
+            scale, orig, rewr, ratio
+        );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_speedup);
-criterion_main!(benches);

@@ -2,6 +2,10 @@
 //! harness: a generated credit-card database with every figure's AST
 //! materialized, plus prepared (original, rewritten) graph pairs.
 
+// Bench fixtures run over fixed inputs; a failed setup step should abort
+// the run loudly, so panicking unwraps are intended here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use sumtab::datagen::workloads::{FigureCase, FIGURES};
 use sumtab::datagen::{generate, GenConfig};
 use sumtab::{Catalog, Database, QgmGraph, RegisteredAst, Rewriter};
@@ -49,7 +53,10 @@ pub fn prepare(transactions: usize) -> Fixture {
         let original =
             sumtab::build_query(&sumtab::parser::parse_query(case.query).unwrap(), &catalog)
                 .unwrap();
-        let rewritten = rewriter.rewrite(&original, &ast).map(|rw| rw.graph);
+        let rewritten = rewriter
+            .rewrite(&original, &ast)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id))
+            .map(|rw| rw.graph);
         assert_eq!(
             rewritten.is_some(),
             case.matches,

@@ -129,6 +129,7 @@ impl std::fmt::Display for Date {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
 

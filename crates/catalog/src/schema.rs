@@ -60,17 +60,22 @@ impl Table {
         }
     }
 
-    /// Declare the primary key by column names. Panics on unknown names
-    /// (schema construction is programmer-controlled).
-    pub fn with_primary_key(mut self, key: &[&str]) -> Table {
-        self.primary_key = key
-            .iter()
-            .map(|k| {
-                self.column_index(k)
-                    .unwrap_or_else(|| panic!("unknown PK column `{k}` in `{}`", self.name))
-            })
-            .collect();
-        self
+    /// Declare the primary key by column names. Unknown names are reported
+    /// as [`CatalogError::UnknownColumn`] (primary keys can come from user
+    /// DDL, so this must not panic).
+    pub fn with_primary_key(mut self, key: &[&str]) -> Result<Table, CatalogError> {
+        let mut pk = Vec::with_capacity(key.len());
+        for k in key {
+            let i = self
+                .column_index(k)
+                .ok_or_else(|| CatalogError::UnknownColumn {
+                    table: self.name.clone(),
+                    column: (*k).into(),
+                })?;
+            pk.push(i);
+        }
+        self.primary_key = pk;
+        Ok(self)
     }
 
     /// Ordinal of the named column (case-insensitive).
@@ -248,6 +253,9 @@ impl Catalog {
     /// Acct(aid, fcid -> Cust, status)
     /// Cust(cid, cname, age)
     /// ```
+    // The sample schema is a static literal; construction failures here are
+    // programming errors, so unwrap/expect are genuinely intended.
+    #[allow(clippy::unwrap_used, clippy::expect_used)]
     pub fn credit_card_sample() -> Catalog {
         use SqlType::*;
         let mut cat = Catalog::new();
@@ -256,7 +264,8 @@ impl Catalog {
                 "pgroup",
                 vec![Column::new("pgid", Int), Column::new("pgname", Varchar)],
             )
-            .with_primary_key(&["pgid"]),
+            .with_primary_key(&["pgid"])
+            .expect("static sample schema"),
         )
         .unwrap();
         cat.add_table(
@@ -269,7 +278,8 @@ impl Catalog {
                     Column::new("country", Varchar),
                 ],
             )
-            .with_primary_key(&["lid"]),
+            .with_primary_key(&["lid"])
+            .expect("static sample schema"),
         )
         .unwrap();
         cat.add_table(
@@ -281,7 +291,8 @@ impl Catalog {
                     Column::new("age", Int),
                 ],
             )
-            .with_primary_key(&["cid"]),
+            .with_primary_key(&["cid"])
+            .expect("static sample schema"),
         )
         .unwrap();
         cat.add_table(
@@ -293,7 +304,8 @@ impl Catalog {
                     Column::new("status", Varchar),
                 ],
             )
-            .with_primary_key(&["aid"]),
+            .with_primary_key(&["aid"])
+            .expect("static sample schema"),
         )
         .unwrap();
         cat.add_table(
@@ -310,7 +322,8 @@ impl Catalog {
                     Column::new("disc", Double),
                 ],
             )
-            .with_primary_key(&["tid"]),
+            .with_primary_key(&["tid"])
+            .expect("static sample schema"),
         )
         .unwrap();
         cat.add_foreign_key("trans", &["faid"], "acct").unwrap();
@@ -322,6 +335,7 @@ impl Catalog {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
 

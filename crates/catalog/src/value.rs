@@ -195,6 +195,7 @@ impl From<bool> for Value {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use std::collections::hash_map::DefaultHasher;

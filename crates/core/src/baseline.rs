@@ -248,6 +248,7 @@ pub fn baseline_matches(query: &QgmGraph, ast: &QgmGraph) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::Catalog;

@@ -162,6 +162,7 @@ pub fn run_navigator<'a>(q: &'a QgmGraph, a: &'a QgmGraph, catalog: &'a Catalog)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::Catalog;

@@ -91,6 +91,7 @@ pub fn referenced_cols(expr: &ScalarExpr) -> Vec<ColRef> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::Value;

@@ -31,7 +31,12 @@
 //! let q = build_query(&parse_query(
 //!     "select faid, count(*) as cnt from trans group by faid",
 //! ).unwrap(), &catalog).unwrap();
-//! let rewrite = Rewriter::new(&catalog).rewrite(&q, &ast).expect("should match");
+//! // `rewrite` returns Result<Option<Rewrite>, MatchError>: the Err layer is
+//! // a matcher-internal failure; the Option layer is "did it match at all".
+//! let rewrite = Rewriter::new(&catalog)
+//!     .rewrite(&q, &ast)
+//!     .unwrap()
+//!     .expect("should match");
 //! assert_eq!(rewrite.ast_name, "ast1");
 //! ```
 
@@ -45,7 +50,27 @@ pub mod translate;
 
 use context::run_navigator;
 use sumtab_catalog::Catalog;
-use sumtab_qgm::{build_query, BoxId, QgmGraph};
+use sumtab_qgm::{build_query, BoxId, BuildError, QgmGraph};
+
+/// Why an AST definition could not be registered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstDefError {
+    /// The definition SQL failed to parse.
+    Parse(sumtab_parser::ParseError),
+    /// The definition SQL failed semantic analysis / QGM construction.
+    Plan(BuildError),
+}
+
+impl std::fmt::Display for AstDefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AstDefError::Parse(e) => write!(f, "AST definition does not parse: {e}"),
+            AstDefError::Plan(e) => write!(f, "AST definition does not plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AstDefError {}
 
 /// A registered Automatic Summary Table: its backing-table name and its
 /// definition as a QGM graph.
@@ -60,9 +85,13 @@ pub struct RegisteredAst {
 impl RegisteredAst {
     /// Parse and translate a definition; the backing table is assumed to be
     /// named `name` with columns matching the definition's root outputs.
-    pub fn from_sql(name: &str, sql: &str, catalog: &Catalog) -> Result<RegisteredAst, String> {
-        let q = sumtab_parser::parse_query(sql).map_err(|e| e.to_string())?;
-        let graph = build_query(&q, catalog).map_err(|e| e.to_string())?;
+    pub fn from_sql(
+        name: &str,
+        sql: &str,
+        catalog: &Catalog,
+    ) -> Result<RegisteredAst, AstDefError> {
+        let q = sumtab_parser::parse_query(sql).map_err(AstDefError::Parse)?;
+        let graph = build_query(&q, catalog).map_err(AstDefError::Plan)?;
         Ok(RegisteredAst {
             name: name.to_string(),
             graph,
@@ -89,6 +118,26 @@ impl RegisteredAst {
     }
 }
 
+/// A matcher-internal failure: the navigator or rewrite builder produced an
+/// inconsistent result (or exceeded a depth bound) while matching against a
+/// particular AST. Distinct from "no match", which is `Ok(None)` from
+/// [`Rewriter::rewrite`] and is not an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchError {
+    /// The AST whose match attempt failed.
+    pub ast: String,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for MatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matcher error against AST `{}`: {}", self.ast, self.detail)
+    }
+}
+
+impl std::error::Error for MatchError {}
+
 /// A successful rewrite.
 #[derive(Debug, Clone)]
 pub struct Rewrite {
@@ -113,40 +162,65 @@ impl<'a> Rewriter<'a> {
         Rewriter { catalog }
     }
 
-    /// Try to rewrite `query` to use `ast`. Returns the best rewrite (the
-    /// one replacing the highest matched query box) or `None` if the AST
-    /// root matches no query box.
-    pub fn rewrite(&self, query: &QgmGraph, ast: &RegisteredAst) -> Option<Rewrite> {
+    /// Try to rewrite `query` to use `ast`.
+    ///
+    /// * `Ok(Some(_))` — the best rewrite (the one replacing the highest
+    ///   matched query box).
+    /// * `Ok(None)` — the AST root matches no query box; not an error.
+    /// * `Err(_)` — the matcher itself failed (inconsistent match tables, a
+    ///   rewritten graph that fails validation, or a depth bound exceeded).
+    ///   Callers should treat this as "AST unusable for this query" and fall
+    ///   back to the un-rewritten plan rather than aborting.
+    pub fn rewrite(
+        &self,
+        query: &QgmGraph,
+        ast: &RegisteredAst,
+    ) -> Result<Option<Rewrite>, MatchError> {
+        let err = |detail: String| MatchError {
+            ast: ast.name.clone(),
+            detail,
+        };
         let ctx = run_navigator(query, &ast.graph, self.catalog);
         // Prefer the highest (latest in bottom-up order) matched query box:
         // it covers the most query work with the AST.
         let order = query.topo_order();
-        let (&(eb, _), entry) = ctx
+        let Some((&(eb, _), entry)) = ctx
             .table
             .iter()
             .filter(|((_, rb), _)| *rb == ast.graph.root)
-            .max_by_key(|((eb, _), _)| order.iter().position(|b| b == eb))?;
+            .max_by_key(|((eb, _), _)| order.iter().position(|b| b == eb))
+        else {
+            return Ok(None);
+        };
         let backing_cols = ast.backing_columns();
-        let mut graph = rewrite::build_rewrite(&ctx, eb, entry, &ast.name, &backing_cols);
+        let mut graph =
+            rewrite::build_rewrite(&ctx, eb, entry, &ast.name, &backing_cols).map_err(err)?;
         sumtab_qgm::normalize::merge_selects(&mut graph);
-        graph.validate();
-        Some(Rewrite {
+        graph
+            .check()
+            .map_err(|e| err(format!("rewritten graph failed validation: {e}")))?;
+        Ok(Some(Rewrite {
             ast_name: ast.name.clone(),
             graph,
             replaced_box: eb,
             exact: entry.exact,
-        })
+        }))
     }
 
     /// Rewrite against every AST; returns all successful rewrites.
+    ///
+    /// Best-effort: an AST whose match attempt errors internally is skipped
+    /// (treated like a non-match) so one bad AST cannot sink the others. Use
+    /// [`Rewriter::rewrite`] per AST to observe the errors.
     pub fn rewrite_all(&self, query: &QgmGraph, asts: &[RegisteredAst]) -> Vec<Rewrite> {
         asts.iter()
-            .filter_map(|ast| self.rewrite(query, ast))
+            .filter_map(|ast| self.rewrite(query, ast).ok().flatten())
             .collect()
     }
 
     /// Among all matching ASTs, pick the one whose backing table has the
     /// fewest rows (related problem (b): deciding whether/which AST to use).
+    /// Best-effort over errored ASTs, like [`Rewriter::rewrite_all`].
     pub fn rewrite_best(
         &self,
         query: &QgmGraph,

@@ -16,6 +16,9 @@ use sumtab_qgm::{
 };
 
 /// Match two GROUP BY boxes.
+// The derived-output walk advances `agg_iter` once per `EOut::Agg` entry,
+// and both were built from the same output list, so `next()` cannot run dry.
+#[allow(clippy::unwrap_used)]
 pub fn match_groupbys(ctx: &mut Ctx<'_>, side: Side, e: BoxId, r: BoxId) -> Option<MatchEntry> {
     let ebox = ctx.egraph(side).boxed(e).clone();
     let rbox = ctx.a.boxed(r).clone();
@@ -460,6 +463,9 @@ fn agg_exact_match(
 
 /// Derivation rules (a)–(g) of Section 4.1.2 for re-aggregation.
 #[allow(clippy::too_many_arguments)]
+// Aggregate ordinals are aligned between subsumee and subsumer before this
+// plan is built, so the iterator and argument lookups cannot run dry.
+#[allow(clippy::unwrap_used)]
 fn regroup_plan(
     ctx: &Ctx<'_>,
     side: Side,

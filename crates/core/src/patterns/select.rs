@@ -122,6 +122,10 @@ fn try_assignments(
 }
 
 /// The body of the SELECT/SELECT pattern for one concrete child pairing.
+// Non-exact match entries carry a compensation root by construction
+// (`comp_root.unwrap()` on pairs filtered for `!exact`), and the grouping
+// fragment is installed before it is read back.
+#[allow(clippy::unwrap_used)]
 fn match_selects_with_pairing(
     ctx: &mut Ctx<'_>,
     side: Side,

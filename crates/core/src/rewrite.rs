@@ -7,17 +7,26 @@ use sumtab_qgm::{
     BoxId, BoxKind, ColRef, GroupByBox, OutputCol, QgmGraph, QuantId, ScalarExpr, SelectBox,
 };
 
+/// Maximum box-nesting depth the rewrite builder will walk before giving up
+/// with an error instead of risking a stack overflow.
+pub const MAX_REWRITE_DEPTH: usize = 256;
+
 /// Build the rewritten query graph for a match of query box `matched` (an
 /// entry against the AST root). `backing` names the AST's materialized
 /// table; `backing_cols` are its column names (ordinals identical to the
 /// AST root's outputs).
+///
+/// Returns `Err` when the match tables are internally inconsistent (e.g. a
+/// compensation leaf that does not target the AST root) or the walk exceeds
+/// [`MAX_REWRITE_DEPTH`]; these are matcher bugs surfaced as data, not
+/// panics, so a caller can fall back to the un-rewritten plan.
 pub fn build_rewrite(
     ctx: &Ctx<'_>,
     matched: BoxId,
     entry: &MatchEntry,
     backing: &str,
     backing_cols: &[String],
-) -> QgmGraph {
+) -> Result<QgmGraph, String> {
     let mut out = QgmGraph::new();
     out.order = ctx.q.order.clone();
 
@@ -29,11 +38,12 @@ pub fn build_rewrite(
         comp_map: HashMap::new(),
         q_map: HashMap::new(),
         quant_map: HashMap::new(),
+        depth: 0,
     };
 
     // The replacement subtree for the matched query box.
     let replacement = match entry.comp_root {
-        Some(root) => builder.clone_comp(root),
+        Some(root) => builder.clone_comp(root)?,
         None => builder.exact_projection(matched, &entry.colmap),
     };
 
@@ -41,10 +51,10 @@ pub fn build_rewrite(
     let root = if matched == ctx.q.root {
         replacement
     } else {
-        builder.clone_query(ctx.q.root, matched, replacement)
+        builder.clone_query(ctx.q.root, matched, replacement)?
     };
     out.root = root;
-    out
+    Ok(out)
 }
 
 struct RewriteBuilder<'a, 'b> {
@@ -55,9 +65,21 @@ struct RewriteBuilder<'a, 'b> {
     comp_map: HashMap<BoxId, BoxId>,
     q_map: HashMap<BoxId, BoxId>,
     quant_map: HashMap<QuantId, QuantId>,
+    depth: usize,
 }
 
 impl RewriteBuilder<'_, '_> {
+    /// Bump the walk depth, erroring out past [`MAX_REWRITE_DEPTH`].
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_REWRITE_DEPTH {
+            return Err(format!(
+                "rewrite walk exceeded {MAX_REWRITE_DEPTH} nested boxes"
+            ));
+        }
+        Ok(())
+    }
+
     /// A base-table box over the materialized AST.
     fn backing_box(&mut self) -> BoxId {
         let b = self.out.add_box(BoxKind::BaseTable {
@@ -103,60 +125,73 @@ impl RewriteBuilder<'_, '_> {
 
     /// Clone a compensation fragment, replacing `SubsumerRef` leaves that
     /// target the AST root with the backing table.
-    fn clone_comp(&mut self, b: BoxId) -> BoxId {
+    fn clone_comp(&mut self, b: BoxId) -> Result<BoxId, String> {
         if let Some(&m) = self.comp_map.get(&b) {
-            return m;
+            return Ok(m);
         }
+        self.enter()?;
         let src = self.ctx.comp.boxed(b).clone();
         if let BoxKind::SubsumerRef { target, .. } = &src.kind {
-            assert_eq!(
-                *target, self.ctx.a.root,
-                "compensation leaf must target the AST root at rewrite time"
-            );
+            if *target != self.ctx.a.root {
+                return Err(format!(
+                    "compensation leaf targets box {target:?}, not the AST root \
+                     {:?}",
+                    self.ctx.a.root
+                ));
+            }
             let nb = self.backing_box();
             self.comp_map.insert(b, nb);
-            return nb;
+            self.depth -= 1;
+            return Ok(nb);
         }
         let new_id = self.out.add_box(BoxKind::Select(SelectBox::default()));
         self.comp_map.insert(b, new_id);
         for &q in &src.quants {
             let quant = self.ctx.comp.quant(q);
-            let child = self.clone_comp(quant.input);
+            let child = self.clone_comp(quant.input)?;
             let nq = self
                 .out
                 .add_quant(new_id, child, quant.kind, quant.name.clone());
             self.quant_map.insert(q, nq);
         }
-        self.fill_box(new_id, &src);
-        new_id
+        self.fill_box(new_id, &src)?;
+        self.depth -= 1;
+        Ok(new_id)
     }
 
     /// Clone the query graph from `b`, substituting `replacement` for the
     /// subtree rooted at `matched`.
-    fn clone_query(&mut self, b: BoxId, matched: BoxId, replacement: BoxId) -> BoxId {
+    fn clone_query(
+        &mut self,
+        b: BoxId,
+        matched: BoxId,
+        replacement: BoxId,
+    ) -> Result<BoxId, String> {
         if b == matched {
-            return replacement;
+            return Ok(replacement);
         }
         if let Some(&m) = self.q_map.get(&b) {
-            return m;
+            return Ok(m);
         }
+        self.enter()?;
         let src = self.ctx.q.boxed(b).clone();
         let new_id = self.out.add_box(BoxKind::Select(SelectBox::default()));
         self.q_map.insert(b, new_id);
         for &q in &src.quants {
             let quant = self.ctx.q.quant(q);
-            let child = self.clone_query(quant.input, matched, replacement);
+            let child = self.clone_query(quant.input, matched, replacement)?;
             let nq = self
                 .out
                 .add_quant(new_id, child, quant.kind, quant.name.clone());
             self.quant_map.insert(q, nq);
         }
-        self.fill_box(new_id, &src);
-        new_id
+        self.fill_box(new_id, &src)?;
+        self.depth -= 1;
+        Ok(new_id)
     }
 
     /// Copy a source box's kind/outputs with quantifier remapping.
-    fn fill_box(&mut self, new_id: BoxId, src: &sumtab_qgm::QgmBox) {
+    fn fill_box(&mut self, new_id: BoxId, src: &sumtab_qgm::QgmBox) -> Result<(), String> {
         let remap = |e: &ScalarExpr| sumtab_qgm::graph::remap_expr(e, &self.quant_map);
         let outputs: Vec<OutputCol> = src
             .outputs
@@ -170,29 +205,38 @@ impl RewriteBuilder<'_, '_> {
             BoxKind::Select(s) => BoxKind::Select(SelectBox {
                 predicates: s.predicates.iter().map(remap).collect(),
             }),
-            BoxKind::GroupBy(g) => BoxKind::GroupBy(GroupByBox {
-                items: g
-                    .items
-                    .iter()
-                    .map(|c| ColRef {
-                        qid: self.quant_map[&c.qid],
+            BoxKind::GroupBy(g) => {
+                let mut items = Vec::with_capacity(g.items.len());
+                for c in &g.items {
+                    let qid = *self.quant_map.get(&c.qid).ok_or_else(|| {
+                        format!("group-by item references unmapped quantifier {:?}", c.qid)
+                    })?;
+                    items.push(ColRef {
+                        qid,
                         ordinal: c.ordinal,
-                    })
-                    .collect(),
-                sets: g.sets.clone(),
-            }),
+                    });
+                }
+                BoxKind::GroupBy(GroupByBox {
+                    items,
+                    sets: g.sets.clone(),
+                })
+            }
             BoxKind::BaseTable { table } => BoxKind::BaseTable {
                 table: table.clone(),
             },
-            BoxKind::SubsumerRef { .. } => unreachable!("handled by clone_comp"),
+            BoxKind::SubsumerRef { .. } => {
+                return Err("subsumer reference survived into a cloned interior box".to_string())
+            }
         };
         let nb = self.out.boxed_mut(new_id);
         nb.outputs = outputs;
         nb.kind = kind;
+        Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use crate::{RegisteredAst, Rewriter};
     use sumtab_catalog::Catalog;
@@ -220,7 +264,7 @@ mod tests {
             &cat,
         )
         .unwrap();
-        let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap();
+        let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap().unwrap();
         assert_eq!(rw.replaced_box, q.root, "top select (with HAVING) matched");
         // The rewritten graph must not scan the fact table at all.
         assert!(!rw

@@ -3,6 +3,9 @@
 //! snowflake rejoins, AVG rewriting, multidimensional + rejoin mixes).
 //! Each positive case executes both forms and compares results.
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab_catalog::{Catalog, Date, Value};
 use sumtab_engine::{execute, materialize, Database};
 use sumtab_matcher::{RegisteredAst, Rewriter};
@@ -82,6 +85,7 @@ fn check(query_sql: &str, ast_sql: &str) {
     let q = build_query(&parse_query(query_sql).unwrap(), &cat).unwrap();
     let rw = Rewriter::new(&cat)
         .rewrite(&q, &ast)
+        .unwrap()
         .unwrap_or_else(|| panic!("expected match:\n  {query_sql}\n  {ast_sql}"));
     let mut a = execute(&q, &db).unwrap();
     let mut b = execute(&rw.graph, &db).unwrap();
@@ -276,7 +280,7 @@ fn order_by_and_limit_preserved_through_rewrite() {
         &cat,
     )
     .unwrap();
-    let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap();
+    let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap().unwrap();
     let a = execute(&q, &db).unwrap();
     let b = execute(&rw.graph, &db).unwrap();
     assert_eq!(a.len(), 2);
@@ -304,7 +308,7 @@ fn rewrite_graphs_are_structurally_valid() {
         "select faid, state, count(*) as c from trans, loc where flid = lid group by faid, state",
     ] {
         let q = build_query(&parse_query(sql).unwrap(), &cat).unwrap();
-        let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap();
+        let rw = Rewriter::new(&cat).rewrite(&q, &ast).unwrap().unwrap();
         rw.graph.validate();
     }
 }

@@ -2,6 +2,9 @@
 //! be unsound. Each case encodes one guard of the matching conditions; a
 //! regression here is a soundness bug, not a coverage bug.
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab_catalog::Catalog;
 use sumtab_matcher::{RegisteredAst, Rewriter};
 use sumtab_parser::parse_query;
@@ -12,7 +15,7 @@ fn refuse(query: &str, ast: &str, why: &str) {
     let a = RegisteredAst::from_sql("a", ast, &cat).unwrap();
     let q = build_query(&parse_query(query).unwrap(), &cat).unwrap();
     assert!(
-        Rewriter::new(&cat).rewrite(&q, &a).is_none(),
+        Rewriter::new(&cat).rewrite(&q, &a).unwrap().is_none(),
         "must refuse ({why}):\n  query: {query}\n  ast:   {ast}"
     );
 }
@@ -22,7 +25,7 @@ fn accept(query: &str, ast: &str, why: &str) {
     let a = RegisteredAst::from_sql("a", ast, &cat).unwrap();
     let q = build_query(&parse_query(query).unwrap(), &cat).unwrap();
     assert!(
-        Rewriter::new(&cat).rewrite(&q, &a).is_some(),
+        Rewriter::new(&cat).rewrite(&q, &a).unwrap().is_some(),
         "should accept ({why}):\n  query: {query}\n  ast:   {ast}"
     );
 }
@@ -158,7 +161,7 @@ fn count_bridges_require_non_nullability() {
         let a = RegisteredAst::from_sql("a", as_, &cat).unwrap();
         let q = build_query(&parse_query(qs).unwrap(), &cat).unwrap();
         assert!(
-            Rewriter::new(&cat).rewrite(&q, &a).is_none(),
+            Rewriter::new(&cat).rewrite(&q, &a).unwrap().is_none(),
             "nullable COUNT bridge must refuse: {qs} vs {as_}"
         );
     }
@@ -247,6 +250,7 @@ fn mismatched_scalar_subquery_is_recomputed_not_borrowed() {
     .unwrap();
     let rw = Rewriter::new(&cat)
         .rewrite(&q, &a)
+        .unwrap()
         .expect("sound rewrite with a recomputed subquery");
     let sql = sumtab_qgm::render_graph_sql(&rw.graph);
     assert!(

@@ -3,6 +3,9 @@
 //! each test matches the query against the AST, rewrites it, materializes
 //! the AST, runs both forms, and asserts multiset-equal results.
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab_catalog::{Catalog, Date, Value};
 use sumtab_engine::{execute, materialize, Database};
 use sumtab_matcher::{RegisteredAst, Rewriter};
@@ -107,6 +110,7 @@ fn check_rewrite(query_sql: &str, ast_sql: &str) -> QgmGraph {
     let rewriter = Rewriter::new(&cat);
     let rw = rewriter
         .rewrite(&q, &ast)
+        .unwrap()
         .unwrap_or_else(|| panic!("expected a match for:\n  {query_sql}\nagainst\n  {ast_sql}"));
     // The rewritten query must read the backing table.
     let reads_ast = rw
@@ -140,7 +144,7 @@ fn check_no_match(query_sql: &str, ast_sql: &str) {
     let ast = RegisteredAst::from_sql("the_ast", ast_sql, &cat).unwrap();
     let q = build_query(&parse_query(query_sql).unwrap(), &cat).unwrap();
     assert!(
-        Rewriter::new(&cat).rewrite(&q, &ast).is_none(),
+        Rewriter::new(&cat).rewrite(&q, &ast).unwrap().is_none(),
         "expected NO match for:\n  {query_sql}\nagainst\n  {ast_sql}"
     );
 }

@@ -11,12 +11,13 @@
 //! with probability [`GenConfig::locality`]; the per-account yearly
 //! transaction count follows from `transactions / (accounts * years)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use sumtab_catalog::{Catalog, Date, Value};
 use sumtab_engine::{Database, Row};
 
+pub mod rng;
 pub mod workloads;
+
+pub use rng::SplitMix64;
 
 /// Generator configuration.
 #[derive(Debug, Clone)]
@@ -87,11 +88,14 @@ pub fn generate(cfg: &GenConfig) -> (Catalog, Database) {
 }
 
 /// Generate data for an existing credit-card catalog.
+// Generated rows conform to the generator's own schema; insertion failures
+// are programming errors, so panicking is the right response here.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub fn generate_into(cfg: &GenConfig, catalog: &Catalog) -> Database {
     assert!(cfg.locations >= 2, "need at least two locations");
     assert!(cfg.accounts >= 1 && cfg.customers >= 1 && cfg.pgroups >= 1);
     assert!(cfg.years >= 1);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
     let mut db = Database::new();
 
     // Locations: 3/4 USA, the rest spread over foreign countries.
@@ -134,7 +138,7 @@ pub fn generate_into(cfg: &GenConfig, catalog: &Catalog) -> Database {
     let mut home: Vec<usize> = Vec::with_capacity(cfg.accounts);
     let acct_rows: Vec<Row> = (0..cfg.accounts)
         .map(|aid| {
-            home.push(rng.gen_range(0..cfg.locations));
+            home.push(rng.gen_index(cfg.locations));
             vec![
                 Value::Int(aid as i64),
                 Value::Int((aid % cfg.customers) as i64),
@@ -147,24 +151,24 @@ pub fn generate_into(cfg: &GenConfig, catalog: &Catalog) -> Database {
     // Fact rows.
     let mut trans_rows: Vec<Row> = Vec::with_capacity(cfg.transactions);
     for tid in 0..cfg.transactions {
-        let aid = rng.gen_range(0..cfg.accounts);
+        let aid = rng.gen_index(cfg.accounts);
         let lid = if rng.gen_bool(cfg.locality) {
             home[aid]
         } else if rng.gen_bool(0.8) {
             // Away-from-home purchases cluster in a small neighborhood of
             // the home city (the paper: "most of them within the same
             // city"), keeping the (faid, flid, year) group count low.
-            (home[aid] + 1 + rng.gen_range(0..3)) % cfg.locations
+            (home[aid] + 1 + rng.gen_index(3)) % cfg.locations
         } else {
-            rng.gen_range(0..cfg.locations)
+            rng.gen_index(cfg.locations)
         };
-        let pgid = rng.gen_range(0..cfg.pgroups);
-        let year = cfg.start_year + rng.gen_range(0..cfg.years) as i32;
-        let month = rng.gen_range(1..=12u8);
-        let day = rng.gen_range(1..=28u8);
-        let qty = rng.gen_range(1..=8i64);
-        let price = (rng.gen_range(100..50_000) as f64) / 100.0;
-        let disc = f64::from(rng.gen_range(0..40u16)) / 100.0;
+        let pgid = rng.gen_index(cfg.pgroups);
+        let year = cfg.start_year + rng.gen_index(cfg.years as usize) as i32;
+        let month = rng.gen_i64(1, 12) as u8;
+        let day = rng.gen_i64(1, 28) as u8;
+        let qty = rng.gen_i64(1, 8);
+        let price = rng.gen_i64(100, 49_999) as f64 / 100.0;
+        let disc = rng.gen_i64(0, 39) as f64 / 100.0;
         trans_rows.push(vec![
             Value::Int(tid as i64),
             Value::Int(aid as i64),
@@ -181,6 +185,7 @@ pub fn generate_into(cfg: &GenConfig, catalog: &Catalog) -> Database {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
 

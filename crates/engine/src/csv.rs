@@ -172,6 +172,7 @@ pub fn to_csv(header: &[String], rows: &[Row]) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::{Column, Table};

@@ -8,9 +8,15 @@ pub type Row = Vec<Value>;
 
 /// In-memory storage: table name → rows. Schemas live in the
 /// [`Catalog`]; the database holds only data.
+///
+/// Every mutation bumps the table's *modification epoch*, a per-table
+/// counter starting at 0. Consumers snapshot epochs to detect staleness: a
+/// summary table materialized at epoch `e` of its base table is stale once
+/// [`Database::epoch`] for that table returns anything other than `e`.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     tables: HashMap<String, Vec<Row>>,
+    epochs: HashMap<String, u64>,
 }
 
 /// Errors raised while loading data.
@@ -74,7 +80,9 @@ impl Database {
                         }
                     }
                     (Some(SqlType::Int), SqlType::Double) => {
-                        *v = Value::Double(v.as_f64().unwrap());
+                        if let Value::Int(i) = *v {
+                            *v = Value::Double(i as f64);
+                        }
                     }
                     (Some(actual), expected) if actual == expected => {}
                     (Some(actual), expected) => {
@@ -88,17 +96,18 @@ impl Database {
             validated.push(row);
         }
         let n = validated.len();
-        self.tables
-            .entry(t.name.clone())
-            .or_default()
-            .extend(validated);
+        let key = t.name.clone();
+        self.tables.entry(key.clone()).or_default().extend(validated);
+        self.bump(&key);
         Ok(n)
     }
 
     /// Replace a table's rows wholesale (no validation; caller guarantees
     /// schema conformance — used by the materializer and generators).
     pub fn put_table(&mut self, table: &str, rows: Vec<Row>) {
-        self.tables.insert(table.to_ascii_lowercase(), rows);
+        let key = table.to_ascii_lowercase();
+        self.tables.insert(key.clone(), rows);
+        self.bump(&key);
     }
 
     /// The rows of a table; empty slice when absent.
@@ -116,11 +125,28 @@ impl Database {
 
     /// Drop a table's data.
     pub fn drop_table(&mut self, table: &str) {
-        self.tables.remove(&table.to_ascii_lowercase());
+        let key = table.to_ascii_lowercase();
+        self.tables.remove(&key);
+        self.bump(&key);
+    }
+
+    /// The table's modification epoch: 0 for a never-touched table, bumped
+    /// by every [`Database::insert`], [`Database::put_table`], and
+    /// [`Database::drop_table`].
+    pub fn epoch(&self, table: &str) -> u64 {
+        self.epochs
+            .get(&table.to_ascii_lowercase())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn bump(&mut self, key: &str) {
+        *self.epochs.entry(key.to_string()).or_insert(0) += 1;
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::Date;
@@ -180,5 +206,32 @@ mod tests {
         assert_eq!(db.row_count("x"), 1);
         db.drop_table("x");
         assert_eq!(db.row_count("x"), 0);
+    }
+
+    #[test]
+    fn epochs_track_every_mutation() {
+        let mut db = Database::new();
+        assert_eq!(db.epoch("trans"), 0, "untouched tables sit at epoch 0");
+        db.put_table("X", vec![vec![Value::Int(1)]]);
+        assert_eq!(db.epoch("x"), 1);
+        db.drop_table("x");
+        assert_eq!(db.epoch("X"), 2, "epoch lookups are case-insensitive");
+
+        let c = cat();
+        let row = vec![
+            Value::Int(1),
+            Value::Int(10),
+            Value::Int(20),
+            Value::Int(30),
+            Value::Date(Date::parse("1995-06-01").unwrap()),
+            Value::Int(2),
+            Value::Int(100),
+            Value::Double(0.1),
+        ];
+        db.insert(&c, "trans", vec![row]).unwrap();
+        assert_eq!(db.epoch("trans"), 1);
+        // A failed insert does not bump the epoch.
+        assert!(db.insert(&c, "trans", vec![vec![Value::Int(1)]]).is_err());
+        assert_eq!(db.epoch("trans"), 1);
     }
 }

@@ -1,0 +1,177 @@
+//! The workspace-level error taxonomy.
+//!
+//! [`SumtabError`] classifies every failure the query pipeline can produce —
+//! parse, plan (QGM build), AST matching, execution, catalog/DDL, and
+//! storage — while carrying enough context (statement text, AST name) to
+//! diagnose the failure without a debugger. The facade crate and [`crate::Session`]
+//! return it everywhere a stringly-typed error used to appear.
+
+use crate::db::DbError;
+use crate::exec::ExecError;
+use crate::materialize::MaterializeError;
+use sumtab_catalog::CatalogError;
+use sumtab_parser::ParseError;
+use sumtab_qgm::BuildError;
+
+/// Any error the `sumtab` query pipeline can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SumtabError {
+    /// SQL text failed to parse.
+    Parse {
+        /// The offending statement text, when known.
+        statement: Option<String>,
+        /// The underlying parser error (carries kind and byte offset).
+        source: ParseError,
+    },
+    /// Semantic analysis / QGM construction failed.
+    Plan {
+        /// The offending statement text, when known.
+        statement: Option<String>,
+        /// The underlying builder error (carries kind).
+        source: BuildError,
+    },
+    /// The AST matcher failed internally (distinct from "no match", which is
+    /// not an error).
+    Match {
+        /// The AST whose match attempt failed.
+        ast: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Query execution failed.
+    Exec {
+        /// What was being executed (statement text or AST name), when known.
+        context: Option<String>,
+        /// The underlying executor error.
+        source: ExecError,
+    },
+    /// A catalog/DDL operation failed.
+    Catalog(CatalogError),
+    /// A storage operation failed.
+    Db(DbError),
+    /// Incremental maintenance of a summary table failed.
+    Maintain {
+        /// The summary table being maintained.
+        ast: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The statement is recognized but not supported in this position.
+    Unsupported {
+        /// What was attempted.
+        detail: String,
+    },
+}
+
+impl SumtabError {
+    /// A parse error annotated with the statement that produced it.
+    pub fn parse(statement: impl Into<String>, source: ParseError) -> SumtabError {
+        SumtabError::Parse {
+            statement: Some(statement.into()),
+            source,
+        }
+    }
+
+    /// A plan error annotated with the statement that produced it.
+    pub fn plan(statement: impl Into<String>, source: BuildError) -> SumtabError {
+        SumtabError::Plan {
+            statement: Some(statement.into()),
+            source,
+        }
+    }
+
+    /// An execution error annotated with what was running.
+    pub fn exec(context: impl Into<String>, source: ExecError) -> SumtabError {
+        SumtabError::Exec {
+            context: Some(context.into()),
+            source,
+        }
+    }
+}
+
+impl std::fmt::Display for SumtabError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let in_ctx = |f: &mut std::fmt::Formatter<'_>, ctx: &Option<String>| match ctx {
+            Some(c) => write!(f, " in `{c}`"),
+            None => Ok(()),
+        };
+        match self {
+            SumtabError::Parse { statement, source } => {
+                write!(f, "{source}")?;
+                in_ctx(f, statement)
+            }
+            SumtabError::Plan { statement, source } => {
+                write!(f, "{source}")?;
+                in_ctx(f, statement)
+            }
+            SumtabError::Match { ast, detail } => {
+                write!(f, "matcher error against AST `{ast}`: {detail}")
+            }
+            SumtabError::Exec { context, source } => {
+                write!(f, "execution error: {source}")?;
+                in_ctx(f, context)
+            }
+            SumtabError::Catalog(e) => write!(f, "catalog error: {e}"),
+            SumtabError::Db(e) => write!(f, "storage error: {e}"),
+            SumtabError::Maintain { ast, detail } => {
+                write!(f, "maintenance of `{ast}` failed: {detail}")
+            }
+            SumtabError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SumtabError {}
+
+impl From<ParseError> for SumtabError {
+    fn from(source: ParseError) -> SumtabError {
+        SumtabError::Parse {
+            statement: None,
+            source,
+        }
+    }
+}
+
+impl From<BuildError> for SumtabError {
+    fn from(source: BuildError) -> SumtabError {
+        SumtabError::Plan {
+            statement: None,
+            source,
+        }
+    }
+}
+
+impl From<ExecError> for SumtabError {
+    fn from(source: ExecError) -> SumtabError {
+        SumtabError::Exec {
+            context: None,
+            source,
+        }
+    }
+}
+
+impl From<CatalogError> for SumtabError {
+    fn from(e: CatalogError) -> SumtabError {
+        SumtabError::Catalog(e)
+    }
+}
+
+impl From<DbError> for SumtabError {
+    fn from(e: DbError) -> SumtabError {
+        SumtabError::Db(e)
+    }
+}
+
+impl From<MaterializeError> for SumtabError {
+    fn from(e: MaterializeError) -> SumtabError {
+        match e {
+            MaterializeError::Exec(source) => SumtabError::Exec {
+                context: Some("summary table materialization".into()),
+                source,
+            },
+            other => SumtabError::Unsupported {
+                detail: other.to_string(),
+            },
+        }
+    }
+}

@@ -293,6 +293,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_qgm::ScalarExpr as E;

@@ -17,6 +17,26 @@ pub enum ExecError {
     ScalarSubqueryCardinality(usize),
     /// Tried to execute a matcher-internal graph.
     SubsumerRefInGraph,
+    /// The graph violates an executor invariant (e.g. an un-normalized AVG
+    /// or a group-by output that is neither item nor aggregate). Reported
+    /// instead of panicking so callers can fall back to another plan.
+    MalformedGraph {
+        /// The offending box.
+        box_id: u32,
+        /// Which invariant was violated.
+        detail: String,
+    },
+    /// A fault injected through a failpoint (testing only).
+    Injected(String),
+}
+
+impl ExecError {
+    fn malformed(b: BoxId, detail: impl Into<String>) -> ExecError {
+        ExecError::MalformedGraph {
+            box_id: b.0,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for ExecError {
@@ -28,6 +48,10 @@ impl std::fmt::Display for ExecError {
             ExecError::SubsumerRefInGraph => {
                 write!(f, "graph contains a matcher-internal SubsumerRef box")
             }
+            ExecError::MalformedGraph { box_id, detail } => {
+                write!(f, "malformed graph at box {box_id}: {detail}")
+            }
+            ExecError::Injected(fp) => write!(f, "injected fault at failpoint `{fp}`"),
         }
     }
 }
@@ -104,7 +128,9 @@ fn exec_select(
     memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
 ) -> Result<Vec<Row>, ExecError> {
     let bx = g.boxed(b);
-    let sel = bx.as_select().expect("select box");
+    let sel = bx
+        .as_select()
+        .ok_or_else(|| ExecError::malformed(b, "exec_select on a non-SELECT box"))?;
 
     // 1. Pre-compute scalar subquery values.
     let mut scalars: FxHashMap<u32, Value> = FxHashMap::default();
@@ -404,7 +430,10 @@ impl Acc {
             },
             AggFunc::Min => Acc::Min(None),
             AggFunc::Max => Acc::Max(None),
-            AggFunc::Avg => unreachable!("AVG is normalized during QGM build"),
+            // AVG is normalized to SUM/COUNT during QGM build; exec_group_by
+            // rejects graphs carrying a raw AVG before any Acc is built, so
+            // this arm is never reached with a meaningful call.
+            AggFunc::Avg => Acc::Count(0),
         }
     }
 
@@ -492,7 +521,8 @@ impl Acc {
                 }
                 AggFunc::Min => set.iter().min().cloned().unwrap_or(Value::Null),
                 AggFunc::Max => set.iter().max().cloned().unwrap_or(Value::Null),
-                AggFunc::Avg => unreachable!("AVG is normalized during QGM build"),
+                // Unreachable after exec_group_by's up-front AVG rejection.
+                AggFunc::Avg => Value::Null,
             },
         }
     }
@@ -505,8 +535,13 @@ fn exec_group_by(
     memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
 ) -> Result<Vec<Row>, ExecError> {
     let bx = g.boxed(b);
-    let gb = bx.as_group_by().expect("group-by box");
-    let child_q = bx.quants[0];
+    let gb = bx
+        .as_group_by()
+        .ok_or_else(|| ExecError::malformed(b, "exec_group_by on a non-GROUP-BY box"))?;
+    let child_q = *bx
+        .quants
+        .first()
+        .ok_or_else(|| ExecError::malformed(b, "group-by box has no input quantifier"))?;
     let input = exec_box(g, g.input_of(child_q), db, memo)?;
 
     let item_ords: Vec<usize> = gb.items.iter().map(|c| c.ordinal).collect();
@@ -516,25 +551,36 @@ fn exec_group_by(
         Agg(usize),
     }
     let mut agg_calls: Vec<AggCall> = Vec::new();
-    let out_plan: Vec<OutPlan> = bx
-        .outputs
-        .iter()
-        .map(|oc| match &oc.expr {
+    let mut out_plan: Vec<OutPlan> = Vec::with_capacity(bx.outputs.len());
+    for oc in &bx.outputs {
+        match &oc.expr {
             ScalarExpr::Col(c) => {
-                let i = gb
-                    .items
-                    .iter()
-                    .position(|it| it == c)
-                    .expect("group-by output must reference a grouping item");
-                OutPlan::Item(i)
+                let i = gb.items.iter().position(|it| it == c).ok_or_else(|| {
+                    ExecError::malformed(b, "group-by output must reference a grouping item")
+                })?;
+                out_plan.push(OutPlan::Item(i));
             }
             ScalarExpr::Agg(a) => {
+                // AVG must have been normalized to SUM/COUNT by the builder;
+                // reject it here (before any accumulator exists) so `Acc`
+                // never observes it.
+                if a.func == AggFunc::Avg {
+                    return Err(ExecError::malformed(
+                        b,
+                        "raw AVG aggregate (not normalized to SUM/COUNT)",
+                    ));
+                }
                 agg_calls.push(*a);
-                OutPlan::Agg(agg_calls.len() - 1)
+                out_plan.push(OutPlan::Agg(agg_calls.len() - 1));
             }
-            other => unreachable!("group-by output must be item or aggregate, got {other:?}"),
-        })
-        .collect();
+            other => {
+                return Err(ExecError::malformed(
+                    b,
+                    format!("group-by output must be item or aggregate, got {other:?}"),
+                ))
+            }
+        }
+    }
 
     let mut out: Vec<Row> = Vec::new();
     // One aggregation pass per cuboid (Section 5: a cube query is the union
@@ -574,6 +620,7 @@ fn exec_group_by(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use crate::db::Database;
@@ -885,6 +932,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod error_tests {
     use super::*;
     use crate::db::Database;

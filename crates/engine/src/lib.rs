@@ -16,13 +16,15 @@
 
 pub mod csv;
 pub mod db;
+pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod materialize;
 pub mod session;
 
 pub use csv::{load_csv, to_csv};
-pub use db::{Database, Row};
+pub use db::{Database, DbError, Row};
+pub use error::SumtabError;
 pub use eval::{eval_expr, like_match, Env, EvalError};
 pub use exec::{execute, ExecError};
 pub use materialize::{backing_table_schema, materialize};

@@ -83,6 +83,7 @@ pub fn materialize(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::Value;

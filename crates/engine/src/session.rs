@@ -6,6 +6,7 @@
 //! `sumtab` facade crate combines both.
 
 use crate::db::{Database, Row};
+use crate::error::SumtabError;
 use crate::exec::execute;
 use crate::materialize::materialize;
 use sumtab_catalog::{Catalog, Column, SummaryTableDef, Table, Value};
@@ -23,25 +24,8 @@ pub enum StatementResult {
     Done,
 }
 
-/// A generic error wrapper for session operations.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SessionError {
-    /// Human-readable message.
-    pub message: String,
-}
-
-impl std::fmt::Display for SessionError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.message)
-    }
-}
-
-impl std::error::Error for SessionError {}
-
-fn err(e: impl std::fmt::Display) -> SessionError {
-    SessionError {
-        message: e.to_string(),
-    }
+fn err(e: impl Into<SumtabError>) -> SumtabError {
+    e.into()
 }
 
 /// Catalog + data + SQL front end.
@@ -69,13 +53,13 @@ impl Session {
 
     /// Run a semicolon-separated SQL script; returns one result per
     /// statement.
-    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SessionError> {
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SumtabError> {
         let stmts = parse_statements(sql).map_err(err)?;
         stmts.iter().map(|s| self.run_statement(s)).collect()
     }
 
     /// Run a single parsed statement.
-    pub fn run_statement(&mut self, stmt: &Statement) -> Result<StatementResult, SessionError> {
+    pub fn run_statement(&mut self, stmt: &Statement) -> Result<StatementResult, SumtabError> {
         match stmt {
             Statement::Query(q) => {
                 let g = build_query(q, &self.catalog).map_err(err)?;
@@ -103,7 +87,7 @@ impl Session {
                 let mut table = Table::new(&ct.name, cols);
                 if !ct.primary_key.is_empty() {
                     let keys: Vec<&str> = ct.primary_key.iter().map(String::as_str).collect();
-                    table = table.with_primary_key(&keys);
+                    table = table.with_primary_key(&keys).map_err(err)?;
                 }
                 self.catalog.add_table(table).map_err(err)?;
                 Ok(StatementResult::Done)
@@ -134,14 +118,7 @@ impl Session {
                 Ok(StatementResult::Done)
             }
             Statement::Insert { table, rows } => {
-                let mut values = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let mut out = Vec::with_capacity(row.len());
-                    for e in row {
-                        out.push(literal_value(e)?);
-                    }
-                    values.push(out);
-                }
+                let values = literal_rows(rows)?;
                 let n = self.db.insert(&self.catalog, table, values).map_err(err)?;
                 Ok(StatementResult::Count(n))
             }
@@ -149,26 +126,38 @@ impl Session {
     }
 
     /// Run a single SELECT and return `(header, rows)`.
-    pub fn query(&mut self, sql: &str) -> Result<(Vec<String>, Vec<Row>), SessionError> {
-        let q = sumtab_parser::parse_query(sql).map_err(err)?;
+    pub fn query(&mut self, sql: &str) -> Result<(Vec<String>, Vec<Row>), SumtabError> {
+        let q = sumtab_parser::parse_query(sql).map_err(|e| SumtabError::parse(sql, e))?;
         match self.run_statement(&Statement::Query(Box::new(q)))? {
             StatementResult::Rows(h, r) => Ok((h, r)),
-            _ => unreachable!(),
+            other => Err(SumtabError::Unsupported {
+                detail: format!("query statement produced a non-row result: {other:?}"),
+            }),
         }
     }
 }
 
+/// Convert parsed `INSERT ... VALUES` rows into concrete values. Public so
+/// front ends that route inserts through summary-table maintenance share
+/// the same literal handling as [`Session::run_statement`].
+pub fn literal_rows(rows: &[Vec<sumtab_parser::Expr>]) -> Result<Vec<Row>, SumtabError> {
+    rows.iter()
+        .map(|row| row.iter().map(literal_value).collect())
+        .collect()
+}
+
 /// Evaluate a literal (possibly negated) INSERT value.
-fn literal_value(e: &sumtab_parser::Expr) -> Result<Value, SessionError> {
+fn literal_value(e: &sumtab_parser::Expr) -> Result<Value, SumtabError> {
     match e {
         sumtab_parser::Expr::Lit(v) => Ok(v.clone()),
-        other => Err(SessionError {
-            message: format!("INSERT values must be literals, got {other:?}"),
+        other => Err(SumtabError::Unsupported {
+            detail: format!("INSERT values must be literals, got {other:?}"),
         }),
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
 

@@ -1,7 +1,12 @@
-//! Property-based tests of the execution engine's algebraic invariants.
+//! Randomized tests of the execution engine's algebraic invariants, driven
+//! by the workspace's deterministic in-tree PRNG (seeded loops instead of a
+//! proptest harness, keeping the build hermetic).
 
-use proptest::prelude::*;
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab_catalog::{Catalog, Column, SqlType, Table, Value};
+use sumtab_datagen::SplitMix64;
 use sumtab_engine::{execute, Database};
 use sumtab_parser::parse_query;
 use sumtab_qgm::build_query;
@@ -38,18 +43,34 @@ fn row2(a: i64, b: i64) -> Vec<Value> {
     vec![Value::Int(a), Value::Int(b)]
 }
 
-proptest! {
-    /// The engine's hash equi-join must agree with an explicitly computed
-    /// nested-loop join.
-    #[test]
-    fn hash_join_equals_nested_loop(
-        left in proptest::collection::vec((0i64..6, -5i64..5), 0..24),
-        right in proptest::collection::vec((0i64..6, -5i64..5), 0..24),
-    ) {
+/// `0..max_len` random pairs with both components in `[lo, hi]` ranges.
+fn rand_pairs(
+    r: &mut SplitMix64,
+    max_len: usize,
+    min_len: usize,
+    k: (i64, i64),
+    v: (i64, i64),
+) -> Vec<(i64, i64)> {
+    let n = r.gen_i64(min_len as i64, max_len as i64) as usize;
+    (0..n)
+        .map(|_| (r.gen_i64(k.0, k.1), r.gen_i64(v.0, v.1)))
+        .collect()
+}
+
+/// The engine's hash equi-join must agree with an explicitly computed
+/// nested-loop join.
+#[test]
+fn hash_join_equals_nested_loop() {
+    let mut r = SplitMix64::new(0x10);
+    for _ in 0..64 {
+        let left = rand_pairs(&mut r, 24, 0, (0, 5), (-5, 4));
+        let right = rand_pairs(&mut r, 24, 0, (0, 5), (-5, 4));
         let cat = two_table_catalog();
         let mut db = Database::new();
-        db.insert(&cat, "l", left.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
-        db.insert(&cat, "r", right.iter().map(|&(k, w)| row2(k, w)).collect()).unwrap();
+        db.insert(&cat, "l", left.iter().map(|&(k, v)| row2(k, v)).collect())
+            .unwrap();
+        db.insert(&cat, "r", right.iter().map(|&(k, w)| row2(k, w)).collect())
+            .unwrap();
         let joined = run(&cat, &db, "select l.v, r.w from l, r where l.k = r.k");
         let mut expected: Vec<Vec<Value>> = Vec::new();
         for &(lk, lv) in &left {
@@ -60,20 +81,27 @@ proptest! {
             }
         }
         expected.sort();
-        prop_assert_eq!(joined, expected);
+        assert_eq!(joined, expected);
     }
+}
 
-    /// Partial/total aggregation consistency — the invariant behind the
-    /// paper's Section 4.1.2: summing per-(k,v) partial counts/sums gives
-    /// exactly the per-k totals.
-    #[test]
-    fn partial_aggregates_recombine(
-        rows in proptest::collection::vec((0i64..5, -4i64..8), 1..40),
-    ) {
+/// Partial/total aggregation consistency — the invariant behind the
+/// paper's Section 4.1.2: summing per-(k,v) partial counts/sums gives
+/// exactly the per-k totals.
+#[test]
+fn partial_aggregates_recombine() {
+    let mut r = SplitMix64::new(0x11);
+    for _ in 0..64 {
+        let rows = rand_pairs(&mut r, 40, 1, (0, 4), (-4, 7));
         let cat = two_table_catalog();
         let mut db = Database::new();
-        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
-        let direct = run(&cat, &db, "select k, count(*) as c, sum(v) as s from l group by k");
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect())
+            .unwrap();
+        let direct = run(
+            &cat,
+            &db,
+            "select k, count(*) as c, sum(v) as s from l group by k",
+        );
         let via_partials = run(
             &cat,
             &db,
@@ -81,18 +109,21 @@ proptest! {
              (select k, v, count(*) as c, sum(v) as s from l group by k, v) as p \
              group by k",
         );
-        prop_assert_eq!(direct, via_partials);
+        assert_eq!(direct, via_partials);
     }
+}
 
-    /// Grouping-sets output equals the union of independently computed
-    /// cuboids with NULL padding (Section 5 semantics).
-    #[test]
-    fn grouping_sets_equal_union_of_cuboids(
-        rows in proptest::collection::vec((0i64..4, 0i64..3), 1..30),
-    ) {
+/// Grouping-sets output equals the union of independently computed
+/// cuboids with NULL padding (Section 5 semantics).
+#[test]
+fn grouping_sets_equal_union_of_cuboids() {
+    let mut r = SplitMix64::new(0x12);
+    for _ in 0..64 {
+        let rows = rand_pairs(&mut r, 30, 1, (0, 3), (0, 2));
         let cat = two_table_catalog();
         let mut db = Database::new();
-        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect())
+            .unwrap();
         let cube = run(
             &cat,
             &db,
@@ -109,32 +140,38 @@ proptest! {
             union.push(vec![Value::Null, Value::Null, row[0].clone()]);
         }
         union.sort();
-        prop_assert_eq!(cube, union);
+        assert_eq!(cube, union);
     }
+}
 
-    /// SELECT DISTINCT equals GROUP BY over the same columns (footnote 2's
-    /// bridge, applied by the builder).
-    #[test]
-    fn distinct_equals_group_by(
-        rows in proptest::collection::vec((0i64..4, 0i64..4), 0..30),
-    ) {
+/// SELECT DISTINCT equals GROUP BY over the same columns (footnote 2's
+/// bridge, applied by the builder).
+#[test]
+fn distinct_equals_group_by() {
+    let mut r = SplitMix64::new(0x13);
+    for _ in 0..64 {
+        let rows = rand_pairs(&mut r, 30, 0, (0, 3), (0, 3));
         let cat = two_table_catalog();
         let mut db = Database::new();
-        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect())
+            .unwrap();
         let distinct = run(&cat, &db, "select distinct k, v from l");
         let grouped = run(&cat, &db, "select k, v from l group by k, v");
-        prop_assert_eq!(distinct, grouped);
+        assert_eq!(distinct, grouped);
     }
+}
 
-    /// MIN/MAX agree with a direct fold; AVG equals SUM/COUNT under integer
-    /// division.
-    #[test]
-    fn min_max_avg_agree_with_fold(
-        rows in proptest::collection::vec((0i64..3, -50i64..50), 1..30),
-    ) {
+/// MIN/MAX agree with a direct fold; AVG equals SUM/COUNT under integer
+/// division (truncating toward zero, like the engine).
+#[test]
+fn min_max_avg_agree_with_fold() {
+    let mut r = SplitMix64::new(0x14);
+    for _ in 0..64 {
+        let rows = rand_pairs(&mut r, 30, 1, (0, 2), (-50, 49));
         let cat = two_table_catalog();
         let mut db = Database::new();
-        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect()).unwrap();
+        db.insert(&cat, "l", rows.iter().map(|&(k, v)| row2(k, v)).collect())
+            .unwrap();
         let got = run(
             &cat,
             &db,
@@ -156,24 +193,10 @@ proptest! {
                     Value::Int(k),
                     Value::Int(mn),
                     Value::Int(mx),
-                    Value::Int(s.div_euclid(c).max(s / c)), // integer division semantics
+                    Value::Int(s / c),
                 ]
             })
             .collect();
-        // Integer division in the engine truncates toward zero (wrapping_div).
-        let expected: Vec<Vec<Value>> = expected
-            .into_iter()
-            .map(|mut r| {
-                if let (Value::Int(k), _) = (&r[0], ()) {
-                    let (s, c) = rows
-                        .iter()
-                        .filter(|(rk, _)| rk == k)
-                        .fold((0i64, 0i64), |(s, c), &(_, v)| (s + v, c + 1));
-                    r[3] = Value::Int(s / c);
-                }
-                r
-            })
-            .collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }

@@ -260,6 +260,9 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
+        // The scanned range contains only ASCII digits and '.', so it is
+        // valid UTF-8 by construction.
+        #[allow(clippy::unwrap_used)]
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         if is_float {
             text.parse::<f64>().map(Token::Float).map_err(|e| LexError {
@@ -279,6 +282,8 @@ impl<'a> Lexer<'a> {
         while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_') {
             self.pos += 1;
         }
+        // ASCII alphanumerics and '_' only — valid UTF-8 by construction.
+        #[allow(clippy::unwrap_used)]
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
         match Keyword::from_str(text) {
             Some(k) => Token::Keyword(k),
@@ -288,6 +293,7 @@ impl<'a> Lexer<'a> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
 

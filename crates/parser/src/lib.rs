@@ -24,10 +24,14 @@ pub mod syntax;
 pub mod token;
 
 pub use lexer::{LexError, Lexer};
-pub use parser::{parse_expr, parse_query, parse_statement, parse_statements, ParseError};
+pub use parser::{
+    parse_expr, parse_query, parse_statement, parse_statements, ParseError, ParseErrorKind,
+    MAX_PARSE_DEPTH,
+};
 pub use syntax::*;
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod roundtrip_tests {
     use crate::render::render_query;
     use crate::{parse_query, parse_statement};
@@ -79,92 +83,105 @@ mod roundtrip_tests {
 }
 
 #[cfg(test)]
-mod proptests {
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
+mod random_tree_tests {
     use crate::render::{render_expr, render_query};
     use crate::syntax::*;
     use crate::{parse_expr, parse_query};
-    use proptest::prelude::*;
     use sumtab_catalog::Value;
+    use sumtab_datagen::SplitMix64;
 
-    /// A strategy for random expression trees over a fixed column pool.
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            (-100i64..100).prop_map(|i| Expr::Lit(Value::Int(i))),
-            proptest::sample::select(vec!["a", "b", "c", "price"]).prop_map(Expr::col),
-            Just(Expr::Lit(Value::Bool(true))),
-            Just(Expr::Lit(Value::Null)),
-            "[a-z]{1,6}".prop_map(|s| Expr::Lit(Value::Str(s))),
+    /// A random expression tree over a fixed column pool (deterministic in
+    /// the generator's seed).
+    fn arb_expr(r: &mut SplitMix64, depth: usize) -> Expr {
+        if depth == 0 || r.gen_bool(0.3) {
+            return match r.gen_index(5) {
+                0 => Expr::Lit(Value::Int(r.gen_i64(-100, 99))),
+                1 => {
+                    let cols = ["a", "b", "c", "price"];
+                    Expr::col(cols[r.gen_index(cols.len())])
+                }
+                2 => Expr::Lit(Value::Bool(true)),
+                3 => Expr::Lit(Value::Null),
+                _ => {
+                    let len = r.gen_i64(1, 6) as usize;
+                    let s: String = (0..len)
+                        .map(|_| (b'a' + r.gen_index(26) as u8) as char)
+                        .collect();
+                    Expr::Lit(Value::Str(s))
+                }
+            };
+        }
+        const OPS: [BinOp; 10] = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::Div,
+            BinOp::Mod,
+            BinOp::Eq,
+            BinOp::Lt,
+            BinOp::GtEq,
+            BinOp::And,
+            BinOp::Or,
         ];
-        leaf.prop_recursive(4, 32, 3, |inner| {
-            prop_oneof![
-                (
-                    proptest::sample::select(vec![
-                        BinOp::Add,
-                        BinOp::Sub,
-                        BinOp::Mul,
-                        BinOp::Div,
-                        BinOp::Mod,
-                        BinOp::Eq,
-                        BinOp::Lt,
-                        BinOp::GtEq,
-                        BinOp::And,
-                        BinOp::Or,
-                    ]),
-                    inner.clone(),
-                    inner.clone()
-                )
-                    .prop_map(|(op, l, r)| Expr::bin(op, l, r)),
-                inner.clone().prop_map(|e| Expr::Unary {
-                    op: UnOp::Not,
-                    expr: Box::new(e)
-                }),
-                inner.clone().prop_map(|e| Expr::IsNull {
-                    expr: Box::new(e),
-                    negated: false
-                }),
-                (inner.clone(), inner.clone(), inner.clone()).prop_map(|(a, b, c)| {
-                    Expr::Case {
-                        operand: None,
-                        arms: vec![(a, b)],
-                        else_expr: Some(Box::new(c)),
-                    }
-                }),
-            ]
-        })
+        match r.gen_index(4) {
+            0 => {
+                let op = *r.choose(&OPS);
+                let l = arb_expr(r, depth - 1);
+                let rhs = arb_expr(r, depth - 1);
+                Expr::bin(op, l, rhs)
+            }
+            1 => Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(arb_expr(r, depth - 1)),
+            },
+            2 => Expr::IsNull {
+                expr: Box::new(arb_expr(r, depth - 1)),
+                negated: false,
+            },
+            _ => Expr::Case {
+                operand: None,
+                arms: vec![(arb_expr(r, depth - 1), arb_expr(r, depth - 1))],
+                else_expr: Some(Box::new(arb_expr(r, depth - 1))),
+            },
+        }
     }
 
-    proptest! {
-        /// Any rendered expression re-parses to the identical tree
-        /// (precedence-aware parenthesization is faithful).
-        #[test]
-        fn expr_render_parse_roundtrip(e in arb_expr()) {
+    /// Any rendered expression re-parses to the identical tree
+    /// (precedence-aware parenthesization is faithful).
+    #[test]
+    fn expr_render_parse_roundtrip() {
+        let mut r = SplitMix64::new(0xE0_1234);
+        for _ in 0..512 {
+            let e = arb_expr(&mut r, 4);
             let printed = render_expr(&e);
-            let reparsed = parse_expr(&printed)
-                .unwrap_or_else(|err| panic!("`{printed}`: {err}"));
-            prop_assert_eq!(e, reparsed, "printed: {}", printed);
+            let reparsed =
+                parse_expr(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+            assert_eq!(e, reparsed, "printed: {printed}");
         }
+    }
 
-        /// Rendering a parsed query is a fixed point under re-parsing.
-        #[test]
-        fn query_render_is_fixed_point(
-            exprs in proptest::collection::vec(arb_expr(), 1..4),
-            filter in proptest::option::of(arb_expr()),
-        ) {
+    /// Rendering a parsed query is a fixed point under re-parsing.
+    #[test]
+    fn query_render_is_fixed_point() {
+        let mut r = SplitMix64::new(0xF1_5678);
+        for _ in 0..256 {
+            let n = r.gen_i64(1, 3) as usize;
+            let select = (0..n)
+                .map(|i| SelectItem::Expr {
+                    expr: arb_expr(&mut r, 3),
+                    alias: Some(format!("c{i}")),
+                })
+                .collect();
+            let where_clause = r.gen_bool(0.5).then(|| arb_expr(&mut r, 3));
             let q = Query {
                 distinct: false,
-                select: exprs
-                    .into_iter()
-                    .enumerate()
-                    .map(|(i, expr)| SelectItem::Expr {
-                        expr,
-                        alias: Some(format!("c{i}")),
-                    })
-                    .collect(),
+                select,
                 from: vec![TableRef::Named {
                     name: "t".into(),
                     alias: None,
                 }],
-                where_clause: filter,
+                where_clause,
                 group_by: vec![],
                 having: None,
                 order_by: vec![],
@@ -172,7 +189,7 @@ mod proptests {
             };
             let r1 = render_query(&q);
             let q2 = parse_query(&r1).unwrap_or_else(|e| panic!("`{r1}`: {e}"));
-            prop_assert_eq!(r1.clone(), render_query(&q2), "not a fixed point: {}", r1);
+            assert_eq!(r1, render_query(&q2), "not a fixed point: {r1}");
         }
     }
 }

@@ -5,9 +5,23 @@ use crate::syntax::*;
 use crate::token::{Keyword, Spanned, Token};
 use sumtab_catalog::{Date, SqlType, Value};
 
+/// What went wrong while parsing; lets callers distinguish resource-limit
+/// failures (nesting too deep) from ordinary syntax errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// The lexer rejected the input.
+    Lex,
+    /// The token stream does not form a valid statement/expression.
+    Syntax,
+    /// Expression or subquery nesting exceeded [`MAX_PARSE_DEPTH`].
+    DepthExceeded,
+}
+
 /// A parse error with byte offset and message.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParseError {
+    /// Classification of the failure.
+    pub kind: ParseErrorKind,
     /// Human-readable message.
     pub message: String,
     /// Byte offset of the offending token.
@@ -21,6 +35,11 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// Maximum nesting depth of expressions/subqueries the recursive-descent
+/// parser will follow before returning [`ParseErrorKind::DepthExceeded`]
+/// (instead of overflowing the stack on adversarial input).
+pub const MAX_PARSE_DEPTH: usize = 128;
 
 /// Parse a single `SELECT` query.
 pub fn parse_query(sql: &str) -> Result<Query, ParseError> {
@@ -63,15 +82,36 @@ pub fn parse_expr(sql: &str) -> Result<Expr, ParseError> {
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    /// Current recursion depth of `expr`/`query` frames (bounded by
+    /// [`MAX_PARSE_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
     fn new(sql: &str) -> Result<Parser, ParseError> {
         let toks = Lexer::tokenize(sql).map_err(|e| ParseError {
+            kind: ParseErrorKind::Lex,
             message: e.message,
             offset: e.offset,
         })?;
-        Ok(Parser { toks, pos: 0 })
+        Ok(Parser {
+            toks,
+            pos: 0,
+            depth: 0,
+        })
+    }
+
+    /// Bump the recursion depth, failing with `DepthExceeded` past the cap.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(ParseError {
+                kind: ParseErrorKind::DepthExceeded,
+                message: format!("nesting deeper than {MAX_PARSE_DEPTH} levels"),
+                offset: self.offset(),
+            });
+        }
+        Ok(())
     }
 
     fn peek(&self) -> &Token {
@@ -101,6 +141,7 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
         Err(ParseError {
+            kind: ParseErrorKind::Syntax,
             message: msg.into(),
             offset: self.offset(),
         })
@@ -213,6 +254,7 @@ impl Parser {
                     other => return self.err(format!("expected type name, found `{other}`")),
                 };
                 let ty = SqlType::from_sql_name(&tyname).ok_or_else(|| ParseError {
+                    kind: ParseErrorKind::Syntax,
                     message: format!("unknown type `{tyname}`"),
                     offset: self.offset(),
                 })?;
@@ -295,6 +337,13 @@ impl Parser {
     // ------------------------------------------------------------------
 
     fn query(&mut self) -> Result<Query, ParseError> {
+        self.enter()?;
+        let q = self.query_inner();
+        self.depth -= 1;
+        q
+    }
+
+    fn query_inner(&mut self) -> Result<Query, ParseError> {
         self.expect_kw(Keyword::SELECT)?;
         let distinct = self.eat_kw(Keyword::DISTINCT);
         let mut select = Vec::new();
@@ -482,8 +531,17 @@ impl Parser {
     // Expressions (precedence climbing)
     // ------------------------------------------------------------------
 
-    /// Entry point: OR level.
+    /// Entry point: OR level. Every recursive cycle through the expression
+    /// grammar re-enters here (or `query` for subqueries), so this is where
+    /// the depth guard lives.
     pub(crate) fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let e = self.expr_inner();
+        self.depth -= 1;
+        e
+    }
+
+    fn expr_inner(&mut self) -> Result<Expr, ParseError> {
         let mut lhs = self.and_expr()?;
         while self.eat_kw(Keyword::OR) {
             let rhs = self.and_expr()?;
@@ -503,10 +561,13 @@ impl Parser {
 
     fn not_expr(&mut self) -> Result<Expr, ParseError> {
         if self.eat_kw(Keyword::NOT) {
-            let inner = self.not_expr()?;
+            // Self-recursive (`not not ...`): guarded independently of `expr`.
+            self.enter()?;
+            let inner = self.not_expr();
+            self.depth -= 1;
             return Ok(Expr::Unary {
                 op: UnOp::Not,
-                expr: Box::new(inner),
+                expr: Box::new(inner?),
             });
         }
         self.comparison()
@@ -616,9 +677,12 @@ impl Parser {
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat(&Token::Minus) {
-            let inner = self.unary()?;
+            // Self-recursive (`- - ...`): guarded independently of `expr`.
+            self.enter()?;
+            let inner = self.unary();
+            self.depth -= 1;
             // Fold negation into numeric literals for cleaner trees.
-            return Ok(match inner {
+            return Ok(match inner? {
                 Expr::Lit(Value::Int(i)) => Expr::Lit(Value::Int(-i)),
                 Expr::Lit(Value::Double(d)) => Expr::Lit(Value::Double(-d)),
                 other => Expr::Unary {
@@ -628,7 +692,10 @@ impl Parser {
             });
         }
         if self.eat(&Token::Plus) {
-            return self.unary();
+            self.enter()?;
+            let inner = self.unary();
+            self.depth -= 1;
+            return inner;
         }
         self.primary()
     }
@@ -666,6 +733,7 @@ impl Parser {
                     self.bump();
                     self.bump();
                     let d = Date::parse(&s).ok_or_else(|| ParseError {
+                        kind: ParseErrorKind::Syntax,
                         message: format!("invalid date literal `{s}`"),
                         offset: self.offset(),
                     })?;
@@ -777,6 +845,7 @@ impl Parser {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
 

@@ -295,6 +295,7 @@ fn render_prec(e: &Expr, parent_prec: u8) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use crate::parse_expr;

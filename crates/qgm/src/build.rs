@@ -28,9 +28,25 @@ use sumtab_catalog::{Catalog, Value};
 use sumtab_parser as sql;
 use sumtab_parser::{AggFunc, BinOp};
 
+/// What went wrong during QGM construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildErrorKind {
+    /// The query is semantically invalid (unknown column, misplaced
+    /// aggregate, ...).
+    Semantic,
+    /// Query/expression nesting exceeded [`MAX_BUILD_DEPTH`].
+    DepthExceeded,
+    /// The builder produced an inconsistent graph — a bug in this crate,
+    /// reported as an error instead of a panic so callers can degrade
+    /// gracefully.
+    Internal,
+}
+
 /// Errors raised during QGM construction (semantic analysis).
 #[derive(Debug, Clone, PartialEq)]
 pub struct BuildError {
+    /// Classification of the failure.
+    pub kind: BuildErrorKind,
     /// Human-readable message.
     pub message: String,
 }
@@ -38,18 +54,42 @@ pub struct BuildError {
 impl BuildError {
     fn new(msg: impl Into<String>) -> BuildError {
         BuildError {
+            kind: BuildErrorKind::Semantic,
             message: msg.into(),
+        }
+    }
+
+    fn internal(msg: impl Into<String>) -> BuildError {
+        BuildError {
+            kind: BuildErrorKind::Internal,
+            message: msg.into(),
+        }
+    }
+
+    fn depth_exceeded() -> BuildError {
+        BuildError {
+            kind: BuildErrorKind::DepthExceeded,
+            message: format!("query nesting deeper than {MAX_BUILD_DEPTH} levels"),
         }
     }
 }
 
 impl std::fmt::Display for BuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "semantic error: {}", self.message)
+        match self.kind {
+            BuildErrorKind::Semantic => write!(f, "semantic error: {}", self.message),
+            BuildErrorKind::DepthExceeded => write!(f, "depth limit: {}", self.message),
+            BuildErrorKind::Internal => write!(f, "internal builder error: {}", self.message),
+        }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// Maximum nesting depth of blocks/expressions the builder will follow
+/// before returning [`BuildErrorKind::DepthExceeded`] instead of overflowing
+/// the stack on adversarial (programmatically constructed) syntax trees.
+pub const MAX_BUILD_DEPTH: usize = 256;
 
 type Result<T> = std::result::Result<T, BuildError>;
 
@@ -68,6 +108,7 @@ pub fn build_query_with_params(
     let mut b = Builder {
         catalog,
         g: QgmGraph::new(),
+        depth: 0,
     };
     let root = b.build_block(q, true)?;
     b.g.root = root;
@@ -76,7 +117,7 @@ pub fn build_query_with_params(
         crate::normalize::merge_selects(&mut g);
     }
     #[cfg(debug_assertions)]
-    g.validate();
+    g.check().map_err(BuildError::internal)?;
     Ok(g)
 }
 
@@ -134,12 +175,31 @@ impl Scope {
 struct Builder<'a> {
     catalog: &'a Catalog,
     g: QgmGraph,
+    /// Current recursion depth of `build_block`/`resolve_*` frames (bounded
+    /// by [`MAX_BUILD_DEPTH`]).
+    depth: usize,
 }
 
 impl<'a> Builder<'a> {
+    /// Bump the recursion depth, failing with `DepthExceeded` past the cap.
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_BUILD_DEPTH {
+            return Err(BuildError::depth_exceeded());
+        }
+        Ok(())
+    }
+
     /// Build one query block; returns its root box. `is_outermost` controls
     /// whether ORDER BY / LIMIT decorate the graph root.
     fn build_block(&mut self, q: &sql::Query, is_outermost: bool) -> Result<BoxId> {
+        self.enter()?;
+        let r = self.build_block_inner(q, is_outermost);
+        self.depth -= 1;
+        r
+    }
+
+    fn build_block_inner(&mut self, q: &sql::Query, is_outermost: bool) -> Result<BoxId> {
         // 1. The main (lower) SELECT box and its FROM scope.
         let sel = self.g.add_box(BoxKind::Select(SelectBox::default()));
         let mut scope = Scope {
@@ -206,7 +266,7 @@ impl<'a> Builder<'a> {
             let conjuncts = pred.split_conjuncts();
             match &mut self.g.boxed_mut(sel).kind {
                 BoxKind::Select(s) => s.predicates.extend(conjuncts),
-                _ => unreachable!(),
+                _ => return Err(BuildError::internal("WHERE target box is not a SELECT")),
             }
         }
 
@@ -238,7 +298,7 @@ impl<'a> Builder<'a> {
 
         // 4. SELECT DISTINCT → trailing GROUP BY box with no aggregates.
         if q.distinct {
-            root = self.add_distinct(root);
+            root = self.add_distinct(root)?;
         }
 
         // 5. ORDER BY / LIMIT decorate the outermost root only.
@@ -461,13 +521,13 @@ impl<'a> Builder<'a> {
         self.g.boxed_mut(sel).outputs = lower_outputs;
         match &mut self.g.boxed_mut(gb).kind {
             BoxKind::GroupBy(g) => g.items = gb_items,
-            _ => unreachable!(),
+            _ => return Err(BuildError::internal("aggregation box is not a GROUP BY")),
         }
         self.g.boxed_mut(gb).outputs = gb_outputs;
         self.g.boxed_mut(top).outputs = top_outputs;
         match &mut self.g.boxed_mut(top).kind {
             BoxKind::Select(s) => s.predicates = having_preds,
-            _ => unreachable!(),
+            _ => return Err(BuildError::internal("HAVING target box is not a SELECT")),
         }
         Ok(top)
     }
@@ -476,8 +536,8 @@ impl<'a> Builder<'a> {
     /// identity SELECT so the block keeps the canonical Select-rooted shape
     /// (matching compares boxes of equal type; aggregation blocks always
     /// end in a SELECT).
-    fn add_distinct(&mut self, root: BoxId) -> BoxId {
-        let gb = self.add_distinct_gb(root);
+    fn add_distinct(&mut self, root: BoxId) -> Result<BoxId> {
+        let gb = self.add_distinct_gb(root)?;
         let sel = self.g.add_box(BoxKind::Select(SelectBox::default()));
         let q = self.g.add_quant(sel, gb, QuantKind::Foreach, "dout");
         self.g.boxed_mut(sel).outputs = self
@@ -491,11 +551,11 @@ impl<'a> Builder<'a> {
                 expr: ScalarExpr::col(q, i),
             })
             .collect();
-        sel
+        Ok(sel)
     }
 
     /// The DISTINCT GROUP BY itself.
-    fn add_distinct_gb(&mut self, root: BoxId) -> BoxId {
+    fn add_distinct_gb(&mut self, root: BoxId) -> Result<BoxId> {
         let n = self.g.boxed(root).outputs.len();
         let names: Vec<String> = self
             .g
@@ -525,14 +585,26 @@ impl<'a> Builder<'a> {
             .collect();
         match &mut self.g.boxed_mut(gb).kind {
             BoxKind::GroupBy(g) => g.items = items,
-            _ => unreachable!(),
+            _ => return Err(BuildError::internal("DISTINCT box is not a GROUP BY")),
         }
-        gb
+        Ok(gb)
     }
 
     /// Resolve an expression in a box's own space; scalar subqueries create
     /// `Scalar` quantifiers on `owner`.
     fn resolve_expr(&mut self, e: &sql::Expr, scope: &Scope, owner: BoxId) -> Result<ScalarExpr> {
+        self.enter()?;
+        let r = self.resolve_expr_inner(e, scope, owner);
+        self.depth -= 1;
+        r
+    }
+
+    fn resolve_expr_inner(
+        &mut self,
+        e: &sql::Expr,
+        scope: &Scope,
+        owner: BoxId,
+    ) -> Result<ScalarExpr> {
         match e {
             sql::Expr::Lit(v) => Ok(ScalarExpr::Lit(v.clone())),
             sql::Expr::Column { qualifier, name } => {
@@ -666,6 +738,17 @@ impl<'a> Builder<'a> {
     /// become references to GROUP BY grouping outputs, aggregates become
     /// references to GROUP BY aggregate outputs.
     fn resolve_agg_space(
+        &mut self,
+        e: &sql::Expr,
+        ctx: &mut AggBlockCtx<'_>,
+    ) -> Result<ScalarExpr> {
+        self.enter()?;
+        let r = self.resolve_agg_space_inner(e, ctx);
+        self.depth -= 1;
+        r
+    }
+
+    fn resolve_agg_space_inner(
         &mut self,
         e: &sql::Expr,
         ctx: &mut AggBlockCtx<'_>,
@@ -982,6 +1065,7 @@ fn grouping_name(e: &sql::Expr, i: usize) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use crate::graph::QuantKind;

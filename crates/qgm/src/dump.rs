@@ -92,6 +92,7 @@ fn dump_box(g: &QgmGraph, b: BoxId, depth: usize, out: &mut String, seen: &mut V
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use crate::build::build_query;
@@ -199,6 +200,7 @@ fn escape(s: &str) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod dot_tests {
     use super::*;
     use crate::build::build_query;

@@ -250,15 +250,11 @@ impl ScalarExpr {
     }
 
     /// Re-join conjuncts with AND; `TRUE` for an empty list.
-    pub fn and_all(mut conjuncts: Vec<ScalarExpr>) -> ScalarExpr {
-        match conjuncts.len() {
-            0 => ScalarExpr::Lit(Value::Bool(true)),
-            1 => conjuncts.pop().unwrap(),
-            _ => {
-                let mut it = conjuncts.into_iter();
-                let first = it.next().unwrap();
-                it.fold(first, |acc, c| ScalarExpr::bin(BinOp::And, acc, c))
-            }
+    pub fn and_all(conjuncts: Vec<ScalarExpr>) -> ScalarExpr {
+        let mut it = conjuncts.into_iter();
+        match it.next() {
+            None => ScalarExpr::Lit(Value::Bool(true)),
+            Some(first) => it.fold(first, |acc, c| ScalarExpr::bin(BinOp::And, acc, c)),
         }
     }
 

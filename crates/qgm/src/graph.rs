@@ -344,19 +344,28 @@ impl QgmGraph {
         new_id
     }
 
-    /// Structural sanity checks; panics with a description on violation.
-    /// Call from tests and after graph surgery.
-    pub fn validate(&self) {
-        assert!(
+    /// Structural sanity checks; returns a description of the first
+    /// violation found. The non-panicking core behind [`QgmGraph::validate`];
+    /// library code (the matcher, the builder) uses this to surface a typed
+    /// error instead of aborting.
+    pub fn check(&self) -> Result<(), String> {
+        macro_rules! ensure {
+            ($cond:expr, $($arg:tt)+) => {
+                if !$cond {
+                    return Err(format!($($arg)+));
+                }
+            };
+        }
+        ensure!(
             (self.root.0 as usize) < self.boxes.len(),
             "root out of range"
         );
         for (i, q) in self.quants.iter().enumerate() {
-            assert!(
+            ensure!(
                 (q.owner.0 as usize) < self.boxes.len(),
                 "quant {i} owner out of range"
             );
-            assert!(
+            ensure!(
                 (q.input.0 as usize) < self.boxes.len(),
                 "quant {i} input out of range"
             );
@@ -364,9 +373,8 @@ impl QgmGraph {
         for (bi, b) in self.boxes.iter().enumerate() {
             for &q in &b.quants {
                 if q.graph == self.id {
-                    assert_eq!(
-                        self.quant(q).owner,
-                        BoxId(bi as u32),
+                    ensure!(
+                        self.quant(q).owner == BoxId(bi as u32),
                         "box {bi} lists quantifier it does not own"
                     );
                 }
@@ -374,15 +382,15 @@ impl QgmGraph {
             // Column references in outputs/predicates must use the box's own
             // quantifiers.
             let own: std::collections::HashSet<QuantId> = b.quants.iter().copied().collect();
-            let check_expr = |e: &ScalarExpr, what: &str| {
+            let check_expr = |e: &ScalarExpr, what: &str| -> Result<(), String> {
                 for c in e.col_refs() {
-                    assert!(
+                    ensure!(
                         own.contains(&c.qid),
                         "box {bi}: {what} references foreign quantifier {c}"
                     );
                     if c.qid.graph == self.id {
                         let input = self.input_of(c.qid);
-                        assert!(
+                        ensure!(
                             c.ordinal < self.boxed(input).outputs.len()
                                 || matches!(self.boxed(input).kind, BoxKind::SubsumerRef { .. }),
                             "box {bi}: {what} ordinal {} out of range",
@@ -390,12 +398,13 @@ impl QgmGraph {
                         );
                     }
                 }
+                Ok(())
             };
             match &b.kind {
                 BoxKind::BaseTable { .. } => {
-                    assert!(b.quants.is_empty(), "base table box {bi} has quantifiers");
+                    ensure!(b.quants.is_empty(), "base table box {bi} has quantifiers");
                     for c in &b.outputs {
-                        assert!(
+                        ensure!(
                             matches!(c.expr, ScalarExpr::BaseCol(_)),
                             "base table box {bi} output must be BaseCol"
                         );
@@ -403,14 +412,14 @@ impl QgmGraph {
                 }
                 BoxKind::Select(s) => {
                     for c in &b.outputs {
-                        assert!(
+                        ensure!(
                             !c.expr.contains_agg(),
                             "select box {bi} output contains aggregate"
                         );
-                        check_expr(&c.expr, "output");
+                        check_expr(&c.expr, "output")?;
                     }
                     for p in &s.predicates {
-                        check_expr(p, "predicate");
+                        check_expr(p, "predicate")?;
                     }
                 }
                 BoxKind::GroupBy(g) => {
@@ -421,12 +430,15 @@ impl QgmGraph {
                             q.graph != self.id || self.quant(**q).kind == QuantKind::Foreach
                         })
                         .collect();
-                    assert_eq!(foreach.len(), 1, "group-by box {bi} needs exactly 1 child");
-                    assert!(
+                    ensure!(
+                        foreach.len() == 1,
+                        "group-by box {bi} needs exactly 1 child"
+                    );
+                    ensure!(
                         g.sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])),
                         "group-by box {bi} sets not sorted/deduped"
                     );
-                    assert!(
+                    ensure!(
                         g.sets.iter().all(|s| s.iter().all(|&i| i < g.items.len())),
                         "group-by box {bi} set index out of range"
                     );
@@ -435,22 +447,34 @@ impl QgmGraph {
                         // an aggregate (in any order; compensation boxes may
                         // append grouping outputs).
                         match &c.expr {
-                            ScalarExpr::Col(cr) => assert!(
+                            ScalarExpr::Col(cr) => ensure!(
                                 g.items.contains(cr),
                                 "group-by box {bi} output {i} must reference a grouping item"
                             ),
                             ScalarExpr::Agg(_) => {}
-                            other => panic!(
-                                "group-by box {bi} output {i} must be item or aggregate, got {other:?}"
-                            ),
+                            other => {
+                                return Err(format!(
+                                    "group-by box {bi} output {i} must be item or aggregate, got {other:?}"
+                                ))
+                            }
                         }
-                        check_expr(&c.expr, "output");
+                        check_expr(&c.expr, "output")?;
                     }
                 }
                 BoxKind::SubsumerRef { .. } => {
-                    assert!(b.quants.is_empty(), "subsumer-ref box {bi} has quantifiers");
+                    ensure!(b.quants.is_empty(), "subsumer-ref box {bi} has quantifiers");
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// Structural sanity checks; panics with a description on violation.
+    /// Call from tests and after graph surgery; library code should prefer
+    /// [`QgmGraph::check`].
+    pub fn validate(&self) {
+        if let Err(e) = self.check() {
+            panic!("invalid QGM graph: {e}");
         }
     }
 }

@@ -25,7 +25,9 @@ pub mod normalize;
 pub mod render;
 pub mod types;
 
-pub use build::{build_query, build_query_with_params, BuildError};
+pub use build::{
+    build_query, build_query_with_params, BuildError, BuildErrorKind, MAX_BUILD_DEPTH,
+};
 pub use dump::dump_graph;
 pub use expr::{AggCall, ColRef, ScalarExpr};
 pub use graph::{

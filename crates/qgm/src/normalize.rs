@@ -46,6 +46,9 @@ fn find_mergeable(g: &QgmGraph) -> Option<(crate::graph::BoxId, crate::graph::Qu
     None
 }
 
+// `find_mergeable` returns only (parent, q) pairs where `q` is a quantifier
+// of `parent` and both boxes are SELECTs, so the lookups below cannot fail.
+#[allow(clippy::expect_used)]
 fn merge_one(g: &mut QgmGraph, parent: crate::graph::BoxId, q: crate::graph::QuantId) {
     let child = g.input_of(q);
     let child_box = g.boxed(child).clone();
@@ -122,6 +125,7 @@ pub fn compact(g: &mut QgmGraph) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use crate::build::build_query_with_params;
     use crate::graph::BoxKind;

@@ -287,6 +287,7 @@ pub fn render_expr(g: &QgmGraph, e: &ScalarExpr, parent_prec: u8) -> String {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use crate::build::build_query;

@@ -259,6 +259,7 @@ fn is_scalar_agg(g: &QgmGraph, owner: BoxId) -> bool {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use crate::build::build_query;

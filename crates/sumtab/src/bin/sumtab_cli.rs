@@ -35,12 +35,14 @@ fn main() {
         );
         let (catalog, db) = generate(&cfg);
         let mut s = SummarySession::with_data(catalog, db);
-        s.run_script(
+        if let Err(e) = s.run_script(
             "create summary table demo_ast as (
                  select faid, flid, year(date) as year, count(*) as cnt
                  from trans group by faid, flid, year(date));",
-        )
-        .expect("demo AST");
+        ) {
+            eprintln!("demo AST setup failed: {e}");
+            std::process::exit(1);
+        }
         eprintln!("demo AST `demo_ast` materialized. Try:");
         eprintln!("  select faid, count(*) as cnt from trans group by faid;");
         eprintln!(

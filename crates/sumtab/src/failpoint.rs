@@ -1,0 +1,123 @@
+//! Minimal in-tree fail-point support for fault-injection testing.
+//!
+//! A *fail point* is a named hook compiled into production code paths; when
+//! armed, [`triggered`] returns `true` at that hook and the surrounding code
+//! takes its error path, letting tests (and operators reproducing bugs)
+//! exercise degraded-mode behavior deterministically.
+//!
+//! The facade plants three fail points at its pipeline boundaries:
+//!
+//! | name                | effect when armed                                   |
+//! |---------------------|-----------------------------------------------------|
+//! | `match`             | every AST match attempt fails (matcher error path)  |
+//! | `execute-rewritten` | executing an AST-backed plan fails (fallback path)  |
+//! | `maintain`          | incremental maintenance fails (full-refresh path)   |
+//!
+//! Arming is programmatic ([`arm`]/[`disarm`], or the scope-bound [`armed`]
+//! guard for tests) or environmental: `SUMTAB_FAILPOINTS=match,maintain`
+//! arms a comma-separated list at first use.
+//!
+//! Disabled cost: when nothing is armed, [`triggered`] is two relaxed atomic
+//! loads — no lock, no allocation. State is process-global; tests that arm
+//! fail points must serialize themselves (see `tests/failpoints.rs`).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+
+/// Fast path: true iff at least one fail point is armed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn set() -> MutexGuard<'static, HashSet<String>> {
+    static SET: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let m = SET.get_or_init(|| Mutex::new(HashSet::new()));
+    match m.lock() {
+        Ok(g) => g,
+        // A panic while holding the lock leaves the set intact; keep going.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Arm any fail points listed in `SUMTAB_FAILPOINTS` (once per process).
+fn ensure_env_armed() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        if let Ok(list) = std::env::var("SUMTAB_FAILPOINTS") {
+            for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+                arm(name);
+            }
+        }
+    });
+}
+
+/// Arm the named fail point: subsequent [`triggered`] calls return `true`.
+pub fn arm(name: &str) {
+    let mut s = set();
+    s.insert(name.to_string());
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm the named fail point.
+pub fn disarm(name: &str) {
+    let mut s = set();
+    s.remove(name);
+    if s.is_empty() {
+        ANY_ARMED.store(false, Ordering::Release);
+    }
+}
+
+/// Disarm every fail point.
+pub fn disarm_all() {
+    let mut s = set();
+    s.clear();
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Should the named fail point fire? Called from production code at the
+/// hook site; returns `false` (after two atomic loads) unless armed.
+pub fn triggered(name: &str) -> bool {
+    ensure_env_armed();
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return false;
+    }
+    set().contains(name)
+}
+
+/// A scope-bound arming: the fail point stays armed until the guard drops.
+/// Test helper — prefer this over raw [`arm`]/[`disarm`] so a failing
+/// assertion cannot leave the point armed for other tests.
+#[must_use = "the fail point disarms when this guard is dropped"]
+pub struct Armed {
+    name: String,
+}
+
+/// Arm `name` for the lifetime of the returned guard.
+pub fn armed(name: &str) -> Armed {
+    arm(name);
+    Armed {
+        name: name.to_string(),
+    }
+}
+
+impl Drop for Armed {
+    fn drop(&mut self) {
+        disarm(&self.name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_is_scoped_and_observable() {
+        // This test owns the fail point name; nothing else arms it.
+        assert!(!triggered("failpoint-unit-test"));
+        {
+            let _g = armed("failpoint-unit-test");
+            assert!(triggered("failpoint-unit-test"));
+            assert!(!triggered("failpoint-unit-test-other"));
+        }
+        assert!(!triggered("failpoint-unit-test"));
+    }
+}

@@ -23,7 +23,25 @@
 //! assert_eq!(result.used_ast.as_deref(), Some("by_prod"));
 //! assert_eq!(result.rows.len(), 2);
 //! ```
+//!
+//! ## Fault tolerance
+//!
+//! The pipeline degrades rather than failing or silently answering wrong:
+//!
+//! * **Staleness**: every [`Database`] mutation bumps a per-table epoch; a
+//!   summary table records its base tables' epochs when (re)materialized and
+//!   the planner skips any AST whose snapshot no longer matches
+//!   ([`SummarySession::plan_detail`] reports the skip reasons, as does
+//!   `EXPLAIN`). INSERTs issued through [`SummarySession::run_script`] keep
+//!   affected summaries fresh via incremental maintenance.
+//! * **Fallback**: if an AST-backed plan fails *at execution time*,
+//!   [`SummarySession::query`] re-runs the query from base tables and
+//!   reports the cause in [`QueryResult::fallback`] instead of erroring.
+//! * **Fail points**: the `match`, `execute-rewritten`, and `maintain`
+//!   boundaries carry [`failpoint`] hooks so the degraded paths are
+//!   deterministically testable.
 
+pub mod failpoint;
 pub mod maintain;
 
 pub use sumtab_catalog as catalog;
@@ -34,18 +52,15 @@ pub use sumtab_parser as parser;
 pub use sumtab_qgm as qgm;
 
 pub use sumtab_catalog::{Catalog, Date, SqlType, Value};
-pub use sumtab_engine::{format_table, sort_rows, Database, Row, Session};
-pub use sumtab_matcher::{baseline::baseline_matches, RegisteredAst, Rewrite, Rewriter};
+pub use sumtab_engine::{format_table, sort_rows, Database, Row, Session, SumtabError};
+pub use sumtab_matcher::{
+    baseline::baseline_matches, AstDefError, MatchError, RegisteredAst, Rewrite, Rewriter,
+};
 pub use sumtab_qgm::{build_query, render_graph_sql, QgmGraph};
 
-use sumtab_engine::session::{SessionError, StatementResult};
+use std::collections::BTreeMap;
+use sumtab_engine::session::StatementResult;
 use sumtab_parser::{parse_query, parse_statements, Statement};
-
-fn err(e: impl std::fmt::Display) -> SessionError {
-    SessionError {
-        message: e.to_string(),
-    }
-}
 
 /// The result of a transparently-rewritten query.
 #[derive(Debug, Clone)]
@@ -58,6 +73,70 @@ pub struct QueryResult {
     pub used_ast: Option<String>,
     /// The executed (possibly rewritten) query, rendered as SQL.
     pub executed_sql: String,
+    /// When the AST-backed plan failed at execution time and the query was
+    /// re-answered from base tables: a description of the failure. `None`
+    /// means no degradation happened (the plan that was chosen also ran).
+    pub fallback: Option<String>,
+}
+
+/// A registered AST plus the base-table epochs captured when its contents
+/// were last brought up to date (materialization, refresh, or incremental
+/// maintenance).
+#[derive(Debug, Clone)]
+pub struct AstState {
+    /// The AST definition.
+    pub ast: RegisteredAst,
+    /// Base table → [`Database::epoch`] at last (re)materialization.
+    pub base_epochs: BTreeMap<String, u64>,
+}
+
+/// Why an AST was passed over during planning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedAst {
+    /// The AST's name.
+    pub ast: String,
+    /// Human-readable skip reason (staleness or a matcher error).
+    pub reason: String,
+}
+
+/// The outcome of planning one query: the final (possibly rewritten) graph,
+/// the ASTs it uses, and the ASTs that were considered but skipped.
+#[derive(Debug, Clone)]
+pub struct PlanDetail {
+    /// The graph that would execute.
+    pub graph: QgmGraph,
+    /// Names of the ASTs the plan reads, in application order.
+    pub used: Vec<String>,
+    /// ASTs skipped for staleness or matcher errors, with reasons.
+    pub skipped: Vec<SkippedAst>,
+}
+
+/// Record each base table the graph scans at its current epoch.
+fn snapshot_epochs(db: &Database, graph: &QgmGraph) -> BTreeMap<String, u64> {
+    let mut epochs = BTreeMap::new();
+    for b in &graph.boxes {
+        if let qgm::BoxKind::BaseTable { table } = &b.kind {
+            let key = table.to_ascii_lowercase();
+            let e = db.epoch(&key);
+            epochs.insert(key, e);
+        }
+    }
+    epochs
+}
+
+/// Does the graph scan `table` (case-insensitive)?
+fn graph_reads(graph: &QgmGraph, table: &str) -> bool {
+    graph.boxes.iter().any(|b| {
+        matches!(&b.kind, qgm::BoxKind::BaseTable { table: t }
+                 if t.eq_ignore_ascii_case(table))
+    })
+}
+
+fn ast_def_err(sql: &str, e: AstDefError) -> SumtabError {
+    match e {
+        AstDefError::Parse(p) => SumtabError::parse(sql, p),
+        AstDefError::Plan(b) => SumtabError::plan(sql, b),
+    }
 }
 
 /// A SQL session with transparent AST rewriting.
@@ -69,7 +148,8 @@ pub struct QueryResult {
 pub struct SummarySession {
     /// The underlying engine session (catalog + data).
     pub session: Session,
-    asts: Vec<RegisteredAst>,
+    asts: Vec<AstState>,
+    registration_failures: Vec<(String, String)>,
 }
 
 impl SummarySession {
@@ -79,43 +159,103 @@ impl SummarySession {
     }
 
     /// A session over a pre-built catalog and database.
+    ///
+    /// Summary tables already present in the catalog are re-registered for
+    /// rewriting; any whose definition no longer parses or plans are
+    /// reported through [`SummarySession::registration_failures`] rather
+    /// than silently dropped. Their base tables are assumed up to date as
+    /// of the given database.
     pub fn with_data(catalog: Catalog, db: Database) -> SummarySession {
         let mut asts = Vec::new();
-        // Re-register any summary tables already present in the catalog.
+        let mut registration_failures = Vec::new();
         for def in catalog.summary_tables() {
-            if let Ok(ast) = RegisteredAst::from_sql(&def.name, &def.query_sql, &catalog) {
-                asts.push(ast);
+            match RegisteredAst::from_sql(&def.name, &def.query_sql, &catalog) {
+                Ok(ast) => {
+                    let base_epochs = snapshot_epochs(&db, &ast.graph);
+                    asts.push(AstState { ast, base_epochs });
+                }
+                Err(e) => registration_failures.push((def.name.clone(), e.to_string())),
             }
         }
         SummarySession {
             session: Session { catalog, db },
             asts,
+            registration_failures,
         }
     }
 
     /// The registered ASTs.
-    pub fn asts(&self) -> &[RegisteredAst] {
+    pub fn asts(&self) -> Vec<&RegisteredAst> {
+        self.asts.iter().map(|s| &s.ast).collect()
+    }
+
+    /// The registered ASTs with their staleness bookkeeping.
+    pub fn ast_states(&self) -> &[AstState] {
         &self.asts
     }
 
-    /// Run a semicolon-separated script. `CREATE SUMMARY TABLE` statements
-    /// are additionally registered for rewriting.
-    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SessionError> {
-        let stmts = parse_statements(sql).map_err(|e| SessionError {
-            message: e.to_string(),
+    /// Summary tables found in the catalog at construction whose definition
+    /// could not be re-registered, as `(name, reason)` pairs. These ASTs
+    /// exist as data but take no part in rewriting.
+    pub fn registration_failures(&self) -> &[(String, String)] {
+        &self.registration_failures
+    }
+
+    /// Register the named (already materialized) summary table for
+    /// rewriting, snapshotting its base tables' epochs.
+    fn register_ast(&mut self, name: &str) -> Result<(), SumtabError> {
+        let def = self.session.catalog.summary_table(name).ok_or_else(|| {
+            SumtabError::Catalog(sumtab_catalog::CatalogError::UnknownTable(name.to_string()))
         })?;
+        let ast = RegisteredAst::from_sql(&def.name, &def.query_sql, &self.session.catalog)
+            .map_err(|e| ast_def_err(&def.query_sql, e))?;
+        let base_epochs = snapshot_epochs(&self.session.db, &ast.graph);
+        self.asts.push(AstState { ast, base_epochs });
+        Ok(())
+    }
+
+    /// Is `table` read by any registered AST?
+    fn any_ast_reads(&self, table: &str) -> bool {
+        self.asts.iter().any(|st| graph_reads(&st.ast.graph, table))
+    }
+
+    /// `Some(reason)` when the AST's recorded base epochs no longer match
+    /// the database — its contents may not reflect current data.
+    fn staleness(&self, st: &AstState) -> Option<String> {
+        for (table, &snap) in &st.base_epochs {
+            let cur = self.session.db.epoch(table);
+            if cur != snap {
+                return Some(format!(
+                    "stale: base table `{table}` is at epoch {cur}, \
+                     summary captured epoch {snap}"
+                ));
+            }
+        }
+        None
+    }
+
+    /// Run a semicolon-separated script. `CREATE SUMMARY TABLE` statements
+    /// are additionally registered for rewriting, and `INSERT`s into tables
+    /// read by a registered AST are routed through [`SummarySession::append`]
+    /// so the affected summaries stay fresh (incrementally where the
+    /// definition allows, by full recomputation otherwise).
+    pub fn run_script(&mut self, sql: &str) -> Result<Vec<StatementResult>, SumtabError> {
+        let stmts = parse_statements(sql).map_err(|e| SumtabError::parse(sql, e))?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
-            out.push(self.session.run_statement(stmt)?);
-            if let Statement::CreateSummaryTable { name, .. } = stmt {
-                let def = self
-                    .session
-                    .catalog
-                    .summary_table(name)
-                    .expect("just created");
-                let ast = RegisteredAst::from_sql(&def.name, &def.query_sql, &self.session.catalog)
-                    .map_err(|m| SessionError { message: m })?;
-                self.asts.push(ast);
+            match stmt {
+                Statement::Insert { table, rows } if self.any_ast_reads(table) => {
+                    let values = sumtab_engine::session::literal_rows(rows)?;
+                    let n = values.len();
+                    self.append(table, values)?;
+                    out.push(StatementResult::Count(n));
+                }
+                _ => {
+                    out.push(self.session.run_statement(stmt)?);
+                    if let Statement::CreateSummaryTable { name, .. } = stmt {
+                        self.register_ast(name)?;
+                    }
+                }
             }
         }
         Ok(out)
@@ -124,99 +264,190 @@ impl SummarySession {
     /// Plan a query: build its QGM and rewrite it against the registered
     /// ASTs, iteratively (Section 7: the result of one rewrite is matched
     /// against the remaining ASTs). Returns the final graph and the names
-    /// of the ASTs used.
-    pub fn plan(&self, sql: &str) -> Result<(QgmGraph, Vec<String>), SessionError> {
-        let q = parse_query(sql).map_err(|e| SessionError {
-            message: e.to_string(),
-        })?;
-        let mut graph = build_query(&q, &self.session.catalog).map_err(|e| SessionError {
-            message: e.to_string(),
-        })?;
+    /// of the ASTs used. See [`SummarySession::plan_detail`] for skip
+    /// diagnostics.
+    pub fn plan(&self, sql: &str) -> Result<(QgmGraph, Vec<String>), SumtabError> {
+        let detail = self.plan_detail(sql)?;
+        Ok((detail.graph, detail.used))
+    }
+
+    /// Plan a query, reporting which ASTs were used and which were skipped
+    /// (stale snapshot, or the matcher erred on them) and why.
+    ///
+    /// Both skip classes degrade gracefully: a stale or matcher-erroring
+    /// AST is simply not used — planning continues with the remaining ASTs
+    /// and, in the limit, the un-rewritten base plan.
+    pub fn plan_detail(&self, sql: &str) -> Result<PlanDetail, SumtabError> {
+        let q = parse_query(sql).map_err(|e| SumtabError::parse(sql, e))?;
+        let mut graph =
+            build_query(&q, &self.session.catalog).map_err(|e| SumtabError::plan(sql, e))?;
         let rewriter = Rewriter::new(&self.session.catalog);
         let mut used = Vec::new();
-        let mut remaining: Vec<&RegisteredAst> = self.asts.iter().collect();
-        loop {
-            let best = remaining
-                .iter()
-                .enumerate()
-                .filter_map(|(i, ast)| rewriter.rewrite(&graph, ast).map(|rw| (i, rw)))
-                .min_by_key(|(_, rw)| self.session.db.row_count(&rw.ast_name));
-            match best {
-                Some((i, rw)) => {
-                    used.push(rw.ast_name.clone());
-                    graph = rw.graph;
-                    remaining.remove(i);
-                }
-                None => break,
+        let mut skipped = Vec::new();
+
+        // Soundness gate: an AST whose base tables changed since its last
+        // (re)materialization could answer with outdated data — skip it.
+        let mut candidates: Vec<&AstState> = Vec::new();
+        for st in &self.asts {
+            match self.staleness(st) {
+                Some(reason) => skipped.push(SkippedAst {
+                    ast: st.ast.name.clone(),
+                    reason,
+                }),
+                None => candidates.push(st),
             }
         }
-        Ok((graph, used))
+
+        loop {
+            let mut best: Option<(usize, Rewrite, usize)> = None;
+            let mut errored: Vec<usize> = Vec::new();
+            for (i, st) in candidates.iter().enumerate() {
+                let attempt = if failpoint::triggered("match") {
+                    Err(MatchError {
+                        ast: st.ast.name.clone(),
+                        detail: "injected fault at failpoint `match`".to_string(),
+                    })
+                } else {
+                    rewriter.rewrite(&graph, &st.ast)
+                };
+                match attempt {
+                    Ok(Some(rw)) => {
+                        let rows = self.session.db.row_count(&rw.ast_name);
+                        if best.as_ref().is_none_or(|(_, _, r)| rows < *r) {
+                            best = Some((i, rw, rows));
+                        }
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        // A matcher failure disqualifies the AST but must
+                        // not sink the query: record and move on.
+                        skipped.push(SkippedAst {
+                            ast: st.ast.name.clone(),
+                            reason: format!("matcher error: {}", e.detail),
+                        });
+                        errored.push(i);
+                    }
+                }
+            }
+            let Some((chosen, rw, _)) = best else {
+                break;
+            };
+            used.push(rw.ast_name.clone());
+            graph = rw.graph;
+            let mut remove = errored;
+            remove.push(chosen);
+            remove.sort_unstable();
+            for i in remove.into_iter().rev() {
+                candidates.remove(i);
+            }
+        }
+        Ok(PlanDetail {
+            graph,
+            used,
+            skipped,
+        })
     }
 
     /// Execute a query with transparent rewriting.
-    pub fn query(&mut self, sql: &str) -> Result<QueryResult, SessionError> {
-        let (graph, used) = self.plan(sql)?;
-        let header = graph
-            .boxed(graph.root)
+    ///
+    /// Graceful degradation: when an AST-backed plan fails at execution
+    /// time (a corrupt backing table, an injected fault, a malformed
+    /// rewritten graph), the query is re-planned *without* summary tables
+    /// and answered from base data. The result then carries the failure in
+    /// [`QueryResult::fallback`] and `used_ast` is `None`. Errors in the
+    /// un-rewritten path itself still surface as `Err` — there is nothing
+    /// left to fall back to.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult, SumtabError> {
+        let detail = self.plan_detail(sql)?;
+        let header: Vec<String> = detail
+            .graph
+            .boxed(detail.graph.root)
             .outputs
             .iter()
             .map(|c| c.name.clone())
             .collect();
-        let rows = sumtab_engine::execute(&graph, &self.session.db).map_err(|e| SessionError {
-            message: e.to_string(),
-        })?;
-        Ok(QueryResult {
-            header,
-            rows,
-            used_ast: used.first().cloned(),
-            executed_sql: render_graph_sql(&graph),
-        })
+        let exec = if !detail.used.is_empty() && failpoint::triggered("execute-rewritten") {
+            Err(sumtab_engine::ExecError::Injected(
+                "execute-rewritten".to_string(),
+            ))
+        } else {
+            sumtab_engine::execute(&detail.graph, &self.session.db)
+        };
+        match exec {
+            Ok(rows) => Ok(QueryResult {
+                header,
+                rows,
+                used_ast: detail.used.first().cloned(),
+                executed_sql: render_graph_sql(&detail.graph),
+                fallback: None,
+            }),
+            Err(cause) if !detail.used.is_empty() => {
+                let (header, rows) = self.session.query(sql)?;
+                Ok(QueryResult {
+                    header,
+                    rows,
+                    used_ast: None,
+                    executed_sql: sql.to_string(),
+                    fallback: Some(format!(
+                        "AST-backed plan using {} failed at execution ({cause}); \
+                         fell back to the base plan",
+                        detail.used.join(", ")
+                    )),
+                })
+            }
+            Err(cause) => Err(SumtabError::exec(sql, cause)),
+        }
     }
 
     /// Execute a query WITHOUT rewriting (the baseline for comparisons).
-    pub fn query_no_rewrite(&mut self, sql: &str) -> Result<QueryResult, SessionError> {
+    pub fn query_no_rewrite(&mut self, sql: &str) -> Result<QueryResult, SumtabError> {
         let (header, rows) = self.session.query(sql)?;
         Ok(QueryResult {
             header,
             rows,
             used_ast: None,
             executed_sql: sql.to_string(),
+            fallback: None,
         })
     }
 
-    /// EXPLAIN-style view: the SQL that would actually run.
-    pub fn explain(&self, sql: &str) -> Result<String, SessionError> {
-        let (graph, used) = self.plan(sql)?;
+    /// EXPLAIN-style view: the SQL that would actually run, with routing
+    /// and per-AST skip reasons as leading comments.
+    pub fn explain(&self, sql: &str) -> Result<String, SumtabError> {
+        let detail = self.plan_detail(sql)?;
         let mut out = String::new();
-        if used.is_empty() {
+        if detail.used.is_empty() {
             out.push_str("-- no summary table applicable\n");
         } else {
-            out.push_str(&format!("-- answered from: {}\n", used.join(", ")));
+            out.push_str(&format!("-- answered from: {}\n", detail.used.join(", ")));
         }
-        out.push_str(&render_graph_sql(&graph));
+        for s in &detail.skipped {
+            out.push_str(&format!("-- skipped {}: {}\n", s.ast, s.reason));
+        }
+        out.push_str(&render_graph_sql(&detail.graph));
         Ok(out)
     }
 
     /// Append rows to a base table and maintain every affected summary
     /// table — incrementally when its definition is insert-maintainable
-    /// (see [`maintain`]), by full recomputation otherwise.
+    /// (see [`maintain`]), by full recomputation otherwise. An incremental
+    /// path that fails degrades to a full refresh instead of leaving the
+    /// summary stale. Maintained ASTs have their epoch snapshots advanced,
+    /// so they remain eligible for rewriting.
     ///
     /// Returns the names of the incrementally-maintained ASTs.
-    pub fn append(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<String>, SessionError> {
+    pub fn append(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<String>, SumtabError> {
+        let table_lc = table.to_ascii_lowercase();
         // Plan first, against the pre-append state.
         let mut incremental = Vec::new();
         let mut full = Vec::new();
-        for ast in &self.asts {
-            let touches = ast.graph.boxes.iter().any(|b| {
-                matches!(&b.kind, qgm::BoxKind::BaseTable { table: t }
-                         if t.eq_ignore_ascii_case(table))
-            });
-            if !touches {
+        for (i, st) in self.asts.iter().enumerate() {
+            if !graph_reads(&st.ast.graph, table) {
                 continue;
             }
-            match maintain::maintenance_plan(&ast.graph, &table.to_ascii_lowercase()) {
-                Some(plan) => incremental.push((ast.name.clone(), plan)),
-                None => full.push(ast.name.clone()),
+            match maintain::maintenance_plan(&st.ast.graph, &table_lc) {
+                Some(plan) => incremental.push((i, plan)),
+                None => full.push(st.ast.name.clone()),
             }
         }
         // Incremental ASTs merge the delta (computed against the dimension
@@ -225,21 +456,46 @@ impl SummarySession {
         // table overridden to just the new rows inside `apply_append`.
         self.session
             .db
-            .insert(&self.session.catalog, table, rows.clone())
-            .map_err(err)?;
+            .insert(&self.session.catalog, table, rows.clone())?;
         let mut maintained = Vec::new();
-        for (name, plan) in incremental {
-            let ast = self.asts.iter().find(|a| a.name == name).unwrap();
-            maintain::apply_append(
-                &ast.graph,
-                &plan,
-                &name,
-                &table.to_ascii_lowercase(),
-                &rows,
-                &mut self.session.db,
-            )
-            .map_err(err)?;
-            maintained.push(name);
+        for (i, plan) in incremental {
+            let st = self.asts.get(i).ok_or_else(|| SumtabError::Maintain {
+                ast: table_lc.clone(),
+                detail: "registered AST set changed during append".to_string(),
+            })?;
+            let name = st.ast.name.clone();
+            let result = if failpoint::triggered("maintain") {
+                Err(sumtab_engine::ExecError::Injected("maintain".to_string()))
+            } else {
+                maintain::apply_append(
+                    &st.ast.graph,
+                    &plan,
+                    &name,
+                    &table_lc,
+                    &rows,
+                    &mut self.session.db,
+                )
+            };
+            match result {
+                Ok(()) => {
+                    let epoch = self.session.db.epoch(&table_lc);
+                    if let Some(st) = self.asts.get_mut(i) {
+                        st.base_epochs.insert(table_lc.clone(), epoch);
+                    }
+                    maintained.push(name);
+                }
+                Err(cause) => {
+                    // Degrade: recompute from scratch rather than leaving
+                    // the summary stale (and thus skipped by the planner).
+                    self.refresh(&name).map_err(|e| SumtabError::Maintain {
+                        ast: name.clone(),
+                        detail: format!(
+                            "incremental maintenance failed ({cause}) and the \
+                             fallback full refresh also failed: {e}"
+                        ),
+                    })?;
+                }
+            }
         }
         for name in full {
             self.refresh(&name)?;
@@ -249,26 +505,29 @@ impl SummarySession {
 
     /// Refresh one summary table from current base data (full recompute —
     /// related problem (c) is out of the paper's scope; see DESIGN.md).
-    pub fn refresh(&mut self, name: &str) -> Result<(), SessionError> {
-        let ast = self
+    /// Re-snapshots the base-table epochs, clearing any staleness.
+    pub fn refresh(&mut self, name: &str) -> Result<(), SumtabError> {
+        let idx = self
             .asts
             .iter()
-            .find(|a| a.name == name)
-            .ok_or_else(|| SessionError {
-                message: format!("unknown summary table `{name}`"),
+            .position(|a| a.ast.name == name)
+            .ok_or_else(|| SumtabError::Maintain {
+                ast: name.to_string(),
+                detail: "unknown summary table".to_string(),
             })?;
-        let rows =
-            sumtab_engine::execute(&ast.graph, &self.session.db).map_err(|e| SessionError {
-                message: e.to_string(),
-            })?;
+        let rows = sumtab_engine::execute(&self.asts[idx].ast.graph, &self.session.db)
+            .map_err(|e| SumtabError::exec(format!("refresh of `{name}`"), e))?;
         self.session.db.put_table(name, rows);
+        self.asts[idx].base_epochs = snapshot_epochs(&self.session.db, &self.asts[idx].ast.graph);
         Ok(())
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
+    use sumtab_catalog::{Column, SummaryTableDef, Table};
 
     #[test]
     fn transparent_rewriting_round_trip() {
@@ -281,6 +540,7 @@ mod tests {
         .unwrap();
         let with = s.query("select k, sum(v) as sv from t group by k").unwrap();
         assert_eq!(with.used_ast.as_deref(), Some("st"));
+        assert!(with.fallback.is_none());
         let without = s
             .query_no_rewrite("select k, sum(v) as sv from t group by k")
             .unwrap();
@@ -305,7 +565,7 @@ mod tests {
     }
 
     #[test]
-    fn refresh_recomputes() {
+    fn stale_asts_are_skipped_until_refreshed() {
         let mut s = SummarySession::new();
         s.run_script(
             "create table t (k int not null);
@@ -313,14 +573,62 @@ mod tests {
              create summary table st as (select k, count(*) as c from t group by k);",
         )
         .unwrap();
-        s.run_script("insert into t values (1), (2)").unwrap();
-        // Stale before refresh (summary tables are snapshots).
-        assert_eq!(s.session.db.row_count("st"), 1);
+        // Mutate the base table BEHIND the session's back (directly in the
+        // database), so no maintenance runs and `st`'s snapshot goes stale.
+        let Session { catalog, db } = &mut s.session;
+        db.insert(catalog, "t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
+            .unwrap();
+        assert_eq!(s.session.db.row_count("st"), 1, "summary is a snapshot");
+
+        // The planner must refuse the stale AST and answer from base data.
+        let detail = s
+            .plan_detail("select k, count(*) as c from t group by k")
+            .unwrap();
+        assert!(detail.used.is_empty(), "stale AST must not be used");
+        assert_eq!(detail.skipped.len(), 1);
+        assert!(detail.skipped[0].reason.contains("stale"), "{detail:?}");
+        let explain = s
+            .explain("select k, count(*) as c from t group by k")
+            .unwrap();
+        assert!(explain.contains("skipped st: stale"), "{explain}");
+        let r = s
+            .query("select k, count(*) as c from t group by k")
+            .unwrap();
+        assert_eq!(r.used_ast, None);
+        assert_eq!(
+            sort_rows(r.rows),
+            vec![
+                vec![Value::Int(1), Value::Int(2)],
+                vec![Value::Int(2), Value::Int(1)],
+            ],
+            "answers reflect current data, not the stale summary"
+        );
+
+        // Refresh clears the staleness and re-enables routing.
         s.refresh("st").unwrap();
         assert_eq!(s.session.db.row_count("st"), 2);
         let r = s
             .query("select k, count(*) as c from t group by k")
             .unwrap();
+        assert_eq!(r.used_ast.as_deref(), Some("st"));
+    }
+
+    #[test]
+    fn script_inserts_keep_summaries_fresh() {
+        let mut s = SummarySession::new();
+        s.run_script(
+            "create table t (k int not null);
+             insert into t values (1);
+             create summary table st as (select k, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        // Post-registration INSERTs route through append-maintenance.
+        s.run_script("insert into t values (1), (2)").unwrap();
+        assert_eq!(s.session.db.row_count("st"), 2, "summary maintained");
+        let r = s
+            .query("select k, count(*) as c from t group by k")
+            .unwrap();
+        assert_eq!(r.used_ast.as_deref(), Some("st"), "AST still fresh");
         assert_eq!(
             sort_rows(r.rows),
             vec![
@@ -341,10 +649,35 @@ mod tests {
         .unwrap();
         let s2 = SummarySession::with_data(s1.session.catalog.clone(), s1.session.db.clone());
         assert_eq!(s2.asts().len(), 1);
+        assert!(s2.registration_failures().is_empty());
+    }
+
+    #[test]
+    fn with_data_reports_undecodable_definitions() {
+        let mut s1 = SummarySession::new();
+        s1.run_script("create table t (k int not null); insert into t values (1);")
+            .unwrap();
+        let mut cat = s1.session.catalog.clone();
+        // A definition that no longer plans (references a missing column).
+        cat.add_summary_table(
+            SummaryTableDef {
+                name: "bad".into(),
+                query_sql: "select nope, count(*) as c from t group by nope".into(),
+            },
+            Table::new("bad", vec![Column::new("nope", SqlType::Int)]),
+        )
+        .unwrap();
+        let s2 = SummarySession::with_data(cat, s1.session.db.clone());
+        assert!(s2.asts().is_empty());
+        assert_eq!(s2.registration_failures().len(), 1);
+        let (name, reason) = &s2.registration_failures()[0];
+        assert_eq!(name, "bad");
+        assert!(reason.contains("nope"), "{reason}");
     }
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod maintain_integration_tests {
     use super::*;
 

@@ -193,6 +193,7 @@ fn merge_value(op: MergeOp, current: &Value, delta: &Value) -> Value {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
 mod tests {
     use super::*;
     use sumtab_catalog::Catalog;

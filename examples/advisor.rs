@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --example advisor`
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab::datagen::{generate, GenConfig};
 use sumtab::{RegisteredAst, Rewriter, SummarySession};
 
@@ -59,8 +62,8 @@ fn main() {
             .unwrap();
             session
                 .asts()
-                .iter()
-                .filter(|ast: &&RegisteredAst| rewriter.rewrite(&q, ast).is_some())
+                .into_iter()
+                .filter(|ast: &&RegisteredAst| matches!(rewriter.rewrite(&q, ast), Ok(Some(_))))
                 .map(|a| {
                     format!(
                         "{} ({} rows)",

@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab::{format_table, SummarySession};
 
 fn main() {

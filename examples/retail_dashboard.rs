@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --release --example retail_dashboard`
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use std::time::Instant;
 use sumtab::datagen::{generate, GenConfig};
 use sumtab::{format_table, sort_rows, SummarySession};

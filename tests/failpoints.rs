@@ -1,0 +1,171 @@
+//! Fault-injection tests: arm the in-tree fail points and assert the
+//! pipeline degrades the way the design promises — skipped ASTs, execution
+//! fallback, and maintenance falling back to a full refresh — instead of
+//! erroring out or answering wrong.
+//!
+//! Fail-point state is process-global, so every test here serializes on
+//! `LOCK` and uses the scope-bound `armed` guard (disarms even on panic).
+
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use std::sync::{Mutex, MutexGuard};
+use sumtab::{failpoint, sort_rows, SummarySession, Value};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn session_with_summary() -> SummarySession {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (k int not null, v int not null);
+         insert into t values (1, 10), (1, 20), (2, 30);
+         create summary table st as (select k, sum(v) as sv, count(*) as c from t group by k);",
+    )
+    .unwrap();
+    s
+}
+
+const QUERY: &str = "select k, sum(v) as sv from t group by k";
+
+fn expected() -> Vec<Vec<Value>> {
+    vec![
+        vec![Value::Int(1), Value::Int(30)],
+        vec![Value::Int(2), Value::Int(30)],
+    ]
+}
+
+#[test]
+fn match_failure_degrades_to_base_plan() {
+    let _serial = serialize();
+    let mut s = session_with_summary();
+    let _fp = failpoint::armed("match");
+
+    // Planning survives a matcher that errors on every AST: the AST is
+    // skipped with a reason and the base plan runs.
+    let detail = s.plan_detail(QUERY).unwrap();
+    assert!(detail.used.is_empty(), "errored AST must not be used");
+    assert_eq!(detail.skipped.len(), 1);
+    assert!(
+        detail.skipped[0].reason.contains("matcher error"),
+        "{:?}",
+        detail.skipped
+    );
+
+    let r = s.query(QUERY).unwrap();
+    assert_eq!(r.used_ast, None);
+    assert!(r.fallback.is_none(), "plan-time skip is not a fallback");
+    assert_eq!(sort_rows(r.rows), expected());
+}
+
+#[test]
+fn execution_failure_falls_back_to_base_plan() {
+    let _serial = serialize();
+    let mut s = session_with_summary();
+
+    // Sanity: without the fail point the AST answers the query.
+    let r = s.query(QUERY).unwrap();
+    assert_eq!(r.used_ast.as_deref(), Some("st"));
+    assert!(r.fallback.is_none());
+
+    let _fp = failpoint::armed("execute-rewritten");
+    let r = s.query(QUERY).unwrap();
+    assert_eq!(r.used_ast, None, "fallback result is not AST-backed");
+    let cause = r.fallback.expect("fallback must be reported");
+    assert!(cause.contains("st"), "names the failed AST: {cause}");
+    assert!(
+        cause.contains("injected fault"),
+        "carries the cause: {cause}"
+    );
+    assert_eq!(sort_rows(r.rows), expected(), "fallback answers correctly");
+}
+
+#[test]
+fn execution_failure_without_ast_still_errors() {
+    let _serial = serialize();
+    let mut s = SummarySession::new();
+    s.run_script("create table t (k int not null); insert into t values (1);")
+        .unwrap();
+    let _fp = failpoint::armed("execute-rewritten");
+    // No AST in the plan → the fail point must not fire, and a genuine
+    // planning error (unknown table) surfaces as Err, not a fallback.
+    assert_eq!(s.query("select k from t").unwrap().rows.len(), 1);
+    assert!(s.query("select k from nope").is_err());
+}
+
+#[test]
+fn maintenance_failure_degrades_to_full_refresh() {
+    let _serial = serialize();
+    let mut s = session_with_summary();
+    let _fp = failpoint::armed("maintain");
+
+    // The incremental path fails (injected); append must fall back to a
+    // full recompute and report nothing as incrementally maintained.
+    let maintained = s
+        .append("t", vec![vec![Value::Int(2), Value::Int(5)]])
+        .unwrap();
+    assert!(maintained.is_empty(), "incremental path was injected dead");
+
+    // The summary is nonetheless correct and fresh enough to route to.
+    drop(_fp);
+    let r = s.query(QUERY).unwrap();
+    assert_eq!(r.used_ast.as_deref(), Some("st"));
+    assert_eq!(
+        sort_rows(r.rows),
+        vec![
+            vec![Value::Int(1), Value::Int(30)],
+            vec![Value::Int(2), Value::Int(35)],
+        ]
+    );
+}
+
+#[test]
+fn stale_skip_composes_with_injected_match_faults() {
+    let _serial = serialize();
+    let mut s = session_with_summary();
+    // Second summary over the same base table.
+    s.run_script("create summary table st2 as (select k, count(*) as c2 from t group by k);")
+        .unwrap();
+
+    // Stale both ASTs by writing behind the session's back.
+    let sumtab::Session { catalog, db } = &mut s.session;
+    db.insert(catalog, "t", vec![vec![Value::Int(3), Value::Int(1)]])
+        .unwrap();
+
+    let detail = s.plan_detail(QUERY).unwrap();
+    assert!(detail.used.is_empty());
+    assert_eq!(detail.skipped.len(), 2, "{:?}", detail.skipped);
+    assert!(detail.skipped.iter().all(|sk| sk.reason.contains("stale")));
+
+    // Refresh one; arm `match`: the fresh AST now errors instead. The query
+    // still answers from base data.
+    s.refresh("st").unwrap();
+    let _fp = failpoint::armed("match");
+    let detail = s.plan_detail(QUERY).unwrap();
+    assert!(detail.used.is_empty());
+    let reasons: Vec<&str> = detail
+        .skipped
+        .iter()
+        .map(|sk| sk.reason.as_str())
+        .collect();
+    assert!(
+        reasons.iter().any(|r| r.contains("stale"))
+            && reasons.iter().any(|r| r.contains("matcher error")),
+        "{reasons:?}"
+    );
+    let r = s.query(QUERY).unwrap();
+    assert_eq!(
+        sort_rows(r.rows),
+        vec![
+            vec![Value::Int(1), Value::Int(30)],
+            vec![Value::Int(2), Value::Int(30)],
+            vec![Value::Int(3), Value::Int(1)],
+        ]
+    );
+}

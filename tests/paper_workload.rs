@@ -2,6 +2,9 @@
 //! the high-level session on generated data: every case must match exactly
 //! when the paper says it does, and every rewrite must be result-preserving.
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab::datagen::workloads::FIGURES;
 use sumtab::datagen::{generate, GenConfig};
 use sumtab::{sort_rows, RegisteredAst, Rewriter, Row, Value};
@@ -47,7 +50,9 @@ fn every_figure_behaves_as_the_paper_says() {
         let q = sumtab::build_query(&sumtab::parser::parse_query(case.query).unwrap(), &cat)
             .unwrap_or_else(|e| panic!("{}: {e}", case.id));
         let rewriter = Rewriter::new(&cat);
-        let rw = rewriter.rewrite(&q, &ast);
+        let rw = rewriter
+            .rewrite(&q, &ast)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
         assert_eq!(
             rw.is_some(),
             case.matches,

@@ -2,6 +2,9 @@
 //! loading, AST materialization, transparent rewriting, ORDER BY/LIMIT,
 //! and error paths.
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab::{sort_rows, SummarySession, Value};
 
 #[test]

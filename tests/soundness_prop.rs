@@ -1,14 +1,18 @@
-//! Property-based soundness: for randomly generated (query, AST) pairs over
-//! the credit-card schema, whenever the matcher produces a rewrite, the
+//! Randomized soundness: for generated (query, AST) pairs over the
+//! credit-card schema, whenever the matcher produces a rewrite, the
 //! rewritten query returns exactly the original's multiset of rows on
-//! random data.
+//! generated data.
 //!
 //! This is the repository's strongest correctness guarantee: the matcher is
 //! free to refuse (it implements sufficient conditions only), but it must
-//! never rewrite wrongly.
+//! never rewrite wrongly. Cases are drawn with the in-tree deterministic
+//! PRNG, so every run explores the same pairs and failures reproduce by
+//! seed alone.
 
-use proptest::prelude::*;
-use sumtab::datagen::{generate, GenConfig};
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sumtab::datagen::{generate, GenConfig, SplitMix64};
 use sumtab::{sort_rows, RegisteredAst, Rewriter};
 
 /// Grouping expressions the generator can pick from.
@@ -97,21 +101,20 @@ impl SpecQuery {
     }
 }
 
-fn spec_strategy(max_preds: usize) -> impl Strategy<Value = SpecQuery> {
-    (
-        proptest::sample::subsequence((0..GROUPINGS.len()).collect::<Vec<_>>(), 1..=3),
-        proptest::sample::subsequence((0..AGGS.len()).collect::<Vec<_>>(), 1..=3),
-        proptest::sample::subsequence((0..PREDS.len()).collect::<Vec<_>>(), 0..=max_preds),
-        proptest::option::of(1i64..5),
-        proptest::bool::weighted(0.25),
-    )
-        .prop_map(|(groupings, aggs, preds, having_cnt, rollup)| SpecQuery {
-            groupings,
-            aggs,
-            preds,
-            having_cnt: if rollup { None } else { having_cnt },
-            rollup,
-        })
+/// Draw a random spec (mirrors the old proptest strategy).
+fn random_spec(r: &mut SplitMix64, max_preds: usize) -> SpecQuery {
+    let groupings = r.subsequence(GROUPINGS.len(), 1, 3);
+    let aggs = r.subsequence(AGGS.len(), 1, 3);
+    let preds = r.subsequence(PREDS.len(), 0, max_preds);
+    let having_cnt = r.gen_bool(0.5).then(|| r.gen_i64(1, 4));
+    let rollup = r.gen_bool(0.25);
+    SpecQuery {
+        groupings,
+        aggs,
+        preds,
+        having_cnt: if rollup { None } else { having_cnt },
+        rollup,
+    }
 }
 
 fn fixture() -> (sumtab::Catalog, sumtab::Database) {
@@ -126,29 +129,25 @@ fn fixture() -> (sumtab::Catalog, sumtab::Database) {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 64,
-        ..ProptestConfig::default()
-    })]
-
-    /// Random query vs random AST: any produced rewrite is result-preserving.
-    #[test]
-    fn rewrites_are_sound(query in spec_strategy(2), ast in spec_strategy(1)) {
-        let (cat, mut db) = fixture();
+/// Random query vs random AST: any produced rewrite is result-preserving.
+#[test]
+fn rewrites_are_sound() {
+    let (cat, db0) = fixture();
+    let mut r = SplitMix64::new(0x50_0001);
+    for _ in 0..64 {
+        let query = random_spec(&mut r, 2);
+        let ast = random_spec(&mut r, 1);
+        let mut db = db0.clone();
         let ast_sql = ast.sql();
         let query_sql = query.sql();
         let registered = RegisteredAst::from_sql("past", &ast_sql, &cat).unwrap();
         sumtab::engine::materialize("past", &registered.graph, &cat, &mut db).unwrap();
-        let q = sumtab::build_query(
-            &sumtab::parser::parse_query(&query_sql).unwrap(),
-            &cat,
-        )
-        .unwrap();
-        if let Some(rw) = Rewriter::new(&cat).rewrite(&q, &registered) {
+        let q =
+            sumtab::build_query(&sumtab::parser::parse_query(&query_sql).unwrap(), &cat).unwrap();
+        if let Some(rw) = Rewriter::new(&cat).rewrite(&q, &registered).unwrap() {
             let original = sumtab::engine::execute(&q, &db).unwrap();
             let rewritten = sumtab::engine::execute(&rw.graph, &db).unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 sort_rows(original),
                 sort_rows(rewritten),
                 "unsound rewrite!\n  query: {}\n  ast:   {}\n  rewritten: {}",
@@ -158,36 +157,49 @@ proptest! {
             );
         }
     }
+}
 
-    /// A query must always match an identical AST (reflexivity of matching).
-    #[test]
-    fn identical_definitions_always_match(spec in spec_strategy(2)) {
+/// A query must always match an identical AST (reflexivity of matching).
+#[test]
+fn identical_definitions_always_match() {
+    let (cat, _db) = fixture();
+    let mut r = SplitMix64::new(0x50_0002);
+    for _ in 0..64 {
         // HAVING-free specs only: a HAVING clause on the AST constrains its
         // content, and matching it requires predicate-equivalence at the top
         // box, which holds — but keep the reflexivity property unconditional
         // by clearing it. Rollup ASTs additionally need non-nullable
         // grouping columns for slicing, which the pool guarantees.
-        let spec = SpecQuery { having_cnt: None, ..spec };
-        let (cat, _db) = fixture();
+        let spec = SpecQuery {
+            having_cnt: None,
+            ..random_spec(&mut r, 2)
+        };
         let sql = spec.sql();
         let registered = RegisteredAst::from_sql("past", &sql, &cat).unwrap();
         let q = sumtab::build_query(&sumtab::parser::parse_query(&sql).unwrap(), &cat).unwrap();
-        prop_assert!(
-            Rewriter::new(&cat).rewrite(&q, &registered).is_some(),
-            "query failed to match its own definition: {}",
-            sql
+        assert!(
+            Rewriter::new(&cat)
+                .rewrite(&q, &registered)
+                .unwrap()
+                .is_some(),
+            "query failed to match its own definition: {sql}"
         );
     }
+}
 
-    /// Rollup-AST completeness: a plain GROUP BY over any prefix of a
-    /// rollup AST's columns must match (the prefix cuboid exists by
-    /// construction), and the slicing rewrite must be sound.
-    #[test]
-    fn rollup_prefix_cuboids_match_and_are_sound(
-        groupings in proptest::sample::subsequence(vec![0usize, 1, 3, 4], 2..=3),
-        prefix in 1usize..=2,
-    ) {
-        let (cat, mut db) = fixture();
+/// Rollup-AST completeness: a plain GROUP BY over any prefix of a
+/// rollup AST's columns must match (the prefix cuboid exists by
+/// construction), and the slicing rewrite must be sound.
+#[test]
+fn rollup_prefix_cuboids_match_and_are_sound() {
+    let (cat, db0) = fixture();
+    let mut r = SplitMix64::new(0x50_0003);
+    for _ in 0..32 {
+        let pool = [0usize, 1, 3, 4];
+        let picked = r.subsequence(pool.len(), 2, 3);
+        let groupings: Vec<usize> = picked.iter().map(|&i| pool[i]).collect();
+        let prefix = r.gen_i64(1, 2) as usize;
+        let mut db = db0.clone();
         let ast_spec = SpecQuery {
             groupings: groupings.clone(),
             aggs: vec![0, 1],
@@ -209,8 +221,8 @@ proptest! {
             &cat,
         )
         .unwrap();
-        let rw = Rewriter::new(&cat).rewrite(&q, &registered);
-        prop_assert!(
+        let rw = Rewriter::new(&cat).rewrite(&q, &registered).unwrap();
+        assert!(
             rw.is_some(),
             "prefix cuboid must match\n  query: {}\n  ast: {}",
             query_spec.sql(),
@@ -219,17 +231,21 @@ proptest! {
         let rw = rw.unwrap();
         let original = sumtab::engine::execute(&q, &db).unwrap();
         let rewritten = sumtab::engine::execute(&rw.graph, &db).unwrap();
-        prop_assert_eq!(sort_rows(original), sort_rows(rewritten));
+        assert_eq!(sort_rows(original), sort_rows(rewritten));
     }
+}
 
-    /// A coarser re-grouping of an AST's own definition must match whenever
-    /// the query's groupings/aggregates/predicates are drawn from the AST's.
-    #[test]
-    fn coarser_regrouping_matches(
-        groupings in proptest::sample::subsequence(vec![0usize, 1, 3, 4], 2..=4),
-        query_take in 1usize..=2,
-    ) {
-        let (cat, _db) = fixture();
+/// A coarser re-grouping of an AST's own definition must match whenever
+/// the query's groupings/aggregates/predicates are drawn from the AST's.
+#[test]
+fn coarser_regrouping_matches() {
+    let (cat, _db) = fixture();
+    let mut r = SplitMix64::new(0x50_0004);
+    for _ in 0..32 {
+        let pool = [0usize, 1, 3, 4];
+        let picked = r.subsequence(pool.len(), 2, 4);
+        let groupings: Vec<usize> = picked.iter().map(|&i| pool[i]).collect();
+        let query_take = r.gen_i64(1, 2) as usize;
         let ast_spec = SpecQuery {
             groupings: groupings.clone(),
             aggs: vec![0, 1],
@@ -250,8 +266,11 @@ proptest! {
             &cat,
         )
         .unwrap();
-        prop_assert!(
-            Rewriter::new(&cat).rewrite(&q, &registered).is_some(),
+        assert!(
+            Rewriter::new(&cat)
+                .rewrite(&q, &registered)
+                .unwrap()
+                .is_some(),
             "coarser regrouping should match\n  query: {}\n  ast: {}",
             query_spec.sql(),
             ast_spec.sql()

@@ -5,6 +5,9 @@
 //! loaded through plain SQL, with two warehouse ASTs answering
 //! TPC-D-style pricing-summary and volume queries.
 
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 use sumtab::{sort_rows, SummarySession, Value};
 
 fn setup() -> SummarySession {
