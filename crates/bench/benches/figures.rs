@@ -12,19 +12,22 @@
 use sumtab_bench::{median_time, prepare};
 
 fn main() {
-    let fx = prepare(50_000);
+    let quick = std::env::args().any(|a| a == "--quick");
+    let fx = prepare(if quick { 10_000 } else { 50_000 });
+    let reps = if quick { 3 } else { 10 };
     println!(
         "{:<8} {:>12} {:>12} {:>8}",
         "figure", "original", "rewritten", "ratio"
     );
+    let mut records = Vec::new();
     for case in &fx.cases {
         let Some(rewritten) = &case.rewritten else {
             continue; // no-match cases have nothing to compare
         };
-        let orig = median_time(10, || {
+        let orig = median_time(reps, || {
             sumtab::engine::execute(&case.original, &fx.db).unwrap();
         });
-        let rw = median_time(10, || {
+        let rw = median_time(reps, || {
             sumtab::engine::execute(rewritten, &fx.db).unwrap();
         });
         let ratio = orig.as_secs_f64() / rw.as_secs_f64().max(f64::EPSILON);
@@ -32,5 +35,20 @@ fn main() {
             "{:<8} {:>10.3?} {:>10.3?} {:>7.1}x",
             case.case.id, orig, rw, ratio
         );
+        records.push(format!(
+            "{{\"figure\": \"{}\", \"original_ns\": {}, \"rewritten_ns\": {}, \
+             \"ratio\": {ratio:.2}, \"ast_rows\": {}}}",
+            case.case.id,
+            orig.as_nanos(),
+            rw.as_nanos(),
+            case.ast_rows,
+        ));
     }
+    let json = format!(
+        "{{\n  \"bench\": \"figures\",\n  \"quick\": {quick},\n  \"cases\": [\n    {}\n  ]\n}}\n",
+        records.join(",\n    ")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_figures.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
 }

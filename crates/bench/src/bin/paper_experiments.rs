@@ -82,10 +82,7 @@ fn ablation_section() {
                 )
                 .unwrap()
             };
-            let ast = RegisteredAst {
-                name: "a".into(),
-                graph: build(as_),
-            };
+            let ast = RegisteredAst::new("a", build(as_));
             let q = build(qs);
             if matches!(rewriter.rewrite(&q, &ast), Ok(Some(_))) {
                 *counter += 1;
@@ -188,7 +185,11 @@ fn speedup_section() {
         let ast = RegisteredAst::from_sql("ast1", AST1, &catalog).unwrap();
         sumtab::engine::materialize("ast1", &ast.graph, &catalog, &mut db).unwrap();
         let q = sumtab::build_query(&sumtab::parser::parse_query(Q1).unwrap(), &catalog).unwrap();
-        let rw = Rewriter::new(&catalog).rewrite(&q, &ast).unwrap().unwrap().graph;
+        let rw = Rewriter::new(&catalog)
+            .rewrite(&q, &ast)
+            .unwrap()
+            .unwrap()
+            .graph;
         let t_orig = median_time(3, || {
             sumtab::engine::execute(&q, &db).unwrap();
         });

@@ -20,11 +20,13 @@
 pub mod date;
 pub mod fx;
 pub mod schema;
+pub mod signature;
 pub mod types;
 pub mod value;
 
 pub use date::Date;
 pub use schema::{Catalog, Column, ForeignKey, SummaryTableDef, Table};
+pub use signature::{MatchSignature, TableSet};
 pub use types::SqlType;
 pub use value::Value;
 

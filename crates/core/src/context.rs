@@ -148,6 +148,7 @@ impl<'a> Ctx<'a> {
 /// The navigator: match every query box against every AST box, bottom-up.
 /// Returns the filled context.
 pub fn run_navigator<'a>(q: &'a QgmGraph, a: &'a QgmGraph, catalog: &'a Catalog) -> Ctx<'a> {
+    crate::stats::count_navigator_run();
     let mut ctx = Ctx::new(q, a, catalog);
     let q_order = q.topo_order();
     let a_order = a.topo_order();

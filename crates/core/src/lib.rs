@@ -46,10 +46,12 @@ pub mod derive;
 pub mod equiv;
 pub mod patterns;
 pub mod rewrite;
+pub mod signature;
+pub mod stats;
 pub mod translate;
 
 use context::run_navigator;
-use sumtab_catalog::Catalog;
+use sumtab_catalog::{Catalog, MatchSignature};
 use sumtab_qgm::{build_query, BoxId, BuildError, QgmGraph};
 
 /// Why an AST definition could not be registered.
@@ -72,17 +74,30 @@ impl std::fmt::Display for AstDefError {
 
 impl std::error::Error for AstDefError {}
 
-/// A registered Automatic Summary Table: its backing-table name and its
-/// definition as a QGM graph.
+/// A registered Automatic Summary Table: its backing-table name, its
+/// definition as a QGM graph, and its match signature (computed once, at
+/// registration, so per-query filtering touches no graph structure).
 #[derive(Debug, Clone)]
 pub struct RegisteredAst {
     /// The backing (materialized) table's name.
     pub name: String,
     /// The definition query's QGM graph.
     pub graph: QgmGraph,
+    /// The definition's match signature, for pre-navigator filtering.
+    pub signature: MatchSignature,
 }
 
 impl RegisteredAst {
+    /// Register a definition graph under `name`, computing its signature.
+    pub fn new(name: &str, graph: QgmGraph) -> RegisteredAst {
+        let signature = signature::graph_signature(&graph);
+        RegisteredAst {
+            name: name.to_string(),
+            graph,
+            signature,
+        }
+    }
+
     /// Parse and translate a definition; the backing table is assumed to be
     /// named `name` with columns matching the definition's root outputs.
     pub fn from_sql(
@@ -92,10 +107,7 @@ impl RegisteredAst {
     ) -> Result<RegisteredAst, AstDefError> {
         let q = sumtab_parser::parse_query(sql).map_err(AstDefError::Parse)?;
         let graph = build_query(&q, catalog).map_err(AstDefError::Plan)?;
-        Ok(RegisteredAst {
-            name: name.to_string(),
-            graph,
-        })
+        Ok(RegisteredAst::new(name, graph))
     }
 
     /// The backing table's column names (uniquified like the materializer).
@@ -132,7 +144,11 @@ pub struct MatchError {
 
 impl std::fmt::Display for MatchError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "matcher error against AST `{}`: {}", self.ast, self.detail)
+        write!(
+            f,
+            "matcher error against AST `{}`: {}",
+            self.ast, self.detail
+        )
     }
 }
 
@@ -151,15 +167,60 @@ pub struct Rewrite {
     pub exact: bool,
 }
 
+/// The outcome of one candidate AST in a [`Rewriter::rewrite_candidates`]
+/// sweep, in input order.
+#[derive(Debug, Clone)]
+pub enum CandidateOutcome {
+    /// Rejected by the signature filter: a match is provably impossible,
+    /// so the navigator never ran.
+    Filtered,
+    /// Survived the filter, but the navigator found no match.
+    NoMatch,
+    /// A successful rewrite.
+    Match(Box<Rewrite>),
+    /// The matcher itself failed on this candidate.
+    Error(MatchError),
+}
+
 /// The rewriting engine.
+///
+/// Candidate sweeps ([`Rewriter::rewrite_candidates`],
+/// [`Rewriter::rewrite_all`], [`Rewriter::rewrite_best`]) run a two-phase
+/// fast path: a sound per-AST signature filter (see [`signature`]) prunes
+/// provably unmatchable candidates, then the survivors fan out across a
+/// `std::thread::scope` pool. Results are always reported in input order,
+/// so every sweep is deterministic regardless of pool size.
 pub struct Rewriter<'a> {
     catalog: &'a Catalog,
+    pool_size: usize,
+}
+
+/// Default worker count for candidate sweeps: the machine's available
+/// parallelism, capped — matching is µs-scale per candidate, so a huge pool
+/// only adds spawn overhead.
+fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
 }
 
 impl<'a> Rewriter<'a> {
-    /// A rewriter over the given catalog.
+    /// A rewriter over the given catalog, with the default match pool.
     pub fn new(catalog: &'a Catalog) -> Rewriter<'a> {
-        Rewriter { catalog }
+        Rewriter {
+            catalog,
+            pool_size: default_pool_size(),
+        }
+    }
+
+    /// A rewriter with an explicit candidate-matching pool size. `1` (or
+    /// `0`) forces serial sweeps; results are identical for every size.
+    pub fn with_pool_size(catalog: &'a Catalog, pool_size: usize) -> Rewriter<'a> {
+        Rewriter {
+            catalog,
+            pool_size: pool_size.max(1),
+        }
     }
 
     /// Try to rewrite `query` to use `ast`.
@@ -207,12 +268,87 @@ impl<'a> Rewriter<'a> {
         }))
     }
 
-    /// Rewrite against every AST; returns all successful rewrites.
+    /// One candidate attempt, as an outcome value.
+    fn attempt(&self, query: &QgmGraph, ast: &RegisteredAst) -> CandidateOutcome {
+        match self.rewrite(query, ast) {
+            Ok(Some(rw)) => CandidateOutcome::Match(Box::new(rw)),
+            Ok(None) => CandidateOutcome::NoMatch,
+            Err(e) => CandidateOutcome::Error(e),
+        }
+    }
+
+    /// Sweep every candidate AST through the fast path: signature-filter
+    /// first, then match the survivors on the thread pool. The returned
+    /// vector has exactly one [`CandidateOutcome`] per input, in input
+    /// order — deterministic for every pool size.
+    pub fn rewrite_candidates(
+        &self,
+        query: &QgmGraph,
+        asts: &[&RegisteredAst],
+    ) -> Vec<CandidateOutcome> {
+        let qsig = signature::graph_signature(query);
+        let mut out: Vec<CandidateOutcome> = Vec::with_capacity(asts.len());
+        let mut survivors: Vec<usize> = Vec::new();
+        for (i, ast) in asts.iter().enumerate() {
+            if signature::survives(&qsig, &ast.signature, self.catalog) {
+                survivors.push(i);
+            } else {
+                stats::count_filter_rejection();
+            }
+            out.push(CandidateOutcome::Filtered);
+        }
+        let workers = self.pool_size.min(survivors.len());
+        if workers <= 1 {
+            for &i in &survivors {
+                out[i] = self.attempt(query, asts[i]);
+            }
+            return out;
+        }
+        // Static partition: each worker owns a contiguous chunk of the
+        // survivor list and writes into its own slice of the slot vector,
+        // so no locking is needed and slot order fixes result order.
+        let mut slots: Vec<Option<CandidateOutcome>> = vec![None; survivors.len()];
+        let chunk = survivors.len().div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (idx_chunk, slot_chunk) in survivors.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (&i, slot) in idx_chunk.iter().zip(slot_chunk.iter_mut()) {
+                        *slot = Some(self.attempt(query, asts[i]));
+                    }
+                });
+            }
+        });
+        for (&i, slot) in survivors.iter().zip(slots) {
+            // Every slot is filled: the scope joins all workers, and each
+            // worker writes its whole chunk. A missing slot would be a
+            // harness bug; degrade to "no match" rather than panicking.
+            out[i] = slot.unwrap_or(CandidateOutcome::NoMatch);
+        }
+        out
+    }
+
+    /// Rewrite against every AST; returns all successful rewrites, in input
+    /// order (filtered + parallel via [`Rewriter::rewrite_candidates`]).
     ///
     /// Best-effort: an AST whose match attempt errors internally is skipped
     /// (treated like a non-match) so one bad AST cannot sink the others. Use
     /// [`Rewriter::rewrite`] per AST to observe the errors.
     pub fn rewrite_all(&self, query: &QgmGraph, asts: &[RegisteredAst]) -> Vec<Rewrite> {
+        let refs: Vec<&RegisteredAst> = asts.iter().collect();
+        self.rewrite_candidates(query, &refs)
+            .into_iter()
+            .filter_map(|o| match o {
+                CandidateOutcome::Match(rw) => Some(*rw),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The pre-fast-path sweep: every AST through the full navigator,
+    /// serially, no signature filter. Identical results to
+    /// [`Rewriter::rewrite_all`] (the filter is sound and ordering is
+    /// stable); kept as the baseline for benches and soundness tests.
+    pub fn rewrite_all_unfiltered(&self, query: &QgmGraph, asts: &[RegisteredAst]) -> Vec<Rewrite> {
         asts.iter()
             .filter_map(|ast| self.rewrite(query, ast).ok().flatten())
             .collect()
@@ -220,7 +356,8 @@ impl<'a> Rewriter<'a> {
 
     /// Among all matching ASTs, pick the one whose backing table has the
     /// fewest rows (related problem (b): deciding whether/which AST to use).
-    /// Best-effort over errored ASTs, like [`Rewriter::rewrite_all`].
+    /// Best-effort over errored ASTs, like [`Rewriter::rewrite_all`]. Ties
+    /// break toward the earliest-registered AST, deterministically.
     pub fn rewrite_best(
         &self,
         query: &QgmGraph,

@@ -1,0 +1,256 @@
+//! Signature filtering: the cheap pre-navigator candidate test (the "fast
+//! filtering phase" of the paper's DB2 implementation, §6).
+//!
+//! [`graph_signature`] summarizes a QGM graph into a
+//! [`MatchSignature`]; [`survives`] then decides whether an AST candidate
+//! can possibly match a query, using only signature comparisons and catalog
+//! metadata. The test is **sound by construction**: every condition below
+//! is a *necessary* condition of the full matcher, so a rejected candidate
+//! provably cannot produce a rewrite (`tests/signature_props.rs` checks
+//! this property over generated query/AST pairs).
+//!
+//! The conditions, each traced to the matcher code that makes it necessary:
+//!
+//! 1. **Shared table** — every match chain grounds in a BaseTable/BaseTable
+//!    pair over the *same* table (`patterns::match_boxes`), so an AST that
+//!    shares no base table with the query cannot match anywhere.
+//! 2. **Required tables** — every AST box must either be matched (which for
+//!    a base table requires the query to scan that table) or be a lossless
+//!    *extra join* (`patterns::select::extra_join_preds`), which requires a
+//!    declared RI constraint whose **parent** is the extra table. Hence any
+//!    AST table that is not an FK parent in the catalog must appear in the
+//!    query.
+//! 3. **GROUP BY presence** — a GROUP BY box only ever matches a GROUP BY
+//!    box (same-type precondition of Section 3), and compensation GROUP BY
+//!    fragments only arise from query GROUP BY boxes; so an AST containing
+//!    a GROUP BY cannot match a query without one.
+//! 4. **Aggregate kinds** — for the AST's GROUP BY to be matched, some
+//!    query GROUP BY box must pass the aggregate rules of Section 4.1.2:
+//!    a non-distinct `COUNT` is only derivable from a non-distinct `COUNT`
+//!    (rules a/b and the exact-match bridge), and a non-distinct `SUM` only
+//!    from `SUM` or `COUNT` (rule c). MIN/MAX and DISTINCT aggregates can
+//!    additionally be derived from grouping columns, so the kind lattice
+//!    cannot constrain them soundly and they always pass.
+//!
+//! Grouping-*column* sets are recorded in the signature for diagnostics but
+//! deliberately do not reject: join-predicate equivalence classes (e.g.
+//! `flid = lid`) let a query group by a column of one table while the AST
+//! groups by the equivalent column of another, so any name-level grouping
+//! test would be unsound.
+
+use sumtab_catalog::signature::agg_kind;
+use sumtab_catalog::{Catalog, MatchSignature};
+use sumtab_parser::AggFunc;
+use sumtab_qgm::{AggCall, BoxKind, ColRef, QgmGraph, ScalarExpr};
+
+/// The [`agg_kind`] bit of one aggregate call.
+fn agg_bit(call: &AggCall) -> u8 {
+    match (call.func, call.distinct) {
+        (AggFunc::Count, false) => agg_kind::COUNT,
+        (AggFunc::Sum, false) => agg_kind::SUM,
+        (AggFunc::Min, _) => agg_kind::MIN,
+        (AggFunc::Max, _) => agg_kind::MAX,
+        (AggFunc::Count, true) => agg_kind::COUNT_DISTINCT,
+        (AggFunc::Sum, true) => agg_kind::SUM_DISTINCT,
+        // AVG is normalized to SUM/COUNT during QGM construction; if one
+        // ever leaks through, treating it as SUM|COUNT keeps the filter
+        // conservative (it demands more of the subsumer, and `survives`
+        // only uses the query-side mask to *require* AST kinds).
+        (AggFunc::Avg, _) => agg_kind::SUM | agg_kind::COUNT,
+    }
+}
+
+/// Trace a grouping item to a base-table column, following simple column
+/// chains only. Returns a canonical `table.column` label, or `None` for
+/// computed grouping expressions (e.g. `year(date)`).
+fn trace_base_col(g: &QgmGraph, c: ColRef, depth: usize) -> Option<String> {
+    if depth > 64 || c.qid.graph != g.id {
+        return None;
+    }
+    let child = g.quant(c.qid).input;
+    let bx = g.boxed(child);
+    let oc = bx.outputs.get(c.ordinal)?;
+    match (&bx.kind, &oc.expr) {
+        (BoxKind::BaseTable { table }, _) => Some(format!(
+            "{}.{}",
+            table.to_ascii_lowercase(),
+            oc.name.to_ascii_lowercase()
+        )),
+        (_, ScalarExpr::Col(inner)) => trace_base_col(g, *inner, depth + 1),
+        _ => None,
+    }
+}
+
+/// Compute the [`MatchSignature`] of a graph: base tables, per-GROUP-BY
+/// aggregate kinds, and traceable grouping columns — over boxes reachable
+/// from the root only (dead boxes cannot take part in a match).
+pub fn graph_signature(g: &QgmGraph) -> MatchSignature {
+    let mut sig = MatchSignature::default();
+    for b in g.topo_order() {
+        let bx = g.boxed(b);
+        match &bx.kind {
+            BoxKind::BaseTable { table } => sig.tables.insert(table),
+            BoxKind::GroupBy(gb) => {
+                let mut mask = 0u8;
+                for oc in &bx.outputs {
+                    oc.expr.walk(&mut |e| {
+                        if let ScalarExpr::Agg(call) = e {
+                            mask |= agg_bit(call);
+                        }
+                        true
+                    });
+                }
+                sig.agg_mask |= mask;
+                sig.group_agg_masks.push(mask);
+                for item in &gb.items {
+                    if let Some(label) = trace_base_col(g, *item, 0) {
+                        if let Err(pos) = sig.grouping_cols.binary_search(&label) {
+                            sig.grouping_cols.insert(pos, label);
+                        }
+                    }
+                }
+            }
+            BoxKind::Select(_) | BoxKind::SubsumerRef { .. } => {}
+        }
+    }
+    sig
+}
+
+/// Can every aggregate kind in a query GROUP BY box (mask `query`) possibly
+/// be derived from an AST offering the kinds in `ast`? Only COUNT and SUM
+/// constrain (see module docs); the rest may be grouping-column-derivable.
+fn kinds_derivable(query: u8, ast: u8) -> bool {
+    if query & agg_kind::COUNT != 0 && ast & agg_kind::COUNT == 0 {
+        return false;
+    }
+    if query & agg_kind::SUM != 0 && ast & (agg_kind::SUM | agg_kind::COUNT) == 0 {
+        return false;
+    }
+    true
+}
+
+/// Is `table` the parent of any declared RI constraint? Only such tables
+/// can participate as lossless extra joins (Section 4.1.1, condition 1).
+fn is_fk_parent(catalog: &Catalog, table: &str) -> bool {
+    catalog
+        .foreign_keys()
+        .iter()
+        .any(|fk| fk.parent_table.eq_ignore_ascii_case(table))
+}
+
+/// The signature filter: `true` when the AST candidate *may* match the
+/// query; `false` only when a match is provably impossible. Sound (never
+/// rejects a matchable AST), not complete (a survivor can still fail the
+/// full navigator).
+pub fn survives(query: &MatchSignature, ast: &MatchSignature, catalog: &Catalog) -> bool {
+    // 1. Some base table must be shared for a match chain to ground.
+    if !ast.tables.is_empty() && !ast.tables.intersects(&query.tables) {
+        return false;
+    }
+    // 2. AST tables that cannot be lossless extra joins must be scanned by
+    //    the query too.
+    if !ast.tables.is_subset(&query.tables) {
+        for t in ast.tables.names() {
+            if !query.tables.contains(t) && !is_fk_parent(catalog, t) {
+                return false;
+            }
+        }
+    }
+    if ast.has_group_by() {
+        // 3. A GROUP BY only matches a GROUP BY.
+        if !query.has_group_by() {
+            return false;
+        }
+        // 4. Some query GROUP BY must have kind-derivable aggregates.
+        if !query
+            .group_agg_masks
+            .iter()
+            .any(|&m| kinds_derivable(m, ast.agg_mask))
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
+mod tests {
+    use super::*;
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+    use sumtab_qgm::build_query;
+
+    fn sig(sql: &str) -> MatchSignature {
+        let cat = Catalog::credit_card_sample();
+        graph_signature(&build_query(&parse_query(sql).unwrap(), &cat).unwrap())
+    }
+
+    #[test]
+    fn signature_captures_tables_and_aggs() {
+        let s = sig("select faid, sum(qty) as s, count(*) as c \
+             from trans, loc where flid = lid group by faid");
+        assert_eq!(s.tables.names(), ["loc", "trans"]);
+        assert_eq!(s.agg_mask, agg_kind::SUM | agg_kind::COUNT);
+        assert_eq!(s.group_agg_masks.len(), 1);
+        assert!(s.grouping_cols.contains(&"trans.faid".to_string()), "{s}");
+    }
+
+    #[test]
+    fn computed_grouping_items_are_skipped_not_mislabeled() {
+        let s = sig("select year(date) as y, count(*) as c from trans group by year(date)");
+        assert!(s.grouping_cols.is_empty(), "{s}");
+        assert!(s.has_group_by());
+    }
+
+    #[test]
+    fn disjoint_tables_reject() {
+        let cat = Catalog::credit_card_sample();
+        let q = sig("select qty from trans");
+        let a = sig("select state from loc");
+        assert!(!survives(&q, &a, &cat));
+    }
+
+    #[test]
+    fn extra_fk_parent_table_survives() {
+        // AST joins loc (an FK parent via trans.flid) that the query does
+        // not mention — a lossless extra join, so the filter must keep it.
+        let cat = Catalog::credit_card_sample();
+        let q = sig("select faid, count(*) as c from trans group by faid");
+        let a = sig("select faid, count(*) as c from trans, loc \
+             where flid = lid group by faid");
+        assert!(survives(&q, &a, &cat));
+    }
+
+    #[test]
+    fn grouped_ast_rejects_ungrouped_query() {
+        let cat = Catalog::credit_card_sample();
+        let q = sig("select qty from trans");
+        let a = sig("select faid, count(*) as c from trans group by faid");
+        assert!(!survives(&q, &a, &cat));
+    }
+
+    #[test]
+    fn count_needs_count_sum_accepts_count() {
+        let cat = Catalog::credit_card_sample();
+        let q_count = sig("select faid, count(*) as c from trans group by faid");
+        let q_sum = sig("select faid, sum(qty) as s from trans group by faid");
+        let a_minmax = sig("select faid, max(qty) as m from trans group by faid");
+        let a_count = sig("select faid, flid, count(*) as c from trans group by faid, flid");
+        assert!(!survives(&q_count, &a_minmax, &cat), "COUNT needs COUNT");
+        assert!(!survives(&q_sum, &a_minmax, &cat), "SUM needs SUM or COUNT");
+        assert!(survives(&q_count, &a_count, &cat));
+        assert!(survives(&q_sum, &a_count, &cat), "SUM(x*cnt) rule (c)");
+    }
+
+    #[test]
+    fn ungrouped_ast_never_rejected_on_aggregates() {
+        let cat = Catalog::credit_card_sample();
+        let q = sig("select faid, count(*) as c from trans group by faid");
+        let a = sig("select faid, qty from trans");
+        assert!(
+            survives(&q, &a, &cat),
+            "plain-select AST: compensation groups"
+        );
+    }
+}

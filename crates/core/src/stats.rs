@@ -1,0 +1,52 @@
+//! Process-global matcher counters.
+//!
+//! The fast-path work (signature filtering, plan caching) exists to *avoid*
+//! running the navigator; these counters make that observable — benches
+//! report them and tests assert on deltas (e.g. "a repeated query performs
+//! zero match attempts"). Counters are monotone; readers compare
+//! before/after snapshots rather than resetting, so concurrent tests in
+//! the same process cannot corrupt each other's measurements.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Navigator invocations (one per full query-vs-AST match attempt).
+static NAVIGATOR_RUNS: AtomicU64 = AtomicU64::new(0);
+
+/// Candidates rejected by the signature filter before the navigator ran.
+static FILTER_REJECTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Record one navigator run. Called by `context::run_navigator`.
+pub(crate) fn count_navigator_run() {
+    NAVIGATOR_RUNS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Record one signature-filter rejection.
+pub(crate) fn count_filter_rejection() {
+    FILTER_REJECTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total navigator runs (match attempts) in this process so far.
+pub fn navigator_runs() -> u64 {
+    NAVIGATOR_RUNS.load(Ordering::Relaxed)
+}
+
+/// Total signature-filter rejections in this process so far.
+pub fn filter_rejections() -> u64 {
+    FILTER_REJECTIONS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let before = navigator_runs();
+        count_navigator_run();
+        count_navigator_run();
+        assert!(navigator_runs() >= before + 2);
+        let fr = filter_rejections();
+        count_filter_rejection();
+        assert!(filter_rejections() > fr);
+    }
+}

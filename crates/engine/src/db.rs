@@ -97,7 +97,10 @@ impl Database {
         }
         let n = validated.len();
         let key = t.name.clone();
-        self.tables.entry(key.clone()).or_default().extend(validated);
+        self.tables
+            .entry(key.clone())
+            .or_default()
+            .extend(validated);
         self.bump(&key);
         Ok(n)
     }
@@ -138,6 +141,23 @@ impl Database {
             .get(&table.to_ascii_lowercase())
             .copied()
             .unwrap_or(0)
+    }
+
+    /// Snapshot the epochs of a set of tables (sorted, deduplicated), for
+    /// use as a plan-cache validation key. Never-touched tables snapshot at
+    /// 0, matching [`Database::epoch`].
+    pub fn epoch_snapshot<'t>(
+        &self,
+        tables: impl IntoIterator<Item = &'t str>,
+    ) -> std::collections::BTreeMap<String, u64> {
+        tables
+            .into_iter()
+            .map(|t| {
+                let key = t.to_ascii_lowercase();
+                let e = self.epoch(&key);
+                (key, e)
+            })
+            .collect()
     }
 
     fn bump(&mut self, key: &str) {

@@ -20,6 +20,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod materialize;
+pub mod plancache;
 pub mod session;
 
 pub use csv::{load_csv, to_csv};
@@ -28,6 +29,7 @@ pub use error::SumtabError;
 pub use eval::{eval_expr, like_match, Env, EvalError};
 pub use exec::{execute, ExecError};
 pub use materialize::{backing_table_schema, materialize};
+pub use plancache::{CacheStats, PlanCache};
 pub use session::Session;
 
 /// Sort rows with the deterministic `Value` total order; useful for

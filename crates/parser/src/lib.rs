@@ -155,8 +155,7 @@ mod random_tree_tests {
         for _ in 0..512 {
             let e = arb_expr(&mut r, 4);
             let printed = render_expr(&e);
-            let reparsed =
-                parse_expr(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
+            let reparsed = parse_expr(&printed).unwrap_or_else(|err| panic!("`{printed}`: {err}"));
             assert_eq!(e, reparsed, "printed: {printed}");
         }
     }

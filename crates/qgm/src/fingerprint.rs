@@ -1,0 +1,82 @@
+//! Canonical query fingerprints for plan caching.
+//!
+//! A fingerprint is a deterministic string identifying a query up to the
+//! normalizations the workspace already performs: consecutive-SELECT
+//! merging (footnote 6) and structural expression normalization
+//! ([`ScalarExpr::normalize`]). Two builds of the same query text always
+//! produce the same fingerprint, and trivially equivalent variants (swapped
+//! commutative operands, flipped comparisons, an extra derived-table layer)
+//! converge to the same one.
+//!
+//! The fingerprint is the rendered SQL of the canonicalized graph
+//! ([`render_graph_sql`]), which refers to boxes via quantifier *names* —
+//! never via arena indices or the process-global [`GraphId`](crate::GraphId)
+//! counter — so it is stable across graphs, sessions, and platforms. The
+//! engine's plan cache keys on this string together with an epoch snapshot
+//! of every table involved; see `sumtab-engine::plancache`.
+
+use crate::expr::ScalarExpr;
+use crate::graph::{BoxKind, QgmGraph};
+use crate::normalize::merge_selects;
+use crate::render::render_graph_sql;
+
+/// Canonicalize a clone of `g` and render it as the fingerprint string.
+pub fn graph_fingerprint(g: &QgmGraph) -> String {
+    let mut canon = g.clone();
+    merge_selects(&mut canon);
+    for bx in &mut canon.boxes {
+        for oc in &mut bx.outputs {
+            oc.expr = oc.expr.normalize();
+        }
+        if let BoxKind::Select(sel) = &mut bx.kind {
+            for p in &mut sel.predicates {
+                *p = p.normalize();
+            }
+            sel.predicates.sort_by_key(pred_sort_key);
+        }
+    }
+    render_graph_sql(&canon)
+}
+
+/// Stable sort key for predicate order: predicates are a conjunction, so
+/// their order is semantically irrelevant; sorting by a structural key makes
+/// `where a and b` and `where b and a` fingerprint identically. The clone is
+/// never executed, so reordering is safe.
+fn pred_sort_key(p: &ScalarExpr) -> String {
+    format!("{p:?}")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
+mod tests {
+    use super::*;
+    use sumtab_catalog::Catalog;
+    use sumtab_parser::parse_query;
+
+    fn fp(sql: &str) -> String {
+        let cat = Catalog::credit_card_sample();
+        graph_fingerprint(&crate::build_query(&parse_query(sql).unwrap(), &cat).unwrap())
+    }
+
+    #[test]
+    fn identical_text_identical_fingerprint() {
+        let sql = "select faid, sum(qty) as s from trans, loc where flid = lid group by faid";
+        assert_eq!(fp(sql), fp(sql));
+    }
+
+    #[test]
+    fn commuted_predicates_converge() {
+        assert_eq!(
+            fp("select qty from trans where qty > 1 and faid = 2"),
+            fp("select qty from trans where faid = 2 and qty > 1"),
+        );
+    }
+
+    #[test]
+    fn different_queries_differ() {
+        assert_ne!(
+            fp("select qty from trans where qty > 1"),
+            fp("select qty from trans where qty > 2"),
+        );
+    }
+}

@@ -19,6 +19,7 @@
 pub mod build;
 pub mod dump;
 pub mod expr;
+pub mod fingerprint;
 pub mod graph;
 pub mod grouping;
 pub mod normalize;
@@ -30,6 +31,7 @@ pub use build::{
 };
 pub use dump::dump_graph;
 pub use expr::{AggCall, ColRef, ScalarExpr};
+pub use fingerprint::graph_fingerprint;
 pub use graph::{
     BoxId, BoxKind, GraphId, GroupByBox, OutputCol, QgmBox, QgmGraph, QuantId, QuantKind,
     Quantifier, SelectBox,

@@ -83,6 +83,14 @@ pub fn triggered(name: &str) -> bool {
     set().contains(name)
 }
 
+/// Is *any* fail point armed? Fault-injection runs bypass result caches
+/// (e.g. the session plan cache) through this check, so an injected outcome
+/// is never stored and never served after disarming.
+pub fn any_armed() -> bool {
+    ensure_env_armed();
+    ANY_ARMED.load(Ordering::Acquire)
+}
+
 /// A scope-bound arming: the fail point stays armed until the guard drops.
 /// Test helper — prefer this over raw [`arm`]/[`disarm`] so a failing
 /// assertion cannot leave the point armed for other tests.

@@ -52,13 +52,17 @@ pub use sumtab_parser as parser;
 pub use sumtab_qgm as qgm;
 
 pub use sumtab_catalog::{Catalog, Date, SqlType, Value};
-pub use sumtab_engine::{format_table, sort_rows, Database, Row, Session, SumtabError};
-pub use sumtab_matcher::{
-    baseline::baseline_matches, AstDefError, MatchError, RegisteredAst, Rewrite, Rewriter,
+pub use sumtab_engine::{
+    format_table, sort_rows, CacheStats, Database, PlanCache, Row, Session, SumtabError,
 };
-pub use sumtab_qgm::{build_query, render_graph_sql, QgmGraph};
+pub use sumtab_matcher::{
+    baseline::baseline_matches, AstDefError, CandidateOutcome, MatchError, RegisteredAst, Rewrite,
+    Rewriter,
+};
+pub use sumtab_qgm::{build_query, graph_fingerprint, render_graph_sql, QgmGraph};
 
 use std::collections::BTreeMap;
+use std::sync::{Mutex, MutexGuard};
 use sumtab_engine::session::StatementResult;
 use sumtab_parser::{parse_query, parse_statements, Statement};
 
@@ -139,17 +143,55 @@ fn ast_def_err(sql: &str, e: AstDefError) -> SumtabError {
     }
 }
 
+/// Plans a session keeps cached; small — a `PlanDetail` is one graph plus
+/// a few strings — and bounded, so a long-lived session cannot grow without
+/// limit on a stream of distinct queries.
+const PLAN_CACHE_CAPACITY: usize = 256;
+
+/// Lock the plan cache, recovering from poisoning (the cache holds no
+/// invariants a panicking reader could break — entries are validated on
+/// every lookup anyway).
+fn lock_cache(m: &Mutex<PlanCache<PlanDetail>>) -> MutexGuard<'_, PlanCache<PlanDetail>> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
 /// A SQL session with transparent AST rewriting.
 ///
 /// `CREATE SUMMARY TABLE` both materializes the summary and registers it
 /// with the rewriter; `query` then routes each statement through the
 /// matching algorithm, picking the smallest matching AST.
-#[derive(Default)]
+///
+/// Planning is cached: a repeated query whose relevant tables are at
+/// unchanged epochs (and whose AST/catalog generation is unchanged) is
+/// served from the session plan cache without running the matcher at all.
 pub struct SummarySession {
     /// The underlying engine session (catalog + data).
     pub session: Session,
     asts: Vec<AstState>,
     registration_failures: Vec<(String, String)>,
+    /// Fingerprint → `PlanDetail`, validated per lookup by epoch snapshot
+    /// and [`SummarySession::plan_generation`].
+    plan_cache: Mutex<PlanCache<PlanDetail>>,
+    /// Bumped by every event that can change planning outcomes without
+    /// touching table data: AST registration, `CREATE TABLE`, and
+    /// `ALTER TABLE .. ADD FOREIGN KEY` (a new RI constraint can make a
+    /// previously impossible lossless extra join legal).
+    ast_generation: u64,
+}
+
+impl Default for SummarySession {
+    fn default() -> SummarySession {
+        SummarySession {
+            session: Session::default(),
+            asts: Vec::new(),
+            registration_failures: Vec::new(),
+            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            ast_generation: 0,
+        }
+    }
 }
 
 impl SummarySession {
@@ -181,6 +223,8 @@ impl SummarySession {
             session: Session { catalog, db },
             asts,
             registration_failures,
+            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            ast_generation: 0,
         }
     }
 
@@ -211,7 +255,20 @@ impl SummarySession {
             .map_err(|e| ast_def_err(&def.query_sql, e))?;
         let base_epochs = snapshot_epochs(&self.session.db, &ast.graph);
         self.asts.push(AstState { ast, base_epochs });
+        self.ast_generation += 1;
         Ok(())
+    }
+
+    /// The current plan-cache generation: bumped by AST registration and by
+    /// DDL that can change match outcomes. Cached plans from earlier
+    /// generations are invalidated on lookup.
+    pub fn plan_generation(&self) -> u64 {
+        self.ast_generation
+    }
+
+    /// Cumulative plan-cache statistics for this session.
+    pub fn plan_cache_stats(&self) -> CacheStats {
+        lock_cache(&self.plan_cache).stats()
     }
 
     /// Is `table` read by any registered AST?
@@ -252,8 +309,15 @@ impl SummarySession {
                 }
                 _ => {
                     out.push(self.session.run_statement(stmt)?);
-                    if let Statement::CreateSummaryTable { name, .. } = stmt {
-                        self.register_ast(name)?;
+                    match stmt {
+                        Statement::CreateSummaryTable { name, .. } => self.register_ast(name)?,
+                        // Catalog DDL can change match outcomes (a new RI
+                        // constraint legalizes extra joins) without moving
+                        // any table epoch — invalidate cached plans.
+                        Statement::CreateTable(_) | Statement::AddForeignKey { .. } => {
+                            self.ast_generation += 1;
+                        }
+                        _ => {}
                     }
                 }
             }
@@ -271,16 +335,57 @@ impl SummarySession {
         Ok((detail.graph, detail.used))
     }
 
+    /// Every table a plan for `graph` can depend on, at current epochs: the
+    /// query's base tables, each registered AST's base tables (staleness
+    /// gating reads them), and each AST's backing table (row counts drive
+    /// the best-pick; a refresh rewrites the backing table).
+    fn plan_epoch_snapshot(&self, graph: &QgmGraph) -> BTreeMap<String, u64> {
+        let mut snap = snapshot_epochs(&self.session.db, graph);
+        for st in &self.asts {
+            snap.extend(snapshot_epochs(&self.session.db, &st.ast.graph));
+            let key = st.ast.name.to_ascii_lowercase();
+            let e = self.session.db.epoch(&key);
+            snap.insert(key, e);
+        }
+        snap
+    }
+
     /// Plan a query, reporting which ASTs were used and which were skipped
     /// (stale snapshot, or the matcher erred on them) and why.
     ///
     /// Both skip classes degrade gracefully: a stale or matcher-erroring
     /// AST is simply not used — planning continues with the remaining ASTs
     /// and, in the limit, the un-rewritten base plan.
+    ///
+    /// Fast paths, in order:
+    ///
+    /// 1. **Plan cache** — a query with the same canonical fingerprint
+    ///    ([`graph_fingerprint`]) planned at the same table epochs and
+    ///    generation returns its cached [`PlanDetail`] without any match
+    ///    attempt. Fault injection ([`failpoint::any_armed`]) bypasses the
+    ///    cache entirely so injected outcomes are never stored or served.
+    /// 2. **Signature filter** — surviving cache misses run each candidate
+    ///    through [`Rewriter::rewrite_candidates`], which rejects
+    ///    provably-unmatchable ASTs by signature and fans the rest out
+    ///    across threads, with deterministic result order.
     pub fn plan_detail(&self, sql: &str) -> Result<PlanDetail, SumtabError> {
         let q = parse_query(sql).map_err(|e| SumtabError::parse(sql, e))?;
         let mut graph =
             build_query(&q, &self.session.catalog).map_err(|e| SumtabError::plan(sql, e))?;
+
+        let cache_key = if failpoint::any_armed() {
+            None
+        } else {
+            let fp = graph_fingerprint(&graph);
+            let snap = self.plan_epoch_snapshot(&graph);
+            if let Some(detail) =
+                lock_cache(&self.plan_cache).lookup(&fp, &snap, self.ast_generation)
+            {
+                return Ok(detail.clone());
+            }
+            Some((fp, snap))
+        };
+
         let rewriter = Rewriter::new(&self.session.catalog);
         let mut used = Vec::new();
         let mut skipped = Vec::new();
@@ -299,30 +404,37 @@ impl SummarySession {
         }
 
         loop {
-            let mut best: Option<(usize, Rewrite, usize)> = None;
             let mut errored: Vec<usize> = Vec::new();
+            let mut eligible: Vec<usize> = Vec::new();
             for (i, st) in candidates.iter().enumerate() {
-                let attempt = if failpoint::triggered("match") {
-                    Err(MatchError {
+                if failpoint::triggered("match") {
+                    // A matcher failure disqualifies the AST but must not
+                    // sink the query: record and move on.
+                    skipped.push(SkippedAst {
                         ast: st.ast.name.clone(),
-                        detail: "injected fault at failpoint `match`".to_string(),
-                    })
+                        reason: "matcher error: injected fault at failpoint `match`".to_string(),
+                    });
+                    errored.push(i);
                 } else {
-                    rewriter.rewrite(&graph, &st.ast)
-                };
-                match attempt {
-                    Ok(Some(rw)) => {
+                    eligible.push(i);
+                }
+            }
+            let refs: Vec<&RegisteredAst> = eligible.iter().map(|&i| &candidates[i].ast).collect();
+            let mut best: Option<(usize, Rewrite, usize)> = None;
+            let outcomes = rewriter.rewrite_candidates(&graph, &refs);
+            for (k, outcome) in outcomes.into_iter().enumerate() {
+                let i = eligible[k];
+                match outcome {
+                    CandidateOutcome::Match(rw) => {
                         let rows = self.session.db.row_count(&rw.ast_name);
                         if best.as_ref().is_none_or(|(_, _, r)| rows < *r) {
-                            best = Some((i, rw, rows));
+                            best = Some((i, *rw, rows));
                         }
                     }
-                    Ok(None) => {}
-                    Err(e) => {
-                        // A matcher failure disqualifies the AST but must
-                        // not sink the query: record and move on.
+                    CandidateOutcome::Filtered | CandidateOutcome::NoMatch => {}
+                    CandidateOutcome::Error(e) => {
                         skipped.push(SkippedAst {
-                            ast: st.ast.name.clone(),
+                            ast: candidates[i].ast.name.clone(),
                             reason: format!("matcher error: {}", e.detail),
                         });
                         errored.push(i);
@@ -341,11 +453,15 @@ impl SummarySession {
                 candidates.remove(i);
             }
         }
-        Ok(PlanDetail {
+        let detail = PlanDetail {
             graph,
             used,
             skipped,
-        })
+        };
+        if let Some((fp, snap)) = cache_key {
+            lock_cache(&self.plan_cache).store(fp, snap, self.ast_generation, detail.clone());
+        }
+        Ok(detail)
     }
 
     /// Execute a query with transparent rewriting.

@@ -149,11 +149,7 @@ fn stale_skip_composes_with_injected_match_faults() {
     let _fp = failpoint::armed("match");
     let detail = s.plan_detail(QUERY).unwrap();
     assert!(detail.used.is_empty());
-    let reasons: Vec<&str> = detail
-        .skipped
-        .iter()
-        .map(|sk| sk.reason.as_str())
-        .collect();
+    let reasons: Vec<&str> = detail.skipped.iter().map(|sk| sk.reason.as_str()).collect();
     assert!(
         reasons.iter().any(|r| r.contains("stale"))
             && reasons.iter().any(|r| r.contains("matcher error")),

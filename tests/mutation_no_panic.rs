@@ -104,7 +104,11 @@ fn deep_nesting_is_rejected_not_overflowed() {
     }
 
     // The parser reports the depth kind specifically.
-    let deep_expr = format!("{}1{}", "(".repeat(4 * MAX_PARSE_DEPTH), ")".repeat(4 * MAX_PARSE_DEPTH));
+    let deep_expr = format!(
+        "{}1{}",
+        "(".repeat(4 * MAX_PARSE_DEPTH),
+        ")".repeat(4 * MAX_PARSE_DEPTH)
+    );
     match sumtab::parser::parse_expr(&deep_expr) {
         Err(ParseError {
             kind: ParseErrorKind::DepthExceeded,

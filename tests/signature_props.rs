@@ -1,0 +1,159 @@
+//! Signature-filter soundness: the fast filtering phase may only reject
+//! candidates the full matcher would reject too, i.e.
+//! `filter(candidates) ⊇ {ast | rewrite(query, ast) matches}`.
+//!
+//! Query/AST pairs are drawn with the in-tree deterministic PRNG over the
+//! credit-card schema (same spec pool as `soundness_prop.rs`), so every run
+//! explores the same pairs and failures reproduce by seed alone.
+
+// Tests and examples assert on fixed inputs; unwrap/expect failures are
+// test failures, which is exactly what we want.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sumtab::datagen::SplitMix64;
+use sumtab::matcher::signature::{graph_signature, survives};
+use sumtab::{Catalog, RegisteredAst, Rewriter};
+
+/// Grouping expressions the generator can pick from.
+const GROUPINGS: &[&str] = &[
+    "faid",
+    "flid",
+    "fpgid",
+    "year(date)",
+    "month(date)",
+    "qty",
+    "year(date) % 100",
+];
+
+/// Aggregate expressions (name, sql).
+const AGGS: &[(&str, &str)] = &[
+    ("cnt", "count(*)"),
+    ("sq", "sum(qty)"),
+    ("sv", "sum(qty * price)"),
+    ("mn", "min(price)"),
+    ("mx", "max(price)"),
+    ("cq", "count(qty)"),
+];
+
+/// WHERE predicates (those marked `true` require the Loc join).
+const PREDS: &[(&str, bool)] = &[
+    ("year(date) > 1990", false),
+    ("month(date) >= 6", false),
+    ("qty > 2", false),
+    ("disc > 0.1", false),
+    ("country = 'USA'", true),
+    ("price > 50", false),
+];
+
+struct Spec {
+    groupings: Vec<usize>,
+    aggs: Vec<usize>,
+    preds: Vec<usize>,
+    grouped: bool,
+}
+
+impl Spec {
+    fn sql(&self) -> String {
+        let mut select: Vec<String> = Vec::new();
+        if self.grouped {
+            select.extend(
+                self.groupings
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &g)| format!("{} as g{i}", GROUPINGS[g])),
+            );
+            for &a in &self.aggs {
+                let (name, sql) = AGGS[a];
+                select.push(format!("{sql} as {name}"));
+            }
+        } else {
+            select.push("qty".to_string());
+            select.push("price".to_string());
+        }
+        let needs_loc = self.preds.iter().any(|&i| PREDS[i].1);
+        let from = if needs_loc { "trans, loc" } else { "trans" };
+        let mut preds: Vec<String> = self.preds.iter().map(|&i| PREDS[i].0.to_string()).collect();
+        if needs_loc {
+            preds.insert(0, "flid = lid".to_string());
+        }
+        let mut sql = format!("select {} from {from}", select.join(", "));
+        if !preds.is_empty() {
+            sql.push_str(&format!(" where {}", preds.join(" and ")));
+        }
+        if self.grouped {
+            let gb: Vec<&str> = self.groupings.iter().map(|&g| GROUPINGS[g]).collect();
+            sql.push_str(&format!(" group by {}", gb.join(", ")));
+        }
+        sql
+    }
+}
+
+fn random_spec(r: &mut SplitMix64) -> Spec {
+    Spec {
+        groupings: r.subsequence(GROUPINGS.len(), 1, 3),
+        aggs: r.subsequence(AGGS.len(), 1, 3),
+        preds: r.subsequence(PREDS.len(), 0, 2),
+        grouped: r.gen_bool(0.8),
+    }
+}
+
+/// The filter property itself: whenever the full matcher produces a
+/// rewrite, the signature test must have let the candidate through.
+#[test]
+fn filter_never_rejects_matchable_pairs() {
+    let cat = Catalog::credit_card_sample();
+    let rewriter = Rewriter::new(&cat);
+    let mut r = SplitMix64::new(0x516_0001);
+    let mut matched = 0usize;
+    let mut filtered = 0usize;
+    for _ in 0..192 {
+        let query_sql = random_spec(&mut r).sql();
+        let ast_sql = random_spec(&mut r).sql();
+        let ast = RegisteredAst::from_sql("past", &ast_sql, &cat).unwrap();
+        let q =
+            sumtab::build_query(&sumtab::parser::parse_query(&query_sql).unwrap(), &cat).unwrap();
+        let survives_filter = survives(&graph_signature(&q), &ast.signature, &cat);
+        let matches = rewriter.rewrite(&q, &ast).unwrap().is_some();
+        assert!(
+            survives_filter || !matches,
+            "filter rejected a matchable AST!\n  query: {query_sql}\n  ast:   {ast_sql}"
+        );
+        matched += usize::from(matches);
+        filtered += usize::from(!survives_filter);
+    }
+    // Guard the test's own power: the pool must produce both real matches
+    // (so the implication is exercised) and real rejections (so the filter
+    // is not vacuously permissive).
+    assert!(matched > 0, "spec pool produced no matching pairs");
+    assert!(filtered > 0, "spec pool produced no filtered pairs");
+}
+
+/// End-to-end agreement: the filtered parallel sweep returns exactly the
+/// unfiltered serial sweep's rewrites, in the same order.
+#[test]
+fn filtered_sweep_equals_unfiltered_sweep() {
+    let cat = Catalog::credit_card_sample();
+    let rewriter = Rewriter::new(&cat);
+    let mut r = SplitMix64::new(0x516_0002);
+    for _ in 0..16 {
+        let asts: Vec<RegisteredAst> = (0..8)
+            .map(|i| {
+                RegisteredAst::from_sql(&format!("past{i}"), &random_spec(&mut r).sql(), &cat)
+                    .unwrap()
+            })
+            .collect();
+        let query_sql = random_spec(&mut r).sql();
+        let q =
+            sumtab::build_query(&sumtab::parser::parse_query(&query_sql).unwrap(), &cat).unwrap();
+        let fast: Vec<String> = rewriter
+            .rewrite_all(&q, &asts)
+            .into_iter()
+            .map(|rw| rw.ast_name)
+            .collect();
+        let slow: Vec<String> = rewriter
+            .rewrite_all_unfiltered(&q, &asts)
+            .into_iter()
+            .map(|rw| rw.ast_name)
+            .collect();
+        assert_eq!(fast, slow, "sweeps diverged for query: {query_sql}");
+    }
+}
