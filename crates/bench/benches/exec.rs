@@ -1,0 +1,141 @@
+//! Executor benchmark: the morsel-parallel columnar path (`execute_with`,
+//! pool size 4) against the serial row-at-a-time oracle (`execute_serial`)
+//! over a scale-factor sweep of the generated star schema, plus the
+//! base-plan vs AST-rewritten-plan gap under the new executor.
+//!
+//! Emits `BENCH_exec.json` at the repository root and aborts loudly if the
+//! columnar path is not at least 3× faster than the serial interpreter on
+//! the large scan at the biggest scale — the tentpole's acceptance bar.
+//!
+//! Plain `harness = false` benchmark (no external benchmark framework —
+//! the workspace builds offline); accepts `--quick` for CI smoke runs.
+
+// Benches run over fixed inputs; unwrap/expect failures should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sumtab::engine::{execute_serial, execute_with, ExecOptions, DEFAULT_MORSEL_SIZE};
+use sumtab::QgmGraph;
+use sumtab_bench::{median_time, prepare};
+
+/// (name, SQL) pairs exercising each executor layer: the fused columnar
+/// scan, hash join + partitioned aggregation, grouping sets, and top-k.
+const CASES: &[(&str, &str)] = &[
+    (
+        "large_scan",
+        "select tid, qty * price * (1 - disc) as amt from trans \
+         where qty >= 2 and disc < 0.1",
+    ),
+    (
+        "join_group_by",
+        "select country, year(date) as y, sum(qty * price) as rev, count(*) as cnt \
+         from trans, loc where flid = lid group by country, year(date)",
+    ),
+    (
+        "grouping_sets",
+        "select flid, fpgid, sum(qty) as q, count(*) as c from trans \
+         group by grouping sets ((flid, fpgid), (flid), ())",
+    ),
+    (
+        "top_k",
+        "select tid, price from trans order by price desc, tid limit 10",
+    ),
+];
+
+fn graph(sql: &str, catalog: &sumtab::Catalog) -> QgmGraph {
+    sumtab::build_query(&sumtab::parser::parse_query(sql).unwrap(), catalog).unwrap()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scales: &[usize] = if quick { &[20_000] } else { &[50_000, 200_000] };
+    let reps = if quick { 3 } else { 7 };
+    let opts = ExecOptions {
+        pool_size: 4,
+        morsel_size: DEFAULT_MORSEL_SIZE,
+    };
+
+    let mut scale_records = Vec::new();
+    let mut largest_scan_speedup = 0.0f64;
+    for &scale in scales {
+        let fx = prepare(scale);
+        println!("scale {scale}:");
+        println!(
+            "  {:<16} {:>12} {:>12} {:>9}",
+            "case", "serial", "parallel", "speedup"
+        );
+        let mut case_records = Vec::new();
+        for (name, sql) in CASES {
+            let g = graph(sql, &fx.catalog);
+            // Results must agree before timing means anything.
+            assert_eq!(
+                execute_with(&g, &fx.db, &opts).unwrap(),
+                execute_serial(&g, &fx.db).unwrap(),
+                "{name}: executor paths disagree"
+            );
+            let serial = median_time(reps, || {
+                execute_serial(&g, &fx.db).unwrap();
+            });
+            let parallel = median_time(reps, || {
+                execute_with(&g, &fx.db, &opts).unwrap();
+            });
+            let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(f64::EPSILON);
+            println!("  {name:<16} {serial:>10.3?} {parallel:>10.3?} {speedup:>8.2}x");
+            if *name == "large_scan" {
+                largest_scan_speedup = speedup;
+            }
+            case_records.push(format!(
+                "{{\"case\": \"{name}\", \"serial_ns\": {}, \"parallel_ns\": {}, \
+                 \"speedup\": {speedup:.2}}}",
+                serial.as_nanos(),
+                parallel.as_nanos(),
+            ));
+        }
+
+        // Base plan vs AST-rewritten plan, both on the parallel executor:
+        // the paper's gap must survive the engine swap.
+        let mut rewrite_records = Vec::new();
+        for case in fx.cases.iter().filter(|c| c.rewritten.is_some()).take(3) {
+            let rewritten = case.rewritten.as_ref().unwrap();
+            let base = median_time(reps, || {
+                execute_with(&case.original, &fx.db, &opts).unwrap();
+            });
+            let rw = median_time(reps, || {
+                execute_with(rewritten, &fx.db, &opts).unwrap();
+            });
+            let ratio = base.as_secs_f64() / rw.as_secs_f64().max(f64::EPSILON);
+            println!(
+                "  {:<16} {base:>10.3?} {rw:>10.3?} {ratio:>8.1}x  (base vs rewritten)",
+                case.case.id
+            );
+            rewrite_records.push(format!(
+                "{{\"figure\": \"{}\", \"base_ns\": {}, \"rewritten_ns\": {}, \
+                 \"ratio\": {ratio:.2}, \"ast_rows\": {}}}",
+                case.case.id,
+                base.as_nanos(),
+                rw.as_nanos(),
+                case.ast_rows,
+            ));
+        }
+        scale_records.push(format!(
+            "{{\"transactions\": {scale}, \"cases\": [\n      {}\n    ], \"rewritten\": [\n      {}\n    ]}}",
+            case_records.join(",\n      "),
+            rewrite_records.join(",\n      ")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"exec\",\n  \"quick\": {quick},\n  \"pool_size\": {},\n  \
+         \"morsel_size\": {},\n  \"scales\": [\n    {}\n  ]\n}}\n",
+        opts.pool_size,
+        opts.morsel_size,
+        scale_records.join(",\n    ")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_exec.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+
+    assert!(
+        largest_scan_speedup >= 3.0,
+        "columnar executor must be >= 3x the serial interpreter on the large \
+         scan at the biggest scale; measured {largest_scan_speedup:.2}x"
+    );
+}

@@ -1,10 +1,281 @@
-//! In-memory table storage.
+//! In-memory table storage: row store plus a lazy columnar cache.
+//!
+//! Rows remain the source of truth (`rows()` is still a zero-cost slice
+//! borrow), but scans in the columnar executor read a [`ColumnarTable`]:
+//! typed per-column vectors with a null bitmap and dictionary-encoded
+//! strings. Columnar views are built lazily on first use and cached per
+//! *modification epoch*, so any mutation invalidates them automatically.
 
+use crate::program::Cell;
 use std::collections::HashMap;
-use sumtab_catalog::{Catalog, CatalogError, SqlType, Value};
+use std::sync::{Arc, Mutex};
+use sumtab_catalog::{Catalog, CatalogError, Date, SqlType, Value};
 
 /// A row of values.
 pub type Row = Vec<Value>;
+
+/// Typed storage of one column.
+#[derive(Debug, Clone)]
+enum ColData {
+    Int(Vec<i64>),
+    Double(Vec<f64>),
+    Bool(Vec<bool>),
+    Date(Vec<Date>),
+    /// Dictionary-encoded strings: `codes[i]` indexes into `dict`.
+    Str {
+        codes: Vec<u32>,
+        dict: Vec<String>,
+    },
+    /// Fallback for mixed-type or all-NULL columns.
+    Mixed(Vec<Value>),
+}
+
+/// One column: typed data plus an optional null bitmap (absent when the
+/// column has no NULLs; NULL positions hold an arbitrary placeholder in
+/// the typed vector).
+#[derive(Debug, Clone)]
+pub struct ColumnVec {
+    data: ColData,
+    nulls: Option<Vec<u64>>,
+}
+
+/// A borrowed, typed view of a column's storage — the raw material for
+/// vectorized scan kernels. NULL positions (see
+/// [`ColumnVec::null_words`]) hold placeholder values in the typed
+/// variants.
+#[derive(Clone, Copy)]
+pub enum ColSlice<'a> {
+    /// 64-bit integers.
+    Int(&'a [i64]),
+    /// 64-bit floats.
+    Double(&'a [f64]),
+    /// Booleans.
+    Bool(&'a [bool]),
+    /// Calendar dates.
+    Date(&'a [Date]),
+    /// Dictionary-encoded strings: `codes[i]` indexes into `dict`.
+    Str {
+        /// Per-row dictionary codes.
+        codes: &'a [u32],
+        /// The deduplicated string dictionary.
+        dict: &'a [String],
+    },
+    /// Mixed-type or all-NULL fallback.
+    Mixed(&'a [Value]),
+}
+
+impl ColumnVec {
+    /// Is row `i` NULL?
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.nulls {
+            Some(words) => words[i / 64] & (1 << (i % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Borrowing view of row `i`.
+    #[inline]
+    pub fn cell(&self, i: usize) -> Cell<'_> {
+        if self.is_null(i) {
+            return Cell::Null;
+        }
+        match &self.data {
+            ColData::Int(v) => Cell::Int(v[i]),
+            ColData::Double(v) => Cell::Double(v[i]),
+            ColData::Bool(v) => Cell::Bool(v[i]),
+            ColData::Date(v) => Cell::Date(v[i]),
+            ColData::Str { codes, dict } => Cell::Str(dict[codes[i] as usize].as_str()),
+            ColData::Mixed(v) => Cell::of(&v[i]),
+        }
+    }
+
+    /// Owned value of row `i`.
+    pub fn value(&self, i: usize) -> Value {
+        self.cell(i).into_value()
+    }
+
+    /// The typed storage view, for vectorized kernels.
+    pub fn slice(&self) -> ColSlice<'_> {
+        match &self.data {
+            ColData::Int(v) => ColSlice::Int(v),
+            ColData::Double(v) => ColSlice::Double(v),
+            ColData::Bool(v) => ColSlice::Bool(v),
+            ColData::Date(v) => ColSlice::Date(v),
+            ColData::Str { codes, dict } => ColSlice::Str { codes, dict },
+            ColData::Mixed(v) => ColSlice::Mixed(v),
+        }
+    }
+
+    /// The null bitmap (64 rows per word, bit set = NULL), or `None` when
+    /// the column has no NULLs.
+    pub fn null_words(&self) -> Option<&[u64]> {
+        self.nulls.as_deref()
+    }
+}
+
+/// A columnar view of one table, rebuilt from the row store per epoch.
+#[derive(Debug, Clone)]
+pub struct ColumnarTable {
+    cols: Vec<ColumnVec>,
+    len: usize,
+}
+
+impl ColumnarTable {
+    /// Transpose a row slice into typed columns.
+    pub fn from_rows(rows: &[Row]) -> ColumnarTable {
+        let width = rows.first().map(Vec::len).unwrap_or(0);
+        let cols = (0..width).map(|c| build_column(rows, c)).collect();
+        ColumnarTable {
+            cols,
+            len: rows.len(),
+        }
+    }
+
+    /// Row count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Column count.
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// The columns.
+    pub fn columns(&self) -> &[ColumnVec] {
+        &self.cols
+    }
+
+    /// Borrowing view of cell `(row, col)`.
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> Cell<'_> {
+        self.cols[col].cell(row)
+    }
+
+    /// Append all of row `row`'s values to `out` (reconstructs the exact
+    /// `Value` variants of the source rows).
+    pub fn append_row(&self, row: usize, out: &mut Row) {
+        out.reserve(self.cols.len());
+        for c in &self.cols {
+            out.push(c.value(row));
+        }
+    }
+}
+
+/// Pick the typed representation of column `c` and fill it.
+fn build_column(rows: &[Row], c: usize) -> ColumnVec {
+    let mut nulls: Option<Vec<u64>> = None;
+    let mut ty: Option<SqlType> = None;
+    let mut mixed = false;
+    for row in rows {
+        match row[c].sql_type() {
+            None => {}
+            Some(t) => match ty {
+                None => ty = Some(t),
+                Some(prev) if prev == t => {}
+                Some(_) => {
+                    mixed = true;
+                    break;
+                }
+            },
+        }
+    }
+    let set_null = |nulls: &mut Option<Vec<u64>>, i: usize| {
+        let words = nulls.get_or_insert_with(|| vec![0u64; rows.len().div_ceil(64)]);
+        words[i / 64] |= 1 << (i % 64);
+    };
+    // Date and Bool have no cheap NULL placeholder; all-NULL and mixed
+    // columns have no single type — all fall back to Mixed.
+    let data = match ty {
+        _ if mixed => ColData::Mixed(rows.iter().map(|r| r[c].clone()).collect()),
+        None => ColData::Mixed(rows.iter().map(|r| r[c].clone()).collect()),
+        Some(SqlType::Int) => {
+            let mut v = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                match row[c] {
+                    Value::Int(x) => v.push(x),
+                    _ => {
+                        set_null(&mut nulls, i);
+                        v.push(0);
+                    }
+                }
+            }
+            ColData::Int(v)
+        }
+        Some(SqlType::Double) => {
+            let mut v = Vec::with_capacity(rows.len());
+            for (i, row) in rows.iter().enumerate() {
+                match row[c] {
+                    Value::Double(x) => v.push(x),
+                    _ => {
+                        set_null(&mut nulls, i);
+                        v.push(0.0);
+                    }
+                }
+            }
+            ColData::Double(v)
+        }
+        Some(SqlType::Varchar) => {
+            let mut codes = Vec::with_capacity(rows.len());
+            let mut dict: Vec<String> = Vec::new();
+            let mut seen: HashMap<String, u32> = HashMap::new();
+            for (i, row) in rows.iter().enumerate() {
+                match &row[c] {
+                    Value::Str(s) => {
+                        let code = match seen.get(s.as_str()) {
+                            Some(&k) => k,
+                            None => {
+                                let k = dict.len() as u32;
+                                dict.push(s.clone());
+                                seen.insert(s.clone(), k);
+                                k
+                            }
+                        };
+                        codes.push(code);
+                    }
+                    _ => {
+                        set_null(&mut nulls, i);
+                        codes.push(0);
+                    }
+                }
+            }
+            ColData::Str { codes, dict }
+        }
+        Some(SqlType::Date) | Some(SqlType::Bool) if nulls_present(rows, c) => {
+            ColData::Mixed(rows.iter().map(|r| r[c].clone()).collect())
+        }
+        Some(SqlType::Date) => {
+            let mut v = Vec::with_capacity(rows.len());
+            for row in rows {
+                if let Value::Date(d) = row[c] {
+                    v.push(d);
+                }
+            }
+            ColData::Date(v)
+        }
+        Some(SqlType::Bool) => {
+            let mut v = Vec::with_capacity(rows.len());
+            for row in rows {
+                if let Value::Bool(b) = row[c] {
+                    v.push(b);
+                }
+            }
+            ColData::Bool(v)
+        }
+    };
+    ColumnVec { data, nulls }
+}
+
+/// Does column `c` contain any NULL?
+fn nulls_present(rows: &[Row], c: usize) -> bool {
+    rows.iter().any(|r| r[c].is_null())
+}
 
 /// In-memory storage: table name → rows. Schemas live in the
 /// [`Catalog`]; the database holds only data.
@@ -13,10 +284,32 @@ pub type Row = Vec<Value>;
 /// counter starting at 0. Consumers snapshot epochs to detect staleness: a
 /// summary table materialized at epoch `e` of its base table is stale once
 /// [`Database::epoch`] for that table returns anything other than `e`.
-#[derive(Debug, Clone, Default)]
+#[derive(Default)]
 pub struct Database {
     tables: HashMap<String, Vec<Row>>,
     epochs: HashMap<String, u64>,
+    /// Lazy columnar views keyed by table, validated by epoch.
+    columnar: Mutex<HashMap<String, (u64, Arc<ColumnarTable>)>>,
+}
+
+impl Clone for Database {
+    fn clone(&self) -> Database {
+        Database {
+            tables: self.tables.clone(),
+            epochs: self.epochs.clone(),
+            // Columnar views are rebuilt on demand in the clone.
+            columnar: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables)
+            .field("epochs", &self.epochs)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Errors raised while loading data.
@@ -160,6 +453,28 @@ impl Database {
             .collect()
     }
 
+    /// The columnar view of a table, built on first use and cached until
+    /// the table's epoch changes. The `Arc` keeps the view alive across an
+    /// executor run even if the cache entry is replaced concurrently.
+    pub fn columnar(&self, table: &str) -> Arc<ColumnarTable> {
+        let key = table.to_ascii_lowercase();
+        let epoch = self.epoch(&key);
+        let mut cache = match self.columnar.lock() {
+            Ok(g) => g,
+            // A panic while holding the lock cannot corrupt the cache (it
+            // is validated by epoch on every lookup) — recover.
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if let Some((e, t)) = cache.get(&key) {
+            if *e == epoch {
+                return Arc::clone(t);
+            }
+        }
+        let t = Arc::new(ColumnarTable::from_rows(self.rows(&key)));
+        cache.insert(key, (epoch, Arc::clone(&t)));
+        t
+    }
+
     fn bump(&mut self, key: &str) {
         *self.epochs.entry(key.to_string()).or_insert(0) += 1;
     }
@@ -226,6 +541,72 @@ mod tests {
         assert_eq!(db.row_count("x"), 1);
         db.drop_table("x");
         assert_eq!(db.row_count("x"), 0);
+    }
+
+    #[test]
+    fn columnar_round_trips_values_exactly() {
+        let mut db = Database::new();
+        let rows = vec![
+            vec![
+                Value::Int(1),
+                Value::Double(1.5),
+                Value::from("tv"),
+                Value::Date(Date::parse("1990-01-03").unwrap()),
+                Value::Bool(true),
+                Value::Null,
+            ],
+            vec![
+                Value::Int(2),
+                Value::Null,
+                Value::from("tv"),
+                Value::Date(Date::parse("1991-02-04").unwrap()),
+                Value::Bool(false),
+                Value::from("mixed"),
+            ],
+            vec![
+                Value::Null,
+                Value::Double(-0.0),
+                Value::Null,
+                Value::Date(Date::parse("1992-03-05").unwrap()),
+                Value::Bool(true),
+                Value::Int(7),
+            ],
+        ];
+        db.put_table("t", rows.clone());
+        let col = db.columnar("t");
+        assert_eq!(col.len(), 3);
+        assert_eq!(col.width(), 6);
+        for (i, row) in rows.iter().enumerate() {
+            for (c, want) in row.iter().enumerate() {
+                assert_eq!(&col.columns()[c].value(i), want, "cell ({i},{c})");
+                // Variant identity, not just grouping equality.
+                assert_eq!(col.columns()[c].value(i).sql_type(), want.sql_type());
+            }
+            let mut rebuilt = Vec::new();
+            col.append_row(i, &mut rebuilt);
+            assert_eq!(&rebuilt, row);
+        }
+        // The dictionary deduplicates: two "tv" cells, one entry.
+        match &col.columns()[2].data {
+            ColData::Str { dict, .. } => assert_eq!(dict.len(), 1),
+            other => panic!("expected Str column, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn columnar_cache_invalidates_on_epoch_bump() {
+        let mut db = Database::new();
+        db.put_table("t", vec![vec![Value::Int(1)]]);
+        let c1 = db.columnar("t");
+        let c2 = db.columnar("T");
+        assert!(Arc::ptr_eq(&c1, &c2), "cache hit at unchanged epoch");
+        db.put_table("t", vec![vec![Value::Int(1)], vec![Value::Int(2)]]);
+        let c3 = db.columnar("t");
+        assert_eq!(c3.len(), 2, "mutation rebuilds the columnar view");
+        assert!(!Arc::ptr_eq(&c1, &c3));
+        // Clones start with a cold columnar cache but identical data.
+        let db2 = db.clone();
+        assert_eq!(db2.columnar("t").len(), 2);
     }
 
     #[test]

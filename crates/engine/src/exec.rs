@@ -1,11 +1,36 @@
 //! The QGM executor.
+//!
+//! Two execution paths share one plan shape (left-deep hash joins, per-cuboid
+//! hash aggregation):
+//!
+//! * [`execute`] / [`execute_with`] — the **morsel-parallel columnar** path.
+//!   Base-table scans read [`crate::db::ColumnarTable`] columns in place
+//!   (zero-copy, dictionary-encoded strings), every scalar expression is
+//!   compiled once per box into a flat [`Program`] of postfix ops, and
+//!   scan/filter/build/probe/project work is split into fixed-size morsels
+//!   fanned across a `std::thread::scope` pool. Results are byte-identical
+//!   to the serial path for any pool/morsel size: morsel outputs are merged
+//!   in morsel order (slot-merge discipline), GROUP BY partitions whole
+//!   groups by key hash so each group's accumulator folds its rows in global
+//!   row order, and group output follows first-occurrence order in both
+//!   paths.
+//! * [`execute_serial`] — the row-at-a-time interpreter, kept as the
+//!   differential-testing oracle and bench baseline.
+//!
+//! ORDER BY + LIMIT uses bounded-heap top-k selection on the parallel path
+//! (equivalent to the serial stable sort + truncate, tie-broken by original
+//! row index).
 
-use crate::db::{Database, Row};
+use crate::db::{ColSlice, ColumnarTable, Database, Row};
 use crate::eval::{eval_expr, truth, Env};
-use std::collections::{HashMap, HashSet};
+use crate::program::{compare, Cell, Program, Resolved, Scratch};
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::rc::Rc;
-use sumtab_catalog::fx::FxHashMap;
-use sumtab_catalog::Value;
+use std::sync::Arc;
+use sumtab_catalog::fx::{FxHashMap, FxHasher};
+use sumtab_catalog::{Date, Value};
 use sumtab_qgm::{
     AggCall, AggFunc, BinOp, BoxId, BoxKind, ColRef, QgmGraph, QuantId, QuantKind, ScalarExpr,
 };
@@ -58,102 +83,236 @@ impl std::fmt::Display for ExecError {
 
 impl std::error::Error for ExecError {}
 
+/// Default morsel granularity: large enough to amortize dispatch, small
+/// enough to load-balance skewed filters.
+pub const DEFAULT_MORSEL_SIZE: usize = 4096;
+
+/// Default worker count: available parallelism, capped at 8.
+pub fn default_pool_size() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
+/// Tuning knobs for the parallel columnar executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for morsel fan-out (`1` runs everything inline).
+    pub pool_size: usize,
+    /// Rows per morsel.
+    pub morsel_size: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions {
+            pool_size: default_pool_size(),
+            morsel_size: DEFAULT_MORSEL_SIZE,
+        }
+    }
+}
+
 /// Execute a QGM graph against a database; returns the root box's rows,
-/// with root ORDER BY / LIMIT applied.
+/// with root ORDER BY / LIMIT applied. Uses the morsel-parallel columnar
+/// path with default options.
 pub fn execute(g: &QgmGraph, db: &Database) -> Result<Vec<Row>, ExecError> {
-    let mut memo: HashMap<BoxId, Rc<Vec<Row>>> = HashMap::new();
-    let rows = exec_box(g, g.root, db, &mut memo)?;
-    let mut rows = Rc::try_unwrap(rows).unwrap_or_else(|rc| (*rc).clone());
-    if !g.order.keys.is_empty() {
-        rows.sort_by(|a, b| {
-            for &(ord, desc) in &g.order.keys {
-                let c = a[ord].cmp(&b[ord]);
-                let c = if desc { c.reverse() } else { c };
-                if c != std::cmp::Ordering::Equal {
-                    return c;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-    }
-    if let Some(n) = g.order.limit {
-        rows.truncate(n as usize);
-    }
-    Ok(rows)
+    execute_with(g, db, &ExecOptions::default())
 }
 
-fn exec_box(
+/// [`execute`] with explicit pool/morsel configuration. Results are
+/// identical for every configuration.
+pub fn execute_with(
     g: &QgmGraph,
-    b: BoxId,
     db: &Database,
-    memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
-) -> Result<Rc<Vec<Row>>, ExecError> {
-    if let Some(r) = memo.get(&b) {
-        return Ok(Rc::clone(r));
-    }
-    let rows = match &g.boxed(b).kind {
-        BoxKind::BaseTable { table } => Rc::new(db.rows(table).to_vec()),
-        BoxKind::SubsumerRef { .. } => return Err(ExecError::SubsumerRefInGraph),
-        BoxKind::Select(_) => Rc::new(exec_select(g, b, db, memo)?),
-        BoxKind::GroupBy(_) => Rc::new(exec_group_by(g, b, db, memo)?),
-    };
-    memo.insert(b, Rc::clone(&rows));
-    Ok(rows)
-}
-
-/// The environment for evaluating expressions of a SELECT box mid-join:
-/// bound quantifiers are offsets into a concatenated tuple; scalar
-/// quantifiers resolve to pre-computed constants.
-struct SelectEnv<'a> {
-    offsets: &'a FxHashMap<u32, usize>,
-    scalars: &'a FxHashMap<u32, Value>,
-    tuple: &'a [Value],
-}
-
-impl Env for SelectEnv<'_> {
-    fn col(&self, c: ColRef) -> Value {
-        if let Some(v) = self.scalars.get(&c.qid.idx) {
-            debug_assert_eq!(c.ordinal, 0);
-            return v.clone();
-        }
-        let off = self.offsets[&c.qid.idx];
-        self.tuple[off + c.ordinal].clone()
-    }
-}
-
-fn exec_select(
-    g: &QgmGraph,
-    b: BoxId,
-    db: &Database,
-    memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
+    opts: &ExecOptions,
 ) -> Result<Vec<Row>, ExecError> {
-    let bx = g.boxed(b);
-    let sel = bx
-        .as_select()
-        .ok_or_else(|| ExecError::malformed(b, "exec_select on a non-SELECT box"))?;
+    let rows = {
+        // The executor state (memo + shared table cache) must drop before
+        // the root `Rc` is unwrapped, or a memo-shared root would force a
+        // deep clone of the whole result set.
+        let mut ex = ParExec {
+            g,
+            db,
+            workers: opts.pool_size.max(1),
+            morsel: opts.morsel_size.max(1),
+            memo: HashMap::new(),
+            tables: HashMap::new(),
+            columnar: HashMap::new(),
+        };
+        ex.rows_of(g.root)?
+    };
+    let rows = Rc::try_unwrap(rows).unwrap_or_else(|rc| (*rc).clone());
+    Ok(apply_order(g, rows, true))
+}
 
-    // 1. Pre-compute scalar subquery values.
-    let mut scalars: FxHashMap<u32, Value> = FxHashMap::default();
-    let mut foreach: Vec<QuantId> = Vec::new();
-    for &q in &bx.quants {
-        match g.quant(q).kind {
-            QuantKind::Scalar => {
-                let rows = exec_box(g, g.input_of(q), db, memo)?;
-                let v = match rows.len() {
-                    0 => Value::Null,
-                    1 => rows[0][0].clone(),
-                    n => return Err(ExecError::ScalarSubqueryCardinality(n)),
-                };
-                scalars.insert(q.idx, v);
-            }
-            QuantKind::Foreach => foreach.push(q),
+/// The serial row-at-a-time interpreter: the differential-testing oracle
+/// and bench baseline for the parallel columnar path.
+pub fn execute_serial(g: &QgmGraph, db: &Database) -> Result<Vec<Row>, ExecError> {
+    let rows = {
+        let mut ex = SerialExec {
+            g,
+            db,
+            memo: HashMap::new(),
+            tables: HashMap::new(),
+        };
+        ex.exec_box(g.root)?
+    };
+    let rows = Rc::try_unwrap(rows).unwrap_or_else(|rc| (*rc).clone());
+    Ok(apply_order(g, rows, false))
+}
+
+// ---------------------------------------------------------------------------
+// ORDER BY / LIMIT
+// ---------------------------------------------------------------------------
+
+fn cmp_by_keys(a: &Row, b: &Row, keys: &[(usize, bool)]) -> Ordering {
+    for &(ord, desc) in keys {
+        let c = a[ord].cmp(&b[ord]);
+        let c = if desc { c.reverse() } else { c };
+        if c != Ordering::Equal {
+            return c;
         }
     }
+    Ordering::Equal
+}
 
-    // 2. Classify predicates by the foreach quantifiers they reference.
-    let quant_set: HashSet<u32> = foreach.iter().map(|q| q.idx).collect();
-    let pred_refs: Vec<HashSet<u32>> = sel
-        .predicates
+/// Apply root ORDER BY and LIMIT. With `topk` set and a limit smaller than
+/// the input, bounded-heap selection replaces the full sort; the result is
+/// byte-identical to stable `sort_by` + `truncate` because the selection
+/// order is total (sort keys, then original row index).
+fn apply_order(g: &QgmGraph, mut rows: Vec<Row>, topk: bool) -> Vec<Row> {
+    let keys = &g.order.keys;
+    let limit = g.order.limit.map(|n| n as usize);
+    if !keys.is_empty() {
+        if let Some(k) = limit {
+            if topk && k < rows.len() {
+                return top_k(rows, k, keys);
+            }
+        }
+        rows.sort_by(|a, b| cmp_by_keys(a, b, keys));
+    }
+    if let Some(k) = limit {
+        rows.truncate(k);
+    }
+    rows
+}
+
+/// The `k` first rows of a stable sort by `keys`, selected with a bounded
+/// max-heap in O(n log k) instead of sorting all n rows.
+fn top_k(rows: Vec<Row>, k: usize, keys: &[(usize, bool)]) -> Vec<Row> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let cmp =
+        |a: &(usize, Row), b: &(usize, Row)| cmp_by_keys(&a.1, &b.1, keys).then(a.0.cmp(&b.0));
+    // Max-heap (under the total order) of the k smallest seen so far.
+    let mut heap: Vec<(usize, Row)> = Vec::with_capacity(k);
+    for (i, row) in rows.into_iter().enumerate() {
+        let item = (i, row);
+        if heap.len() < k {
+            heap.push(item);
+            sift_up(&mut heap, &cmp);
+        } else if heap
+            .first()
+            .is_some_and(|top| cmp(&item, top) == Ordering::Less)
+        {
+            heap[0] = item;
+            sift_down(&mut heap, &cmp);
+        }
+    }
+    heap.sort_by(cmp);
+    heap.into_iter().map(|(_, r)| r).collect()
+}
+
+fn sift_up<T>(h: &mut [T], cmp: &impl Fn(&T, &T) -> Ordering) {
+    let mut i = h.len().saturating_sub(1);
+    while i > 0 {
+        let p = (i - 1) / 2;
+        if cmp(&h[i], &h[p]) == Ordering::Greater {
+            h.swap(i, p);
+            i = p;
+        } else {
+            break;
+        }
+    }
+}
+
+fn sift_down<T>(h: &mut [T], cmp: &impl Fn(&T, &T) -> Ordering) {
+    let mut i = 0usize;
+    loop {
+        let l = 2 * i + 1;
+        if l >= h.len() {
+            break;
+        }
+        let r = l + 1;
+        let m = if r < h.len() && cmp(&h[r], &h[l]) == Ordering::Greater {
+            r
+        } else {
+            l
+        };
+        if cmp(&h[m], &h[i]) == Ordering::Greater {
+            h.swap(i, m);
+            i = m;
+        } else {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Morsel scheduling
+// ---------------------------------------------------------------------------
+
+/// Run `f` over contiguous fixed-size morsels of `0..n`, fanned across
+/// `workers` scoped threads, and return the per-morsel results **in morsel
+/// order** — the slot-merge discipline that keeps every downstream
+/// concatenation deterministic regardless of scheduling.
+fn par_map<T, F>(workers: usize, morsel: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
+{
+    let morsel = morsel.max(1);
+    let nm = n.div_ceil(morsel);
+    if workers <= 1 || nm <= 1 {
+        return (0..nm)
+            .map(|m| f(m, m * morsel..((m + 1) * morsel).min(n)))
+            .collect();
+    }
+    let mut slots: Vec<Option<T>> = Vec::with_capacity(nm);
+    slots.resize_with(nm, || None);
+    let per = nm.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut chunks = slots.chunks_mut(per).enumerate();
+        // The calling thread takes the first chunk itself instead of
+        // spawning and then idling at the join.
+        let first = chunks.next();
+        for (w, chunk) in chunks {
+            let f = &f;
+            s.spawn(move || {
+                for (j, slot) in chunk.iter_mut().enumerate() {
+                    let m = w * per + j;
+                    *slot = Some(f(m, m * morsel..((m + 1) * morsel).min(n)));
+                }
+            });
+        }
+        if let Some((_, chunk)) = first {
+            for (m, slot) in chunk.iter_mut().enumerate() {
+                *slot = Some(f(m, m * morsel..((m + 1) * morsel).min(n)));
+            }
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+// ---------------------------------------------------------------------------
+// Shared join-planning helpers
+// ---------------------------------------------------------------------------
+
+/// For each predicate, the set of **foreach** quantifiers it references.
+fn pred_quant_refs(preds: &[ScalarExpr], quant_set: &HashSet<u32>) -> Vec<HashSet<u32>> {
+    preds
         .iter()
         .map(|p| {
             p.col_refs()
@@ -162,185 +321,7 @@ fn exec_select(
                 .filter(|i| quant_set.contains(i))
                 .collect()
         })
-        .collect();
-    let mut pred_done = vec![false; sel.predicates.len()];
-
-    // Constant predicates (no foreach references): evaluate once.
-    {
-        let offsets = FxHashMap::default();
-        let env = SelectEnv {
-            offsets: &offsets,
-            scalars: &scalars,
-            tuple: &[],
-        };
-        for (i, p) in sel.predicates.iter().enumerate() {
-            if pred_refs[i].is_empty() {
-                pred_done[i] = true;
-                if truth(&eval_expr(p, &env)) != Some(true) {
-                    return Ok(Vec::new());
-                }
-            }
-        }
-    }
-
-    // 3. Left-deep join. `offsets` maps bound quantifier → start offset in
-    // the concatenated tuple.
-    let mut offsets: FxHashMap<u32, usize> = FxHashMap::default();
-    let mut tuples: Vec<Row> = vec![Vec::new()];
-    let mut width = 0usize;
-    let mut remaining: Vec<QuantId> = foreach;
-
-    while !remaining.is_empty() {
-        // Pick the next quantifier: prefer one linked to the bound set by an
-        // equi-join conjunct; fall back to the first remaining.
-        let pick = remaining
-            .iter()
-            .position(|q| {
-                !offsets.is_empty()
-                    && sel.predicates.iter().enumerate().any(|(i, p)| {
-                        !pred_done[i] && is_equi_join(p, &offsets, q.idx, &pred_refs[i])
-                    })
-            })
-            .unwrap_or(0);
-        let q = remaining.remove(pick);
-        let child_rows = exec_box(g, g.input_of(q), db, memo)?;
-        let child_width = g.boxed(g.input_of(q)).outputs.len();
-
-        // Prefilter rows with single-quantifier predicates.
-        let mut single_idx = Vec::new();
-        for (i, refs) in pred_refs.iter().enumerate() {
-            if !pred_done[i] && refs.len() == 1 && refs.contains(&q.idx) {
-                pred_done[i] = true;
-                single_idx.push(i);
-            }
-        }
-        let single: Vec<&ScalarExpr> = single_idx.iter().map(|&i| &sel.predicates[i]).collect();
-        let mut local_off = FxHashMap::default();
-        local_off.insert(q.idx, 0usize);
-        let filtered: Vec<&Row> = child_rows
-            .iter()
-            .filter(|row| {
-                single.iter().all(|p| {
-                    let env = SelectEnv {
-                        offsets: &local_off,
-                        scalars: &scalars,
-                        tuple: row,
-                    };
-                    truth(&eval_expr(p, &env)) == Some(true)
-                })
-            })
-            .collect();
-
-        // Equi-join conjuncts usable for hashing.
-        let mut hash_preds: Vec<(ScalarExpr, ScalarExpr)> = Vec::new(); // (bound side, q side)
-        for (i, p) in sel.predicates.iter().enumerate() {
-            if pred_done[i] {
-                continue;
-            }
-            if let Some((bound_side, q_side)) = split_equi_join(p, &offsets, q.idx, &pred_refs[i]) {
-                hash_preds.push((bound_side, q_side));
-                pred_done[i] = true;
-            }
-        }
-
-        let mut next: Vec<Row> = Vec::new();
-        if !hash_preds.is_empty() && !offsets.is_empty() {
-            // Hash join: build on the (filtered) child rows.
-            let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
-            'rows: for row in &filtered {
-                let env = SelectEnv {
-                    offsets: &local_off,
-                    scalars: &scalars,
-                    tuple: row,
-                };
-                let mut key = Vec::with_capacity(hash_preds.len());
-                for (_, qs) in &hash_preds {
-                    let v = eval_expr(qs, &env);
-                    if v.is_null() {
-                        continue 'rows; // NULL never joins
-                    }
-                    key.push(v);
-                }
-                table.entry(key).or_default().push(row);
-            }
-            for t in &tuples {
-                let env = SelectEnv {
-                    offsets: &offsets,
-                    scalars: &scalars,
-                    tuple: t,
-                };
-                let mut key = Vec::with_capacity(hash_preds.len());
-                let mut null_key = false;
-                for (bs, _) in &hash_preds {
-                    let v = eval_expr(bs, &env);
-                    if v.is_null() {
-                        null_key = true;
-                        break;
-                    }
-                    key.push(v);
-                }
-                if null_key {
-                    continue;
-                }
-                if let Some(matches) = table.get(&key) {
-                    for m in matches {
-                        let mut nt = Vec::with_capacity(width + child_width);
-                        nt.extend_from_slice(t);
-                        nt.extend_from_slice(m);
-                        next.push(nt);
-                    }
-                }
-            }
-        } else {
-            // Cross product (with any remaining predicates applied below).
-            for t in &tuples {
-                for m in &filtered {
-                    let mut nt = Vec::with_capacity(width + child_width);
-                    nt.extend_from_slice(t);
-                    nt.extend_from_slice(m);
-                    next.push(nt);
-                }
-            }
-        }
-        offsets.insert(q.idx, width);
-        width += child_width;
-        tuples = next;
-
-        // Apply any other predicate now fully bound.
-        let bound: HashSet<u32> = offsets.keys().copied().collect();
-        for (i, p) in sel.predicates.iter().enumerate() {
-            if pred_done[i] || !pred_refs[i].is_subset(&bound) {
-                continue;
-            }
-            pred_done[i] = true;
-            tuples.retain(|t| {
-                let env = SelectEnv {
-                    offsets: &offsets,
-                    scalars: &scalars,
-                    tuple: t,
-                };
-                truth(&eval_expr(p, &env)) == Some(true)
-            });
-        }
-    }
-    debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
-
-    // 4. Project the outputs.
-    let out = tuples
-        .iter()
-        .map(|t| {
-            let env = SelectEnv {
-                offsets: &offsets,
-                scalars: &scalars,
-                tuple: t,
-            };
-            bx.outputs
-                .iter()
-                .map(|oc| eval_expr(&oc.expr, &env))
-                .collect()
-        })
-        .collect();
-    Ok(out)
+        .collect()
 }
 
 /// Is `p` an equality conjunct linking the bound set to quantifier `q`?
@@ -396,6 +377,986 @@ fn split_equi_join(
 }
 
 // ---------------------------------------------------------------------------
+// Compiled-program helpers (parallel path)
+// ---------------------------------------------------------------------------
+
+/// Compile `e` against a fully bound tuple: bound quantifiers resolve to
+/// flat tuple offsets, scalar quantifiers to inlined constants.
+fn compile_bound(
+    e: &ScalarExpr,
+    b: BoxId,
+    offsets: &FxHashMap<u32, usize>,
+    scalars: &FxHashMap<u32, Value>,
+) -> Result<Program, ExecError> {
+    Program::compile(e, &mut |c: ColRef| {
+        if let Some(v) = scalars.get(&c.qid.idx) {
+            return Ok(Resolved::Const(v.clone()));
+        }
+        match offsets.get(&c.qid.idx) {
+            Some(&off) => Ok(Resolved::Slot(off + c.ordinal)),
+            None => Err(format!("unbound quantifier q{}", c.qid.idx)),
+        }
+    })
+    .map_err(|d| ExecError::malformed(b, d))
+}
+
+/// Compile `e` against a single child relation: quantifier `q` resolves to
+/// the child's own column ordinals, scalar quantifiers to constants.
+fn compile_local(
+    e: &ScalarExpr,
+    b: BoxId,
+    q: u32,
+    scalars: &FxHashMap<u32, Value>,
+) -> Result<Program, ExecError> {
+    Program::compile(e, &mut |c: ColRef| {
+        if let Some(v) = scalars.get(&c.qid.idx) {
+            return Ok(Resolved::Const(v.clone()));
+        }
+        if c.qid.idx == q {
+            Ok(Resolved::Slot(c.ordinal))
+        } else {
+            Err(format!("unbound quantifier q{}", c.qid.idx))
+        }
+    })
+    .map_err(|d| ExecError::malformed(b, d))
+}
+
+/// A scan source for one join input: either a zero-copy columnar base
+/// table or the materialized rows of a derived box.
+#[derive(Clone, Copy)]
+enum Source<'c> {
+    Col(&'c ColumnarTable),
+    Rows(&'c [Row]),
+}
+
+impl<'c> Source<'c> {
+    fn len(&self) -> usize {
+        match self {
+            Source::Col(t) => t.len(),
+            Source::Rows(r) => r.len(),
+        }
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, col: usize) -> Cell<'c> {
+        match self {
+            Source::Col(t) => t.cell(row, col),
+            Source::Rows(r) => Cell::of(&r[row][col]),
+        }
+    }
+
+    fn append_row(&self, row: usize, out: &mut Row) {
+        match self {
+            Source::Col(t) => t.append_row(row, out),
+            Source::Rows(r) => out.extend_from_slice(&r[row]),
+        }
+    }
+}
+
+/// Owns the storage a [`Source`] borrows from.
+enum Child {
+    Col(Arc<ColumnarTable>),
+    Rows(Rc<Vec<Row>>),
+}
+
+impl Child {
+    fn source(&self) -> Source<'_> {
+        match self {
+            Child::Col(t) => Source::Col(t),
+            Child::Rows(r) => Source::Rows(r.as_slice()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vectorized predicate kernels (columnar scan path)
+// ---------------------------------------------------------------------------
+
+/// A typed filter kernel for a `col <cmp> literal` (or `col IS [NOT] NULL`)
+/// predicate over a columnar scan: the comparison runs directly on the
+/// typed column slice, with no evaluation stack, no `Cell` boxing, and no
+/// per-row dispatch beyond one enum match. Semantics are bit-for-bit those
+/// of the compiled [`Program`] the kernel replaces (a NULL operand makes
+/// every comparison non-true, doubles compare `Eq` by total order but
+/// range-compare by partial order, mixed int/double compares by IEEE
+/// value) — the differential tests hold both routes to identical output.
+enum Kernel<'c> {
+    /// Int column vs int literal.
+    IntInt {
+        data: &'c [i64],
+        nulls: Option<&'c [u64]>,
+        op: BinOp,
+        rhs: i64,
+    },
+    /// Int column vs double literal (compared as f64, like `cell_ord`).
+    IntF64 {
+        data: &'c [i64],
+        nulls: Option<&'c [u64]>,
+        op: BinOp,
+        rhs: f64,
+    },
+    /// Double column vs numeric literal. `total_eq` selects total-order
+    /// equality (double vs double) over IEEE equality (double vs int).
+    F64 {
+        data: &'c [f64],
+        nulls: Option<&'c [u64]>,
+        op: BinOp,
+        rhs: f64,
+        total_eq: bool,
+    },
+    /// Date column vs date literal (date columns with NULLs fall back to
+    /// `Mixed` storage, so no bitmap here).
+    DateCmp {
+        data: &'c [Date],
+        op: BinOp,
+        rhs: Date,
+    },
+    /// String column: the verdict is precomputed per dictionary code.
+    StrCode {
+        codes: &'c [u32],
+        nulls: Option<&'c [u64]>,
+        pass: Vec<bool>,
+    },
+    /// `col IS [NOT] NULL` straight off the bitmap.
+    NullTest {
+        nulls: Option<&'c [u64]>,
+        negated: bool,
+    },
+}
+
+#[inline]
+fn bit(nulls: Option<&[u64]>, i: usize) -> bool {
+    match nulls {
+        Some(words) => words[i / 64] & (1 << (i % 64)) != 0,
+        None => false,
+    }
+}
+
+#[inline]
+fn ord_passes(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::NotEq => !ord.is_eq(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::LtEq => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::GtEq => ord.is_ge(),
+        _ => false,
+    }
+}
+
+impl Kernel<'_> {
+    /// Does row `i` pass this predicate?
+    #[inline]
+    fn passes(&self, i: usize) -> bool {
+        match self {
+            Kernel::IntInt {
+                data,
+                nulls,
+                op,
+                rhs,
+            } => !bit(*nulls, i) && ord_passes(*op, data[i].cmp(rhs)),
+            Kernel::IntF64 {
+                data,
+                nulls,
+                op,
+                rhs,
+            } => {
+                if bit(*nulls, i) {
+                    return false;
+                }
+                let a = data[i] as f64;
+                match op {
+                    BinOp::Eq => a == *rhs,
+                    BinOp::NotEq => a != *rhs,
+                    _ => a.partial_cmp(rhs).is_some_and(|o| ord_passes(*op, o)),
+                }
+            }
+            Kernel::F64 {
+                data,
+                nulls,
+                op,
+                rhs,
+                total_eq,
+            } => {
+                if bit(*nulls, i) {
+                    return false;
+                }
+                let a = data[i];
+                match op {
+                    BinOp::Eq if *total_eq => a.total_cmp(rhs).is_eq(),
+                    BinOp::NotEq if *total_eq => !a.total_cmp(rhs).is_eq(),
+                    BinOp::Eq => a == *rhs,
+                    BinOp::NotEq => a != *rhs,
+                    _ => a.partial_cmp(rhs).is_some_and(|o| ord_passes(*op, o)),
+                }
+            }
+            Kernel::DateCmp { data, op, rhs } => ord_passes(*op, data[i].cmp(rhs)),
+            Kernel::StrCode { codes, nulls, pass } => !bit(*nulls, i) && pass[codes[i] as usize],
+            Kernel::NullTest { nulls, negated } => bit(*nulls, i) != *negated,
+        }
+    }
+}
+
+/// Try to lower a compiled single-column predicate to a typed kernel over
+/// columnar table `t`; `None` keeps the program-interpreter route.
+fn build_kernel<'c>(prog: &Program, t: &'c ColumnarTable) -> Option<Kernel<'c>> {
+    if let Some((slot, negated)) = prog.as_col_is_null() {
+        let cv = t.columns().get(slot as usize)?;
+        // Mixed storage tracks NULLs in the values, not the bitmap.
+        if matches!(cv.slice(), ColSlice::Mixed(_)) {
+            return None;
+        }
+        return Some(Kernel::NullTest {
+            nulls: cv.null_words(),
+            negated,
+        });
+    }
+    let (slot, op, rhs) = prog.as_col_cmp_const()?;
+    let cv = t.columns().get(slot as usize)?;
+    let nulls = cv.null_words();
+    match (cv.slice(), rhs) {
+        (ColSlice::Int(data), Value::Int(b)) => Some(Kernel::IntInt {
+            data,
+            nulls,
+            op,
+            rhs: *b,
+        }),
+        (ColSlice::Int(data), Value::Double(b)) => Some(Kernel::IntF64 {
+            data,
+            nulls,
+            op,
+            rhs: *b,
+        }),
+        (ColSlice::Double(data), Value::Int(b)) => Some(Kernel::F64 {
+            data,
+            nulls,
+            op,
+            rhs: *b as f64,
+            total_eq: false,
+        }),
+        (ColSlice::Double(data), Value::Double(b)) => Some(Kernel::F64 {
+            data,
+            nulls,
+            op,
+            rhs: *b,
+            total_eq: true,
+        }),
+        (ColSlice::Date(data), Value::Date(b)) => Some(Kernel::DateCmp { data, op, rhs: *b }),
+        (ColSlice::Str { codes, dict }, rhs) => {
+            let rc = Cell::of(rhs);
+            let pass = dict
+                .iter()
+                .map(|s| compare(op, &Cell::Str(s), &rc) == Some(true))
+                .collect();
+            Some(Kernel::StrCode { codes, nulls, pass })
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The morsel-parallel columnar executor
+// ---------------------------------------------------------------------------
+
+struct ParExec<'a> {
+    g: &'a QgmGraph,
+    db: &'a Database,
+    workers: usize,
+    morsel: usize,
+    memo: HashMap<BoxId, Rc<Vec<Row>>>,
+    /// One shared row snapshot per base table per execution (serial-path
+    /// children and group-by inputs).
+    tables: HashMap<String, Rc<Vec<Row>>>,
+    /// Zero-copy columnar snapshots per base table per execution.
+    columnar: HashMap<String, Arc<ColumnarTable>>,
+}
+
+impl ParExec<'_> {
+    fn rows_of(&mut self, b: BoxId) -> Result<Rc<Vec<Row>>, ExecError> {
+        if let Some(r) = self.memo.get(&b) {
+            return Ok(Rc::clone(r));
+        }
+        let rows = match &self.g.boxed(b).kind {
+            BoxKind::BaseTable { table } => self.table_rows(table),
+            BoxKind::SubsumerRef { .. } => return Err(ExecError::SubsumerRefInGraph),
+            BoxKind::Select(_) => Rc::new(self.exec_select(b)?),
+            BoxKind::GroupBy(_) => Rc::new(self.exec_group_by(b)?),
+        };
+        self.memo.insert(b, Rc::clone(&rows));
+        Ok(rows)
+    }
+
+    fn table_rows(&mut self, table: &str) -> Rc<Vec<Row>> {
+        let key = table.to_ascii_lowercase();
+        if let Some(rc) = self.tables.get(&key) {
+            return Rc::clone(rc);
+        }
+        let rc = Rc::new(self.db.rows(&key).to_vec());
+        self.tables.insert(key, Rc::clone(&rc));
+        rc
+    }
+
+    /// A join input: base tables scan their columnar snapshot in place;
+    /// derived boxes are materialized (and memo-shared) as rows.
+    fn child_of(&mut self, b: BoxId) -> Result<Child, ExecError> {
+        match &self.g.boxed(b).kind {
+            BoxKind::BaseTable { table } => {
+                let key = table.to_ascii_lowercase();
+                let t = match self.columnar.get(&key) {
+                    Some(t) => Arc::clone(t),
+                    None => {
+                        let t = self.db.columnar(&key);
+                        self.columnar.insert(key, Arc::clone(&t));
+                        t
+                    }
+                };
+                Ok(Child::Col(t))
+            }
+            _ => Ok(Child::Rows(self.rows_of(b)?)),
+        }
+    }
+
+    fn exec_select(&mut self, b: BoxId) -> Result<Vec<Row>, ExecError> {
+        let bx = self.g.boxed(b);
+        let sel = bx
+            .as_select()
+            .ok_or_else(|| ExecError::malformed(b, "exec_select on a non-SELECT box"))?;
+
+        // 1. Pre-compute scalar subquery values.
+        let mut scalars: FxHashMap<u32, Value> = FxHashMap::default();
+        let mut foreach: Vec<QuantId> = Vec::new();
+        for &q in &bx.quants {
+            match self.g.quant(q).kind {
+                QuantKind::Scalar => {
+                    let rows = self.rows_of(self.g.input_of(q))?;
+                    let v = match rows.len() {
+                        0 => Value::Null,
+                        1 => rows[0][0].clone(),
+                        n => return Err(ExecError::ScalarSubqueryCardinality(n)),
+                    };
+                    scalars.insert(q.idx, v);
+                }
+                QuantKind::Foreach => foreach.push(q),
+            }
+        }
+
+        // 2. Classify predicates by the foreach quantifiers they reference.
+        let quant_set: HashSet<u32> = foreach.iter().map(|q| q.idx).collect();
+        let pred_refs = pred_quant_refs(&sel.predicates, &quant_set);
+        let mut pred_done = vec![false; sel.predicates.len()];
+
+        // Constant predicates (no foreach references): evaluate once.
+        let no_offsets: FxHashMap<u32, usize> = FxHashMap::default();
+        for (i, p) in sel.predicates.iter().enumerate() {
+            if pred_refs[i].is_empty() {
+                pred_done[i] = true;
+                let prog = compile_bound(p, b, &no_offsets, &scalars)?;
+                let mut scratch = Scratch::new();
+                if prog.eval_truth(&|_| Cell::Null, &mut scratch) != Some(true) {
+                    return Ok(Vec::new());
+                }
+            }
+        }
+
+        // 3. Left-deep join over morsels. `offsets` maps bound quantifier →
+        // start offset in the concatenated tuple.
+        let mut offsets: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut tuples: Vec<Row> = vec![Vec::new()];
+        let mut width = 0usize;
+        let mut remaining: Vec<QuantId> = foreach;
+
+        while !remaining.is_empty() {
+            // Pick the next quantifier: prefer one linked to the bound set
+            // by an equi-join conjunct; fall back to the first remaining.
+            let pick = remaining
+                .iter()
+                .position(|q| {
+                    !offsets.is_empty()
+                        && sel.predicates.iter().enumerate().any(|(i, p)| {
+                            !pred_done[i] && is_equi_join(p, &offsets, q.idx, &pred_refs[i])
+                        })
+                })
+                .unwrap_or(0);
+            let q = remaining.remove(pick);
+            let child_box = self.g.input_of(q);
+            let child_width = self.g.boxed(child_box).outputs.len();
+            let child = self.child_of(child_box)?;
+            let src = child.source();
+            let n = src.len();
+
+            // Single-quantifier predicates, compiled against child columns.
+            let mut singles: Vec<Program> = Vec::new();
+            for (i, refs) in pred_refs.iter().enumerate() {
+                if !pred_done[i] && refs.len() == 1 && refs.contains(&q.idx) {
+                    pred_done[i] = true;
+                    singles.push(compile_local(&sel.predicates[i], b, q.idx, &scalars)?);
+                }
+            }
+            // Lower what we can to typed vectorized kernels (columnar scans
+            // only); the rest stays on the program interpreter.
+            let mut kernels: Vec<Kernel> = Vec::new();
+            let mut resid: Vec<&Program> = Vec::new();
+            for p in &singles {
+                match child {
+                    Child::Col(ref t) => match build_kernel(p, t) {
+                        Some(k) => kernels.push(k),
+                        None => resid.push(p),
+                    },
+                    Child::Rows(_) => resid.push(p),
+                }
+            }
+
+            // Equi-join conjuncts usable for hashing, split and compiled:
+            // bound side against the current tuple, child side against `q`.
+            let mut hash_bound: Vec<Program> = Vec::new();
+            let mut hash_child: Vec<Program> = Vec::new();
+            for (i, p) in sel.predicates.iter().enumerate() {
+                if pred_done[i] {
+                    continue;
+                }
+                if let Some((bs, qs)) = split_equi_join(p, &offsets, q.idx, &pred_refs[i]) {
+                    pred_done[i] = true;
+                    hash_bound.push(compile_bound(&bs, b, &offsets, &scalars)?);
+                    hash_child.push(compile_local(&qs, b, q.idx, &scalars)?);
+                }
+            }
+
+            if offsets.is_empty() && remaining.is_empty() {
+                // Fused scan→filter→project: the whole query is a single
+                // scan, so skip tuple materialization entirely and emit
+                // output rows straight from the (columnar) child. This is
+                // the bench-critical hot path.
+                debug_assert!(hash_bound.is_empty());
+                let out_progs = bx
+                    .outputs
+                    .iter()
+                    .map(|oc| compile_local(&oc.expr, b, q.idx, &scalars))
+                    .collect::<Result<Vec<Program>, ExecError>>()?;
+                debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
+                // Bare-column outputs copy straight from the source; only
+                // computed outputs run the interpreter.
+                let out_cols: Vec<Option<u32>> = out_progs.iter().map(Program::as_col).collect();
+                let parts = par_map(self.workers, self.morsel, n, |_, range| {
+                    let mut scratch = Scratch::new();
+                    let mut out: Vec<Row> = Vec::with_capacity(range.len());
+                    'rows: for i in range {
+                        for k in &kernels {
+                            if !k.passes(i) {
+                                continue 'rows;
+                            }
+                        }
+                        let col = |c: u32| src.cell(i, c as usize);
+                        for p in &resid {
+                            if p.eval_truth(&col, &mut scratch) != Some(true) {
+                                continue 'rows;
+                            }
+                        }
+                        let mut row = Vec::with_capacity(out_progs.len());
+                        for (p, fast) in out_progs.iter().zip(&out_cols) {
+                            row.push(match fast {
+                                Some(c) => src.cell(i, *c as usize).into_value(),
+                                None => p.eval_value(&col, &mut scratch),
+                            });
+                        }
+                        out.push(row);
+                    }
+                    out
+                });
+                return Ok(parts.into_iter().flatten().collect());
+            }
+
+            // Prefilter: indices of child rows passing the single-quant
+            // predicates, in scan order.
+            let filtered: Vec<u32> = if singles.is_empty() {
+                (0..n as u32).collect()
+            } else {
+                par_map(self.workers, self.morsel, n, |_, range| {
+                    let mut scratch = Scratch::new();
+                    let mut keep: Vec<u32> = Vec::new();
+                    'rows: for i in range {
+                        for k in &kernels {
+                            if !k.passes(i) {
+                                continue 'rows;
+                            }
+                        }
+                        let col = |c: u32| src.cell(i, c as usize);
+                        for p in &resid {
+                            if p.eval_truth(&col, &mut scratch) != Some(true) {
+                                continue 'rows;
+                            }
+                        }
+                        keep.push(i as u32);
+                    }
+                    keep
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            };
+
+            let next: Vec<Row> = if !hash_child.is_empty() && !offsets.is_empty() {
+                // Hash join. Build is morsel-parallel: per-morsel (key, row)
+                // runs merged in morsel order, so each key's match list
+                // preserves scan order exactly as the serial build does.
+                let built: Vec<Vec<(Vec<Value>, u32)>> =
+                    par_map(self.workers, self.morsel, filtered.len(), |_, range| {
+                        let mut scratch = Scratch::new();
+                        let mut part: Vec<(Vec<Value>, u32)> = Vec::new();
+                        'rows: for fi in range {
+                            let row = filtered[fi] as usize;
+                            let col = |c: u32| src.cell(row, c as usize);
+                            let mut key = Vec::with_capacity(hash_child.len());
+                            for p in &hash_child {
+                                let v = p.eval_value(&col, &mut scratch);
+                                if v.is_null() {
+                                    continue 'rows; // NULL never joins
+                                }
+                                key.push(v);
+                            }
+                            part.push((key, filtered[fi]));
+                        }
+                        part
+                    });
+                let mut table: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+                for part in built {
+                    for (key, row) in part {
+                        table.entry(key).or_default().push(row);
+                    }
+                }
+                // Probe is morsel-parallel over the bound tuples.
+                par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+                    let mut scratch = Scratch::new();
+                    let mut out: Vec<Row> = Vec::new();
+                    'probe: for ti in range {
+                        let t = &tuples[ti];
+                        let col = |off: u32| Cell::of(&t[off as usize]);
+                        let mut key = Vec::with_capacity(hash_bound.len());
+                        for p in &hash_bound {
+                            let v = p.eval_value(&col, &mut scratch);
+                            if v.is_null() {
+                                continue 'probe;
+                            }
+                            key.push(v);
+                        }
+                        if let Some(matches) = table.get(&key) {
+                            for &m in matches {
+                                let mut nt = Vec::with_capacity(width + child_width);
+                                nt.extend_from_slice(t);
+                                src.append_row(m as usize, &mut nt);
+                                out.push(nt);
+                            }
+                        }
+                    }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            } else {
+                // Cross product (remaining predicates applied below).
+                par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+                    let mut out: Vec<Row> = Vec::new();
+                    for ti in range {
+                        let t = &tuples[ti];
+                        for &fi in &filtered {
+                            let mut nt = Vec::with_capacity(width + child_width);
+                            nt.extend_from_slice(t);
+                            src.append_row(fi as usize, &mut nt);
+                            out.push(nt);
+                        }
+                    }
+                    out
+                })
+                .into_iter()
+                .flatten()
+                .collect()
+            };
+            offsets.insert(q.idx, width);
+            width += child_width;
+            tuples = next;
+
+            // Apply any other predicate now fully bound.
+            let bound: HashSet<u32> = offsets.keys().copied().collect();
+            for (i, p) in sel.predicates.iter().enumerate() {
+                if pred_done[i] || !pred_refs[i].is_subset(&bound) {
+                    continue;
+                }
+                pred_done[i] = true;
+                let prog = compile_bound(p, b, &offsets, &scalars)?;
+                let keep: Vec<bool> =
+                    par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+                        let mut scratch = Scratch::new();
+                        range
+                            .map(|ti| {
+                                let t = &tuples[ti];
+                                prog.eval_truth(
+                                    &|off: u32| Cell::of(&t[off as usize]),
+                                    &mut scratch,
+                                ) == Some(true)
+                            })
+                            .collect::<Vec<bool>>()
+                    })
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                let mut it = keep.into_iter();
+                tuples.retain(|_| it.next().unwrap_or(false));
+            }
+        }
+        debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
+
+        // 4. Project the outputs, morsel-parallel.
+        let out_progs = bx
+            .outputs
+            .iter()
+            .map(|oc| compile_bound(&oc.expr, b, &offsets, &scalars))
+            .collect::<Result<Vec<Program>, ExecError>>()?;
+        let parts = par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+            let mut scratch = Scratch::new();
+            let mut out: Vec<Row> = Vec::with_capacity(range.len());
+            for ti in range {
+                let t = &tuples[ti];
+                let col = |off: u32| Cell::of(&t[off as usize]);
+                out.push(
+                    out_progs
+                        .iter()
+                        .map(|p| p.eval_value(&col, &mut scratch))
+                        .collect(),
+                );
+            }
+            out
+        });
+        Ok(parts.into_iter().flatten().collect())
+    }
+
+    fn exec_group_by(&mut self, b: BoxId) -> Result<Vec<Row>, ExecError> {
+        let bx = self.g.boxed(b);
+        let gb = bx
+            .as_group_by()
+            .ok_or_else(|| ExecError::malformed(b, "exec_group_by on a non-GROUP-BY box"))?;
+        let child_q = *bx
+            .quants
+            .first()
+            .ok_or_else(|| ExecError::malformed(b, "group-by box has no input quantifier"))?;
+        let input = self.rows_of(self.g.input_of(child_q))?;
+        let plan = plan_group_by(self.g, b)?;
+
+        let mut out: Vec<Row> = Vec::new();
+        // One aggregation pass per cuboid (Section 5: a cube query is the
+        // union of its cuboids, NULL-padding the grouped-out columns).
+        for set in &gb.sets {
+            let mut entries = if self.workers > 1 && !set.is_empty() && input.len() > self.morsel {
+                grouped_partitioned(&input, set, &plan, self.workers, self.morsel)
+            } else {
+                grouped_serial(&input, set, &plan)
+            };
+            // Aggregation over an empty input still produces one grand-total
+            // row.
+            if entries.is_empty() && set.is_empty() {
+                entries.push((Vec::new(), plan.agg_calls.iter().map(Acc::new).collect()));
+            }
+            emit_group_rows(entries, set, &plan, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The serial row-at-a-time interpreter (oracle / fallback)
+// ---------------------------------------------------------------------------
+
+/// The environment for evaluating expressions of a SELECT box mid-join:
+/// bound quantifiers are offsets into a concatenated tuple; scalar
+/// quantifiers resolve to pre-computed constants. One env is built per
+/// evaluation phase; the current tuple is swapped in through a `Cell`.
+struct SelectEnv<'a> {
+    offsets: &'a FxHashMap<u32, usize>,
+    scalars: &'a FxHashMap<u32, Value>,
+    tuple: std::cell::Cell<&'a [Value]>,
+}
+
+impl<'a> SelectEnv<'a> {
+    fn new(
+        offsets: &'a FxHashMap<u32, usize>,
+        scalars: &'a FxHashMap<u32, Value>,
+    ) -> SelectEnv<'a> {
+        SelectEnv {
+            offsets,
+            scalars,
+            tuple: std::cell::Cell::new(&[]),
+        }
+    }
+
+    fn set(&self, tuple: &'a [Value]) {
+        self.tuple.set(tuple);
+    }
+}
+
+impl Env for SelectEnv<'_> {
+    fn col(&self, c: ColRef) -> Value {
+        if let Some(v) = self.scalars.get(&c.qid.idx) {
+            debug_assert_eq!(c.ordinal, 0);
+            return v.clone();
+        }
+        let off = self.offsets[&c.qid.idx];
+        self.tuple.get()[off + c.ordinal].clone()
+    }
+}
+
+struct SerialExec<'a> {
+    g: &'a QgmGraph,
+    db: &'a Database,
+    memo: HashMap<BoxId, Rc<Vec<Row>>>,
+    /// One shared row snapshot per base table per execution.
+    tables: HashMap<String, Rc<Vec<Row>>>,
+}
+
+impl SerialExec<'_> {
+    fn exec_box(&mut self, b: BoxId) -> Result<Rc<Vec<Row>>, ExecError> {
+        if let Some(r) = self.memo.get(&b) {
+            return Ok(Rc::clone(r));
+        }
+        let rows = match &self.g.boxed(b).kind {
+            BoxKind::BaseTable { table } => {
+                let key = table.to_ascii_lowercase();
+                match self.tables.get(&key) {
+                    Some(rc) => Rc::clone(rc),
+                    None => {
+                        let rc = Rc::new(self.db.rows(&key).to_vec());
+                        self.tables.insert(key, Rc::clone(&rc));
+                        rc
+                    }
+                }
+            }
+            BoxKind::SubsumerRef { .. } => return Err(ExecError::SubsumerRefInGraph),
+            BoxKind::Select(_) => Rc::new(self.exec_select(b)?),
+            BoxKind::GroupBy(_) => Rc::new(self.exec_group_by(b)?),
+        };
+        self.memo.insert(b, Rc::clone(&rows));
+        Ok(rows)
+    }
+
+    fn exec_select(&mut self, b: BoxId) -> Result<Vec<Row>, ExecError> {
+        let bx = self.g.boxed(b);
+        let sel = bx
+            .as_select()
+            .ok_or_else(|| ExecError::malformed(b, "exec_select on a non-SELECT box"))?;
+
+        // 1. Pre-compute scalar subquery values.
+        let mut scalars: FxHashMap<u32, Value> = FxHashMap::default();
+        let mut foreach: Vec<QuantId> = Vec::new();
+        for &q in &bx.quants {
+            match self.g.quant(q).kind {
+                QuantKind::Scalar => {
+                    let rows = self.exec_box(self.g.input_of(q))?;
+                    let v = match rows.len() {
+                        0 => Value::Null,
+                        1 => rows[0][0].clone(),
+                        n => return Err(ExecError::ScalarSubqueryCardinality(n)),
+                    };
+                    scalars.insert(q.idx, v);
+                }
+                QuantKind::Foreach => foreach.push(q),
+            }
+        }
+
+        // 2. Classify predicates by the foreach quantifiers they reference.
+        let quant_set: HashSet<u32> = foreach.iter().map(|q| q.idx).collect();
+        let pred_refs = pred_quant_refs(&sel.predicates, &quant_set);
+        let mut pred_done = vec![false; sel.predicates.len()];
+
+        // Constant predicates (no foreach references): evaluate once.
+        {
+            let offsets = FxHashMap::default();
+            let env = SelectEnv::new(&offsets, &scalars);
+            for (i, p) in sel.predicates.iter().enumerate() {
+                if pred_refs[i].is_empty() {
+                    pred_done[i] = true;
+                    if truth(&eval_expr(p, &env)) != Some(true) {
+                        return Ok(Vec::new());
+                    }
+                }
+            }
+        }
+
+        // 3. Left-deep join. `offsets` maps bound quantifier → start offset
+        // in the concatenated tuple.
+        let mut offsets: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut tuples: Vec<Row> = vec![Vec::new()];
+        let mut width = 0usize;
+        let mut remaining: Vec<QuantId> = foreach;
+
+        while !remaining.is_empty() {
+            // Pick the next quantifier: prefer one linked to the bound set
+            // by an equi-join conjunct; fall back to the first remaining.
+            let pick = remaining
+                .iter()
+                .position(|q| {
+                    !offsets.is_empty()
+                        && sel.predicates.iter().enumerate().any(|(i, p)| {
+                            !pred_done[i] && is_equi_join(p, &offsets, q.idx, &pred_refs[i])
+                        })
+                })
+                .unwrap_or(0);
+            let q = remaining.remove(pick);
+            let child_rows = self.exec_box(self.g.input_of(q))?;
+            let child_width = self.g.boxed(self.g.input_of(q)).outputs.len();
+
+            // Prefilter rows with single-quantifier predicates.
+            let mut single_idx = Vec::new();
+            for (i, refs) in pred_refs.iter().enumerate() {
+                if !pred_done[i] && refs.len() == 1 && refs.contains(&q.idx) {
+                    pred_done[i] = true;
+                    single_idx.push(i);
+                }
+            }
+            let single: Vec<&ScalarExpr> = single_idx.iter().map(|&i| &sel.predicates[i]).collect();
+            let mut local_off = FxHashMap::default();
+            local_off.insert(q.idx, 0usize);
+            let fenv = SelectEnv::new(&local_off, &scalars);
+            let filtered: Vec<&Row> = child_rows
+                .iter()
+                .filter(|row| {
+                    fenv.set(row);
+                    single
+                        .iter()
+                        .all(|p| truth(&eval_expr(p, &fenv)) == Some(true))
+                })
+                .collect();
+
+            // Equi-join conjuncts usable for hashing.
+            let mut hash_preds: Vec<(ScalarExpr, ScalarExpr)> = Vec::new(); // (bound, q side)
+            for (i, p) in sel.predicates.iter().enumerate() {
+                if pred_done[i] {
+                    continue;
+                }
+                if let Some((bound_side, q_side)) =
+                    split_equi_join(p, &offsets, q.idx, &pred_refs[i])
+                {
+                    hash_preds.push((bound_side, q_side));
+                    pred_done[i] = true;
+                }
+            }
+
+            let mut next: Vec<Row> = Vec::new();
+            if !hash_preds.is_empty() && !offsets.is_empty() {
+                // Hash join: build on the (filtered) child rows.
+                let mut table: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+                let benv = SelectEnv::new(&local_off, &scalars);
+                'rows: for row in &filtered {
+                    benv.set(row);
+                    let mut key = Vec::with_capacity(hash_preds.len());
+                    for (_, qs) in &hash_preds {
+                        let v = eval_expr(qs, &benv);
+                        if v.is_null() {
+                            continue 'rows; // NULL never joins
+                        }
+                        key.push(v);
+                    }
+                    table.entry(key).or_default().push(row);
+                }
+                let penv = SelectEnv::new(&offsets, &scalars);
+                for t in &tuples {
+                    penv.set(t);
+                    let mut key = Vec::with_capacity(hash_preds.len());
+                    let mut null_key = false;
+                    for (bs, _) in &hash_preds {
+                        let v = eval_expr(bs, &penv);
+                        if v.is_null() {
+                            null_key = true;
+                            break;
+                        }
+                        key.push(v);
+                    }
+                    if null_key {
+                        continue;
+                    }
+                    if let Some(matches) = table.get(&key) {
+                        for m in matches {
+                            let mut nt = Vec::with_capacity(width + child_width);
+                            nt.extend_from_slice(t);
+                            nt.extend_from_slice(m);
+                            next.push(nt);
+                        }
+                    }
+                }
+            } else {
+                // Cross product (with any remaining predicates applied below).
+                for t in &tuples {
+                    for m in &filtered {
+                        let mut nt = Vec::with_capacity(width + child_width);
+                        nt.extend_from_slice(t);
+                        nt.extend_from_slice(m);
+                        next.push(nt);
+                    }
+                }
+            }
+            offsets.insert(q.idx, width);
+            width += child_width;
+            tuples = next;
+
+            // Apply any other predicate now fully bound.
+            let bound: HashSet<u32> = offsets.keys().copied().collect();
+            for (i, p) in sel.predicates.iter().enumerate() {
+                if pred_done[i] || !pred_refs[i].is_subset(&bound) {
+                    continue;
+                }
+                pred_done[i] = true;
+                let renv = SelectEnv::new(&offsets, &scalars);
+                let keep: Vec<bool> = tuples
+                    .iter()
+                    .map(|t| {
+                        renv.set(t);
+                        truth(&eval_expr(p, &renv)) == Some(true)
+                    })
+                    .collect();
+                let mut it = keep.into_iter();
+                tuples.retain(|_| it.next().unwrap_or(false));
+            }
+        }
+        debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
+
+        // 4. Project the outputs.
+        let env = SelectEnv::new(&offsets, &scalars);
+        let out = tuples
+            .iter()
+            .map(|t| {
+                env.set(t);
+                bx.outputs
+                    .iter()
+                    .map(|oc| eval_expr(&oc.expr, &env))
+                    .collect()
+            })
+            .collect();
+        Ok(out)
+    }
+
+    fn exec_group_by(&mut self, b: BoxId) -> Result<Vec<Row>, ExecError> {
+        let bx = self.g.boxed(b);
+        let gb = bx
+            .as_group_by()
+            .ok_or_else(|| ExecError::malformed(b, "exec_group_by on a non-GROUP-BY box"))?;
+        let child_q = *bx
+            .quants
+            .first()
+            .ok_or_else(|| ExecError::malformed(b, "group-by box has no input quantifier"))?;
+        let input = self.exec_box(self.g.input_of(child_q))?;
+        let plan = plan_group_by(self.g, b)?;
+
+        let mut out: Vec<Row> = Vec::new();
+        for set in &gb.sets {
+            let mut entries = grouped_serial(&input, set, &plan);
+            if entries.is_empty() && set.is_empty() {
+                entries.push((Vec::new(), plan.agg_calls.iter().map(Acc::new).collect()));
+            }
+            emit_group_rows(entries, set, &plan, &mut out);
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Aggregation
 // ---------------------------------------------------------------------------
 
@@ -411,13 +1372,16 @@ enum Acc {
     },
     Min(Option<Value>),
     Max(Option<Value>),
-    Distinct(HashSet<Value>, AggFunc),
+    /// DISTINCT values in a `BTreeSet` so finishing folds them in the
+    /// deterministic `Value` total order — SUM(DISTINCT double) must not
+    /// depend on hash iteration order.
+    Distinct(BTreeSet<Value>, AggFunc),
 }
 
 impl Acc {
     fn new(call: &AggCall) -> Acc {
         if call.distinct {
-            return Acc::Distinct(HashSet::new(), call.func);
+            return Acc::Distinct(BTreeSet::new(), call.func);
         }
         match call.func {
             AggFunc::Count if call.arg.is_none() => Acc::CountStar(0),
@@ -528,28 +1492,25 @@ impl Acc {
     }
 }
 
-fn exec_group_by(
-    g: &QgmGraph,
-    b: BoxId,
-    db: &Database,
-    memo: &mut HashMap<BoxId, Rc<Vec<Row>>>,
-) -> Result<Vec<Row>, ExecError> {
+/// Outputs reference grouping items or carry aggregates, in any order.
+enum OutPlan {
+    Item(usize),
+    Agg(usize),
+}
+
+/// The shared aggregation plan for a GROUP BY box.
+struct GroupPlan {
+    item_ords: Vec<usize>,
+    agg_calls: Vec<AggCall>,
+    out_plan: Vec<OutPlan>,
+}
+
+fn plan_group_by(g: &QgmGraph, b: BoxId) -> Result<GroupPlan, ExecError> {
     let bx = g.boxed(b);
     let gb = bx
         .as_group_by()
         .ok_or_else(|| ExecError::malformed(b, "exec_group_by on a non-GROUP-BY box"))?;
-    let child_q = *bx
-        .quants
-        .first()
-        .ok_or_else(|| ExecError::malformed(b, "group-by box has no input quantifier"))?;
-    let input = exec_box(g, g.input_of(child_q), db, memo)?;
-
     let item_ords: Vec<usize> = gb.items.iter().map(|c| c.ordinal).collect();
-    // Outputs reference grouping items or carry aggregates, in any order.
-    enum OutPlan {
-        Item(usize),
-        Agg(usize),
-    }
     let mut agg_calls: Vec<AggCall> = Vec::new();
     let mut out_plan: Vec<OutPlan> = Vec::with_capacity(bx.outputs.len());
     for oc in &bx.outputs {
@@ -581,42 +1542,135 @@ fn exec_group_by(
             }
         }
     }
+    Ok(GroupPlan {
+        item_ords,
+        agg_calls,
+        out_plan,
+    })
+}
 
-    let mut out: Vec<Row> = Vec::new();
-    // One aggregation pass per cuboid (Section 5: a cube query is the union
-    // of its cuboids, NULL-padding the grouped-out columns).
-    for set in &gb.sets {
-        let mut groups: FxHashMap<Vec<Value>, Vec<Acc>> = FxHashMap::default();
-        for row in input.iter() {
-            let key: Vec<Value> = set.iter().map(|&i| row[item_ords[i]].clone()).collect();
-            let accs = groups
-                .entry(key)
-                .or_insert_with(|| agg_calls.iter().map(Acc::new).collect());
-            for (acc, call) in accs.iter_mut().zip(&agg_calls) {
-                let arg = call.arg.map(|c| &row[c.ordinal]);
-                acc.update(arg);
+/// Hash-aggregate one cuboid serially; entries come out in first-occurrence
+/// order of their group key.
+fn grouped_serial(input: &[Row], set: &[usize], plan: &GroupPlan) -> Vec<(Vec<Value>, Vec<Acc>)> {
+    let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    let mut entries: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+    for row in input {
+        let key: Vec<Value> = set
+            .iter()
+            .map(|&i| row[plan.item_ords[i]].clone())
+            .collect();
+        let idx = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = entries.len();
+                index.insert(key.clone(), i);
+                entries.push((key, plan.agg_calls.iter().map(Acc::new).collect()));
+                i
             }
-        }
-        // Aggregation over an empty input still produces one grand-total row.
-        if groups.is_empty() && set.is_empty() {
-            groups.insert(Vec::new(), agg_calls.iter().map(Acc::new).collect());
-        }
-        for (key, accs) in groups {
-            let finished: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
-            let row = out_plan
-                .iter()
-                .map(|p| match p {
-                    OutPlan::Item(i) => match set.iter().position(|&s| s == *i) {
-                        Some(k) => key[k].clone(),
-                        None => Value::Null,
-                    },
-                    OutPlan::Agg(k) => finished[*k].clone(),
-                })
-                .collect();
-            out.push(row);
+        };
+        for (acc, call) in entries[idx].1.iter_mut().zip(&plan.agg_calls) {
+            acc.update(call.arg.map(|c| &row[c.ordinal]));
         }
     }
-    Ok(out)
+    entries
+}
+
+/// Hash-aggregate one cuboid with key-partitioned parallelism. Each worker
+/// owns the groups whose key hash lands in its partition and folds their
+/// rows **in global row order** — float addition is non-associative, so
+/// merging per-morsel partials would drift from the serial result in the
+/// low bits. Partitions are merged by first-occurrence row index, giving
+/// exactly the serial entry order.
+fn grouped_partitioned(
+    input: &[Row],
+    set: &[usize],
+    plan: &GroupPlan,
+    workers: usize,
+    morsel: usize,
+) -> Vec<(Vec<Value>, Vec<Acc>)> {
+    // Phase 1 (morsel-parallel): hash each row's group key in place — no
+    // key materialization, just the partition hash.
+    let hashes: Vec<u64> = par_map(workers, morsel, input.len(), |_, range| {
+        range
+            .map(|i| {
+                let mut h = FxHasher::default();
+                for &s in set {
+                    input[i][plan.item_ords[s]].hash(&mut h);
+                }
+                h.finish()
+            })
+            .collect::<Vec<_>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+
+    // Phase 2 (single serial pass): bucket row indices by partition. Rows
+    // stay in global order within each bucket.
+    let nparts = workers;
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+    for (i, h) in hashes.iter().enumerate() {
+        buckets[(h % nparts as u64) as usize].push(i as u32);
+    }
+
+    // Phase 3 (one partition per worker): fold owned groups in row order.
+    // Each entry is (first-occurrence row index, group key, accumulators).
+    type PartEntry = (u32, Vec<Value>, Vec<Acc>);
+    let parts: Vec<Vec<PartEntry>> = par_map(workers, 1, nparts, |_, range| {
+        let mut out: Vec<PartEntry> = Vec::new();
+        for w in range {
+            let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+            for &ri in &buckets[w] {
+                let row = &input[ri as usize];
+                let key: Vec<Value> = set
+                    .iter()
+                    .map(|&s| row[plan.item_ords[s]].clone())
+                    .collect();
+                let idx = match index.get(&key) {
+                    Some(&x) => x,
+                    None => {
+                        let x = out.len();
+                        index.insert(key.clone(), x);
+                        out.push((ri, key, plan.agg_calls.iter().map(Acc::new).collect()));
+                        x
+                    }
+                };
+                for (acc, call) in out[idx].2.iter_mut().zip(&plan.agg_calls) {
+                    acc.update(call.arg.map(|c| &row[c.ordinal]));
+                }
+            }
+        }
+        out
+    });
+
+    // Phase 4: merge partitions into global first-occurrence order.
+    let mut all: Vec<PartEntry> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.0);
+    all.into_iter().map(|(_, k, a)| (k, a)).collect()
+}
+
+/// Render finished group entries through the output plan.
+fn emit_group_rows(
+    entries: Vec<(Vec<Value>, Vec<Acc>)>,
+    set: &[usize],
+    plan: &GroupPlan,
+    out: &mut Vec<Row>,
+) {
+    for (key, accs) in entries {
+        let finished: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
+        let row = plan
+            .out_plan
+            .iter()
+            .map(|p| match p {
+                OutPlan::Item(i) => match set.iter().position(|&s| s == *i) {
+                    Some(k) => key[k].clone(),
+                    None => Value::Null,
+                },
+                OutPlan::Agg(k) => finished[*k].clone(),
+            })
+            .collect();
+        out.push(row);
+    }
 }
 
 #[cfg(test)]
@@ -929,6 +1983,109 @@ mod tests {
         // sets: (flid,y), (flid), ()
         assert_eq!(rows.len(), 2 + 2 + 1);
     }
+
+    /// Every pool/morsel configuration must produce exactly the serial
+    /// result — same rows, same order.
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        let (cat, db) = setup();
+        let queries = [
+            "select tid from trans where qty >= 2",
+            "select tid, qty * price * (1 - disc) as amt from trans",
+            "select tid, country from trans, loc where flid = lid",
+            "select tid, pgname, status from trans, pgroup, acct \
+             where fpgid = pgid and faid = aid",
+            "select faid, count(*) as cnt, sum(price) as p from trans group by faid",
+            "select flid, year(date) as y, count(*) as cnt from trans \
+             group by grouping sets ((flid, year(date)), (flid), ())",
+            "select count(distinct price) as n, sum(distinct qty) as s from trans",
+            "select tid, lid from trans, loc",
+            "select tid, price from trans order by price desc, tid limit 3",
+        ];
+        for sql in queries {
+            let q = parse_query(sql).unwrap();
+            let g = build_query(&q, &cat).unwrap();
+            let serial = execute_serial(&g, &db).unwrap();
+            for pool in [1, 2, 4] {
+                for morsel in [1, 3, 1024] {
+                    let opts = ExecOptions {
+                        pool_size: pool,
+                        morsel_size: morsel,
+                    };
+                    let par = execute_with(&g, &db, &opts).unwrap();
+                    assert_eq!(par, serial, "{sql} (pool {pool}, morsel {morsel})");
+                }
+            }
+        }
+    }
+
+    /// Group output follows first-occurrence order of the group key in both
+    /// executors (no ORDER BY needed for a deterministic result).
+    #[test]
+    fn group_by_output_is_first_occurrence_ordered() {
+        let (cat, db) = setup();
+        let q = parse_query("select fpgid, count(*) as c from trans group by fpgid").unwrap();
+        let g = build_query(&q, &cat).unwrap();
+        // trans rows reference fpgid 10, 10, 11, 11, 10 → first-occurrence
+        // order is 10 then 11.
+        let expect = vec![
+            vec![Value::Int(10), Value::Int(3)],
+            vec![Value::Int(11), Value::Int(2)],
+        ];
+        assert_eq!(execute_serial(&g, &db).unwrap(), expect);
+        assert_eq!(execute(&g, &db).unwrap(), expect);
+    }
+
+    /// Bounded-heap top-k selection must be byte-identical to a stable full
+    /// sort + truncate, including ties on the sort key.
+    #[test]
+    fn top_k_matches_stable_sort_truncate() {
+        // Deterministic pseudo-random rows with plenty of duplicate keys.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let rows: Vec<Row> = (0..500)
+            .map(|i| {
+                vec![
+                    Value::Int((next() % 7) as i64),
+                    Value::Int((next() % 13) as i64),
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        for keys in [
+            vec![(0usize, false)],
+            vec![(0, true)],
+            vec![(0, false), (1, true)],
+        ] {
+            for k in [0usize, 1, 7, 250, 499, 500] {
+                let mut full = rows.clone();
+                full.sort_by(|a, b| cmp_by_keys(a, b, &keys));
+                full.truncate(k);
+                assert_eq!(top_k(rows.clone(), k, &keys), full, "k={k} keys={keys:?}");
+            }
+        }
+    }
+
+    /// `par_map` merges morsel results in morsel order for any worker
+    /// count.
+    #[test]
+    fn par_map_is_deterministic() {
+        let expect: Vec<usize> = (0..1000).collect();
+        for workers in [1, 2, 3, 8] {
+            for morsel in [1, 7, 64, 2048] {
+                let got: Vec<usize> = par_map(workers, morsel, 1000, |_, r| r.collect::<Vec<_>>())
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                assert_eq!(got, expect, "workers={workers} morsel={morsel}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -954,6 +2111,10 @@ mod error_tests {
             execute(&g, &db),
             Err(ExecError::ScalarSubqueryCardinality(2))
         );
+        assert_eq!(
+            execute_serial(&g, &db),
+            Err(ExecError::ScalarSubqueryCardinality(2))
+        );
     }
 
     #[test]
@@ -971,6 +2132,7 @@ mod error_tests {
         g.root = sr;
         let db = Database::new();
         assert_eq!(execute(&g, &db), Err(ExecError::SubsumerRefInGraph));
+        assert_eq!(execute_serial(&g, &db), Err(ExecError::SubsumerRefInGraph));
     }
 
     #[test]

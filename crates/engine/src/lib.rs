@@ -8,11 +8,17 @@
 //! (b) measure the relative cost of original vs rewritten queries, which is
 //! what drives the paper's "orders of magnitude" claim.
 //!
-//! Design: a straightforward materializing executor. Each box produces a
-//! `Vec<Row>`. SELECT boxes plan a left-deep join order and use hash joins
-//! for equi-join conjuncts (nested loops otherwise); GROUP BY boxes use hash
-//! aggregation, evaluating multidimensional grouping sets one cuboid at a
-//! time over the same input (Section 5 semantics, Figure 12).
+//! Design: a materializing executor with two paths over one plan shape.
+//! Each box produces a `Vec<Row>`. SELECT boxes plan a left-deep join order
+//! and use hash joins for equi-join conjuncts (nested loops otherwise);
+//! GROUP BY boxes use hash aggregation, evaluating multidimensional
+//! grouping sets one cuboid at a time over the same input (Section 5
+//! semantics, Figure 12). The default path ([`execute`]) is morsel-parallel
+//! and columnar: base tables are scanned through cached [`ColumnarTable`]
+//! snapshots, scalar expressions are compiled once per box into flat
+//! [`Program`] op slices, and work fans across a scoped thread pool with
+//! deterministic slot-merge. The row-at-a-time interpreter survives as
+//! [`execute_serial`], the differential-testing oracle.
 
 pub mod csv;
 pub mod db;
@@ -21,15 +27,20 @@ pub mod eval;
 pub mod exec;
 pub mod materialize;
 pub mod plancache;
+pub mod program;
 pub mod session;
 
 pub use csv::{load_csv, to_csv};
-pub use db::{Database, DbError, Row};
+pub use db::{ColumnVec, ColumnarTable, Database, DbError, Row};
 pub use error::SumtabError;
 pub use eval::{eval_expr, like_match, Env, EvalError};
-pub use exec::{execute, ExecError};
-pub use materialize::{backing_table_schema, materialize};
+pub use exec::{
+    default_pool_size, execute, execute_serial, execute_with, ExecError, ExecOptions,
+    DEFAULT_MORSEL_SIZE,
+};
+pub use materialize::{backing_table_schema, materialize, materialize_with};
 pub use plancache::{CacheStats, PlanCache};
+pub use program::{Cell, Program, Resolved, Scratch};
 pub use session::Session;
 
 /// Sort rows with the deterministic `Value` total order; useful for

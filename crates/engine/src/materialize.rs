@@ -5,7 +5,7 @@
 //! graph. The matcher later rewrites queries to scan this backing table.
 
 use crate::db::Database;
-use crate::exec::{execute, ExecError};
+use crate::exec::{execute_with, ExecError, ExecOptions};
 use sumtab_catalog::{Catalog, Column, SqlType, Table};
 use sumtab_qgm::{infer_output_types, QgmGraph};
 
@@ -76,8 +76,20 @@ pub fn materialize(
     catalog: &Catalog,
     db: &mut Database,
 ) -> Result<Table, MaterializeError> {
+    materialize_with(name, g, catalog, db, &ExecOptions::default())
+}
+
+/// [`materialize`] with explicit executor options — AST refreshes over
+/// large fact tables benefit from the same morsel fan-out as queries.
+pub fn materialize_with(
+    name: &str,
+    g: &QgmGraph,
+    catalog: &Catalog,
+    db: &mut Database,
+    opts: &ExecOptions,
+) -> Result<Table, MaterializeError> {
     let schema = backing_table_schema(name, g, catalog)?;
-    let rows = execute(g, db)?;
+    let rows = execute_with(g, db, opts)?;
     db.put_table(name, rows);
     Ok(schema)
 }

@@ -1,0 +1,799 @@
+//! Compiled scalar-expression programs.
+//!
+//! The row interpreter in [`crate::eval`] walks the `ScalarExpr` tree per
+//! row, resolves every `ColRef` through a hash map, and clones a [`Value`]
+//! for every column access. On the executor's hot path that overhead
+//! dominates. This module compiles an expression once per box into a flat
+//! postfix op slice: column references become pre-resolved slot indices,
+//! and evaluation runs over borrowed [`Cell`]s (no per-access allocation or
+//! `Value::clone`). Three-valued `AND`/`OR` and `CASE` keep their
+//! short-circuit behavior through explicit jump ops.
+//!
+//! The compiled semantics mirror `eval_expr` exactly — the differential
+//! test `tests/exec_equivalence.rs` holds the two evaluators to
+//! byte-identical results.
+
+use crate::eval::like_match;
+use std::cmp::Ordering;
+use sumtab_catalog::{Date, Value};
+use sumtab_qgm::{BinOp, ColRef, ScalarExpr, ScalarFunc, UnOp};
+
+/// A borrowed evaluation value: like [`Value`] but strings borrow from the
+/// backing store (a column dictionary or a materialized row), so pushing a
+/// column onto the evaluation stack never allocates.
+#[derive(Debug, Clone)]
+pub enum Cell<'a> {
+    /// SQL NULL.
+    Null,
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Calendar date.
+    Date(Date),
+    /// Borrowed string.
+    Str(&'a str),
+    /// Owned string (produced by `UPPER`/`LOWER`).
+    StrOwned(String),
+}
+
+impl<'a> Cell<'a> {
+    /// Borrowing view of a [`Value`].
+    pub fn of(v: &'a Value) -> Cell<'a> {
+        match v {
+            Value::Null => Cell::Null,
+            Value::Int(i) => Cell::Int(*i),
+            Value::Double(d) => Cell::Double(*d),
+            Value::Str(s) => Cell::Str(s.as_str()),
+            Value::Date(d) => Cell::Date(*d),
+            Value::Bool(b) => Cell::Bool(*b),
+        }
+    }
+
+    /// Convert into an owned [`Value`] (clones borrowed strings).
+    pub fn into_value(self) -> Value {
+        match self {
+            Cell::Null => Value::Null,
+            Cell::Int(i) => Value::Int(i),
+            Cell::Double(d) => Value::Double(d),
+            Cell::Bool(b) => Value::Bool(b),
+            Cell::Date(d) => Value::Date(d),
+            Cell::Str(s) => Value::Str(s.to_owned()),
+            Cell::StrOwned(s) => Value::Str(s),
+        }
+    }
+
+    /// True for `Cell::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Cell::Null)
+    }
+
+    /// SQL truth value: `Some(bool)` for booleans, `None` otherwise
+    /// (mirrors [`crate::eval::truth`]).
+    pub fn truth(&self) -> Option<bool> {
+        match self {
+            Cell::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Cell::Str(s) => Some(s),
+            Cell::StrOwned(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Cell::Int(i) => Some(*i as f64),
+            Cell::Double(d) => Some(*d),
+            _ => None,
+        }
+    }
+}
+
+/// Equality with `eval::cmp_eq` semantics (both sides non-NULL): mixed
+/// numerics compare by IEEE value, doubles by total order, different
+/// non-numeric types are unequal.
+fn cell_eq(l: &Cell<'_>, r: &Cell<'_>) -> bool {
+    match (l, r) {
+        (Cell::Int(a), Cell::Int(b)) => a == b,
+        (Cell::Int(a), Cell::Double(b)) | (Cell::Double(b), Cell::Int(a)) => (*a as f64) == *b,
+        (Cell::Double(a), Cell::Double(b)) => a.total_cmp(b) == Ordering::Equal,
+        (Cell::Date(a), Cell::Date(b)) => a == b,
+        (Cell::Bool(a), Cell::Bool(b)) => a == b,
+        _ => match (l.as_str(), r.as_str()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        },
+    }
+}
+
+/// Ordering with `eval::cmp_order` semantics; `None` for incomparable
+/// types.
+fn cell_ord(l: &Cell<'_>, r: &Cell<'_>) -> Option<Ordering> {
+    match (l, r) {
+        (Cell::Int(a), Cell::Int(b)) => Some(a.cmp(b)),
+        (Cell::Int(a), Cell::Double(b)) => (*a as f64).partial_cmp(b),
+        (Cell::Double(a), Cell::Int(b)) => a.partial_cmp(&(*b as f64)),
+        (Cell::Double(a), Cell::Double(b)) => a.partial_cmp(b),
+        (Cell::Date(a), Cell::Date(b)) => Some(a.cmp(b)),
+        (Cell::Bool(a), Cell::Bool(b)) => Some(a.cmp(b)),
+        _ => match (l.as_str(), r.as_str()) {
+            (Some(a), Some(b)) => Some(a.cmp(b)),
+            _ => None,
+        },
+    }
+}
+
+/// Non-logical binary op with NULL propagation (mirrors
+/// [`crate::eval::eval_binary`]).
+fn cell_binary<'a>(op: BinOp, l: &Cell<'a>, r: &Cell<'a>) -> Cell<'a> {
+    if l.is_null() || r.is_null() {
+        return Cell::Null;
+    }
+    match op {
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => cell_arith(op, l, r),
+        BinOp::Eq => Cell::Bool(cell_eq(l, r)),
+        BinOp::NotEq => Cell::Bool(!cell_eq(l, r)),
+        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+            let Some(ord) = cell_ord(l, r) else {
+                return Cell::Null;
+            };
+            Cell::Bool(match op {
+                BinOp::Lt => ord.is_lt(),
+                BinOp::LtEq => ord.is_le(),
+                BinOp::Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            })
+        }
+        BinOp::And | BinOp::Or => Cell::Null, // compiled to jump ops, never reached
+    }
+}
+
+fn cell_arith<'a>(op: BinOp, l: &Cell<'a>, r: &Cell<'a>) -> Cell<'a> {
+    if let (Cell::Int(a), Cell::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => Cell::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Cell::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Cell::Int(a.wrapping_mul(*b)),
+            BinOp::Div if *b == 0 => Cell::Null,
+            BinOp::Div => Cell::Int(a.wrapping_div(*b)),
+            BinOp::Mod if *b == 0 => Cell::Null,
+            _ => Cell::Int(a.wrapping_rem(*b)),
+        };
+    }
+    let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+        return Cell::Null;
+    };
+    match op {
+        BinOp::Add => Cell::Double(a + b),
+        BinOp::Sub => Cell::Double(a - b),
+        BinOp::Mul => Cell::Double(a * b),
+        BinOp::Div if b == 0.0 => Cell::Null,
+        BinOp::Div => Cell::Double(a / b),
+        BinOp::Mod if b == 0.0 => Cell::Null,
+        _ => Cell::Double(a % b),
+    }
+}
+
+fn cell_func<'a>(f: ScalarFunc, a: &Cell<'a>) -> Cell<'a> {
+    if a.is_null() {
+        return Cell::Null;
+    }
+    match (f, a) {
+        (ScalarFunc::Year, Cell::Date(d)) => Cell::Int(i64::from(d.year())),
+        (ScalarFunc::Month, Cell::Date(d)) => Cell::Int(i64::from(d.month())),
+        (ScalarFunc::Day, Cell::Date(d)) => Cell::Int(i64::from(d.day())),
+        (ScalarFunc::Abs, Cell::Int(i)) => Cell::Int(i.wrapping_abs()),
+        (ScalarFunc::Abs, Cell::Double(d)) => Cell::Double(d.abs()),
+        (ScalarFunc::Upper, c) => match c.as_str() {
+            Some(s) => Cell::StrOwned(s.to_uppercase()),
+            None => Cell::Null,
+        },
+        (ScalarFunc::Lower, c) => match c.as_str() {
+            Some(s) => Cell::StrOwned(s.to_lowercase()),
+            None => Cell::Null,
+        },
+        _ => Cell::Null,
+    }
+}
+
+/// Three-valued truth of `l <op> r` for comparison operators — exactly the
+/// `Op::Bin` comparison semantics, exposed so vectorized kernels can
+/// precompute per-dictionary-code verdicts.
+pub(crate) fn compare(op: BinOp, l: &Cell<'_>, r: &Cell<'_>) -> Option<bool> {
+    cell_binary(op, l, r).truth()
+}
+
+fn and3(a: Option<bool>, b: Option<bool>) -> Cell<'static> {
+    match (a, b) {
+        (Some(false), _) | (_, Some(false)) => Cell::Bool(false),
+        (Some(true), Some(true)) => Cell::Bool(true),
+        _ => Cell::Null,
+    }
+}
+
+fn or3(a: Option<bool>, b: Option<bool>) -> Cell<'static> {
+    match (a, b) {
+        (Some(true), _) | (_, Some(true)) => Cell::Bool(true),
+        (Some(false), Some(false)) => Cell::Bool(false),
+        _ => Cell::Null,
+    }
+}
+
+/// How a [`ColRef`] resolves at compile time.
+pub enum Resolved {
+    /// A slot index passed to the evaluation column source (a flat tuple
+    /// offset or a column index).
+    Slot(usize),
+    /// A constant (e.g. a pre-computed scalar-subquery value).
+    Const(Value),
+}
+
+/// One postfix op. Jump targets are absolute op indices.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push the value of input slot `n`.
+    Col(u32),
+    /// Push constant `n`.
+    Const(u32),
+    /// Pop two, push the non-logical binary result.
+    Bin(BinOp),
+    /// If the top is false, pop it, push `FALSE`, and jump (short-circuit
+    /// `AND`); otherwise fall through to the right operand.
+    AndShort(u32),
+    /// Pop right and left truth values, push their three-valued `AND`.
+    AndMerge,
+    /// If the top is true, pop it, push `TRUE`, and jump.
+    OrShort(u32),
+    /// Pop right and left truth values, push their three-valued `OR`.
+    OrMerge,
+    /// Pop, push arithmetic negation.
+    Neg,
+    /// Pop, push three-valued `NOT`.
+    Not,
+    /// Pop, push the scalar function result.
+    Func(ScalarFunc),
+    /// Pop, push `IS [NOT] NULL`.
+    IsNull {
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Pop, push `[NOT] LIKE` pattern `pat`.
+    Like {
+        /// Pattern index.
+        pat: u32,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// Unconditional jump.
+    Jump(u32),
+    /// Pop; jump unless the truth value is `TRUE`.
+    JumpIfNotTrue(u32),
+    /// Pop into temp slot `n` (simple-`CASE` operand).
+    StoreTmp(u32),
+    /// Push a copy of temp slot `n`.
+    LoadTmp(u32),
+    /// Pop the when-value and the operand copy; push whether the arm hits
+    /// (`=` semantics, NULL matches nothing).
+    CaseEq,
+    /// Push NULL.
+    PushNull,
+}
+
+/// Reusable per-thread evaluation scratch (stack + temp slots), so the hot
+/// loop never allocates per row.
+#[derive(Default)]
+pub struct Scratch<'a> {
+    stack: Vec<Cell<'a>>,
+    tmps: Vec<Cell<'a>>,
+}
+
+impl Scratch<'_> {
+    /// Empty scratch.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// A compiled expression: flat postfix ops plus constant/pattern pools.
+#[derive(Debug, Clone)]
+pub struct Program {
+    ops: Vec<Op>,
+    consts: Vec<Value>,
+    pats: Vec<String>,
+    tmp_slots: usize,
+}
+
+fn pop<'a>(stack: &mut Vec<Cell<'a>>) -> Cell<'a> {
+    stack.pop().unwrap_or(Cell::Null)
+}
+
+impl Program {
+    /// Compile `expr`, resolving each column reference through `resolve`.
+    /// Fails on aggregate or base-column nodes (those never reach scalar
+    /// evaluation) and on unresolvable references.
+    pub fn compile(
+        expr: &ScalarExpr,
+        resolve: &mut dyn FnMut(ColRef) -> Result<Resolved, String>,
+    ) -> Result<Program, String> {
+        let mut p = Program {
+            ops: Vec::new(),
+            consts: Vec::new(),
+            pats: Vec::new(),
+            tmp_slots: 0,
+        };
+        p.emit(expr, resolve)?;
+        Ok(p)
+    }
+
+    fn push_const(&mut self, v: Value) -> u32 {
+        self.consts.push(v);
+        (self.consts.len() - 1) as u32
+    }
+
+    fn emit(
+        &mut self,
+        e: &ScalarExpr,
+        resolve: &mut dyn FnMut(ColRef) -> Result<Resolved, String>,
+    ) -> Result<(), String> {
+        match e {
+            ScalarExpr::BaseCol(_) => return Err("BaseCol outside a base-table box".into()),
+            ScalarExpr::Agg(_) | ScalarExpr::GeneralAgg { .. } => {
+                return Err("aggregate in scalar position".into())
+            }
+            ScalarExpr::Col(c) => match resolve(*c)? {
+                Resolved::Slot(n) => self.ops.push(Op::Col(n as u32)),
+                Resolved::Const(v) => {
+                    let n = self.push_const(v);
+                    self.ops.push(Op::Const(n));
+                }
+            },
+            ScalarExpr::Lit(v) => {
+                let n = self.push_const(v.clone());
+                self.ops.push(Op::Const(n));
+            }
+            ScalarExpr::Bin(BinOp::And, l, r) => {
+                self.emit(l, resolve)?;
+                let probe = self.ops.len();
+                self.ops.push(Op::AndShort(0));
+                self.emit(r, resolve)?;
+                self.ops.push(Op::AndMerge);
+                self.ops[probe] = Op::AndShort(self.ops.len() as u32);
+            }
+            ScalarExpr::Bin(BinOp::Or, l, r) => {
+                self.emit(l, resolve)?;
+                let probe = self.ops.len();
+                self.ops.push(Op::OrShort(0));
+                self.emit(r, resolve)?;
+                self.ops.push(Op::OrMerge);
+                self.ops[probe] = Op::OrShort(self.ops.len() as u32);
+            }
+            ScalarExpr::Bin(op, l, r) => {
+                self.emit(l, resolve)?;
+                self.emit(r, resolve)?;
+                self.ops.push(Op::Bin(*op));
+            }
+            ScalarExpr::Un(UnOp::Neg, x) => {
+                self.emit(x, resolve)?;
+                self.ops.push(Op::Neg);
+            }
+            ScalarExpr::Un(UnOp::Not, x) => {
+                self.emit(x, resolve)?;
+                self.ops.push(Op::Not);
+            }
+            ScalarExpr::Func(f, args) => {
+                let a = args.first().ok_or("scalar function without arguments")?;
+                self.emit(a, resolve)?;
+                self.ops.push(Op::Func(*f));
+            }
+            ScalarExpr::Case {
+                operand,
+                arms,
+                else_expr,
+            } => {
+                let slot = operand.as_ref().map(|_| {
+                    let s = self.tmp_slots as u32;
+                    self.tmp_slots += 1;
+                    s
+                });
+                if let (Some(o), Some(s)) = (operand, slot) {
+                    self.emit(o, resolve)?;
+                    self.ops.push(Op::StoreTmp(s));
+                }
+                let mut ends = Vec::with_capacity(arms.len());
+                for (w, t) in arms {
+                    if let Some(s) = slot {
+                        self.ops.push(Op::LoadTmp(s));
+                        self.emit(w, resolve)?;
+                        self.ops.push(Op::CaseEq);
+                    } else {
+                        self.emit(w, resolve)?;
+                    }
+                    let miss = self.ops.len();
+                    self.ops.push(Op::JumpIfNotTrue(0));
+                    self.emit(t, resolve)?;
+                    ends.push(self.ops.len());
+                    self.ops.push(Op::Jump(0));
+                    self.ops[miss] = Op::JumpIfNotTrue(self.ops.len() as u32);
+                }
+                match else_expr {
+                    Some(el) => self.emit(el, resolve)?,
+                    None => self.ops.push(Op::PushNull),
+                }
+                let end = self.ops.len() as u32;
+                for i in ends {
+                    self.ops[i] = Op::Jump(end);
+                }
+            }
+            ScalarExpr::IsNull { expr, negated } => {
+                self.emit(expr, resolve)?;
+                self.ops.push(Op::IsNull { negated: *negated });
+            }
+            ScalarExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                self.emit(expr, resolve)?;
+                self.pats.push(pattern.clone());
+                self.ops.push(Op::Like {
+                    pat: (self.pats.len() - 1) as u32,
+                    negated: *negated,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `Some(slot)` when the program is a bare column reference — lets
+    /// projections copy the column value without running the interpreter.
+    pub fn as_col(&self) -> Option<u32> {
+        match self.ops.as_slice() {
+            [Op::Col(n)] => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// `Some((slot, op, literal))` when the program is a single comparison
+    /// between a column and a constant (either operand order; the operator
+    /// is flipped so the column is always on the left). These shapes are
+    /// evaluated by typed vectorized kernels on the columnar scan path.
+    pub fn as_col_cmp_const(&self) -> Option<(u32, BinOp, &Value)> {
+        let cmp = |op: &BinOp| {
+            matches!(
+                op,
+                BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+            )
+        };
+        match self.ops.as_slice() {
+            [Op::Col(n), Op::Const(k), Op::Bin(op)] if cmp(op) => {
+                Some((*n, *op, &self.consts[*k as usize]))
+            }
+            [Op::Const(k), Op::Col(n), Op::Bin(op)] if cmp(op) => {
+                let flipped = match op {
+                    BinOp::Lt => BinOp::Gt,
+                    BinOp::LtEq => BinOp::GtEq,
+                    BinOp::Gt => BinOp::Lt,
+                    BinOp::GtEq => BinOp::LtEq,
+                    other => *other,
+                };
+                Some((*n, flipped, &self.consts[*k as usize]))
+            }
+            _ => None,
+        }
+    }
+
+    /// `Some((slot, negated))` when the program is `col IS [NOT] NULL`.
+    pub fn as_col_is_null(&self) -> Option<(u32, bool)> {
+        match self.ops.as_slice() {
+            [Op::Col(n), Op::IsNull { negated }] => Some((*n, *negated)),
+            _ => None,
+        }
+    }
+
+    /// Evaluate over a column source, reusing `scratch` across rows.
+    pub fn eval_with<'a, F>(&'a self, col: &F, scratch: &mut Scratch<'a>) -> Cell<'a>
+    where
+        F: Fn(u32) -> Cell<'a>,
+    {
+        let stack = &mut scratch.stack;
+        stack.clear();
+        let tmps = &mut scratch.tmps;
+        tmps.clear();
+        tmps.resize(self.tmp_slots, Cell::Null);
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            match &self.ops[pc] {
+                Op::Col(n) => stack.push(col(*n)),
+                Op::Const(n) => stack.push(Cell::of(&self.consts[*n as usize])),
+                Op::Bin(op) => {
+                    let r = pop(stack);
+                    let l = pop(stack);
+                    stack.push(cell_binary(*op, &l, &r));
+                }
+                Op::AndShort(target) => {
+                    if stack.last().and_then(Cell::truth) == Some(false) {
+                        pop(stack);
+                        stack.push(Cell::Bool(false));
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::AndMerge => {
+                    let r = pop(stack);
+                    let l = pop(stack);
+                    stack.push(and3(l.truth(), r.truth()));
+                }
+                Op::OrShort(target) => {
+                    if stack.last().and_then(Cell::truth) == Some(true) {
+                        pop(stack);
+                        stack.push(Cell::Bool(true));
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::OrMerge => {
+                    let r = pop(stack);
+                    let l = pop(stack);
+                    stack.push(or3(l.truth(), r.truth()));
+                }
+                Op::Neg => {
+                    let v = pop(stack);
+                    stack.push(match v {
+                        Cell::Int(i) => Cell::Int(i.wrapping_neg()),
+                        Cell::Double(d) => Cell::Double(-d),
+                        _ => Cell::Null,
+                    });
+                }
+                Op::Not => {
+                    let v = pop(stack);
+                    stack.push(match v.truth() {
+                        Some(b) => Cell::Bool(!b),
+                        None => Cell::Null,
+                    });
+                }
+                Op::Func(f) => {
+                    let v = pop(stack);
+                    stack.push(cell_func(*f, &v));
+                }
+                Op::IsNull { negated } => {
+                    let v = pop(stack);
+                    stack.push(Cell::Bool(v.is_null() != *negated));
+                }
+                Op::Like { pat, negated } => {
+                    let v = pop(stack);
+                    stack.push(match v.as_str() {
+                        Some(s) => Cell::Bool(like_match(s, &self.pats[*pat as usize]) != *negated),
+                        None => Cell::Null,
+                    });
+                }
+                Op::Jump(target) => {
+                    pc = *target as usize;
+                    continue;
+                }
+                Op::JumpIfNotTrue(target) => {
+                    let v = pop(stack);
+                    if v.truth() != Some(true) {
+                        pc = *target as usize;
+                        continue;
+                    }
+                }
+                Op::StoreTmp(n) => {
+                    let v = pop(stack);
+                    tmps[*n as usize] = v;
+                }
+                Op::LoadTmp(n) => stack.push(tmps[*n as usize].clone()),
+                Op::CaseEq => {
+                    let w = pop(stack);
+                    let o = pop(stack);
+                    stack.push(Cell::Bool(!o.is_null() && !w.is_null() && cell_eq(&o, &w)));
+                }
+                Op::PushNull => stack.push(Cell::Null),
+            }
+            pc += 1;
+        }
+        pop(stack)
+    }
+
+    /// Evaluate to an owned [`Value`].
+    pub fn eval_value<'a, F>(&'a self, col: &F, scratch: &mut Scratch<'a>) -> Value
+    where
+        F: Fn(u32) -> Cell<'a>,
+    {
+        self.eval_with(col, scratch).into_value()
+    }
+
+    /// Evaluate to a SQL truth value.
+    pub fn eval_truth<'a, F>(&'a self, col: &F, scratch: &mut Scratch<'a>) -> Option<bool>
+    where
+        F: Fn(u32) -> Cell<'a>,
+    {
+        self.eval_with(col, scratch).truth()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
+mod tests {
+    use super::*;
+    use crate::eval::{eval_expr, Env};
+    use sumtab_qgm::{GraphId, QuantId, ScalarExpr as E};
+
+    fn lit(v: impl Into<Value>) -> E {
+        E::Lit(v.into())
+    }
+
+    fn qid(i: u32) -> QuantId {
+        QuantId {
+            graph: GraphId(0),
+            idx: i,
+        }
+    }
+
+    /// Compile against a flat tuple, evaluate, and cross-check the result
+    /// against the tree-walking interpreter.
+    fn run(e: &E, tuple: &[Value]) -> Value {
+        let mut prog = Program::compile(e, &mut |c: ColRef| Ok(Resolved::Slot(c.ordinal))).unwrap();
+        // Exercise `Clone` too.
+        prog = prog.clone();
+        let mut scratch = Scratch::new();
+        let got = prog.eval_value(&|n| Cell::of(&tuple[n as usize]), &mut scratch);
+        struct TupleEnv<'a>(&'a [Value]);
+        impl Env for TupleEnv<'_> {
+            fn col(&self, c: ColRef) -> Value {
+                self.0[c.ordinal].clone()
+            }
+        }
+        let want = eval_expr(e, &TupleEnv(tuple));
+        assert_eq!(got, want, "compiled result diverges from interpreter");
+        assert_eq!(
+            got.sql_type(),
+            want.sql_type(),
+            "compiled variant diverges from interpreter"
+        );
+        got
+    }
+
+    fn col(ord: usize) -> E {
+        E::col(qid(0), ord)
+    }
+
+    #[test]
+    fn arithmetic_and_comparisons_match_interpreter() {
+        let tuple = vec![Value::Int(7), Value::Double(2.5), Value::Null];
+        run(&E::bin(BinOp::Add, col(0), col(1)), &tuple);
+        run(&E::bin(BinOp::Div, col(0), lit(0i64)), &tuple);
+        run(&E::bin(BinOp::Mod, col(0), lit(3i64)), &tuple);
+        run(&E::bin(BinOp::Lt, col(1), col(0)), &tuple);
+        run(&E::bin(BinOp::Eq, col(0), lit(7.0f64)), &tuple);
+        run(&E::bin(BinOp::Add, col(0), col(2)), &tuple);
+        run(&E::bin(BinOp::Lt, col(0), lit("x")), &tuple);
+        assert_eq!(
+            run(&E::bin(BinOp::Mul, col(0), lit(2i64)), &tuple),
+            Value::Int(14)
+        );
+    }
+
+    #[test]
+    fn three_valued_logic_short_circuits() {
+        let tuple = vec![Value::Bool(true), Value::Bool(false), Value::Null];
+        for l in 0..3 {
+            for r in 0..3 {
+                run(&E::bin(BinOp::And, col(l), col(r)), &tuple);
+                run(&E::bin(BinOp::Or, col(l), col(r)), &tuple);
+            }
+        }
+        // Short circuit must skip the right side: `FALSE AND (1/0 = 1)`
+        // stays FALSE without evaluating the division.
+        let e = E::bin(
+            BinOp::And,
+            col(1),
+            E::bin(
+                BinOp::Eq,
+                E::bin(BinOp::Div, lit(1i64), lit(0i64)),
+                lit(1i64),
+            ),
+        );
+        assert_eq!(run(&e, &tuple), Value::Bool(false));
+        run(&E::Un(UnOp::Not, Box::new(col(2))), &tuple);
+        run(&E::Un(UnOp::Neg, Box::new(col(0))), &tuple);
+    }
+
+    #[test]
+    fn case_like_isnull_func_match_interpreter() {
+        let d = Value::Date(Date::parse("1997-06-09").unwrap());
+        let tuple = vec![Value::Int(2), Value::from("television"), Value::Null, d];
+        // Searched CASE.
+        run(
+            &E::Case {
+                operand: None,
+                arms: vec![
+                    (E::bin(BinOp::Eq, col(0), lit(1i64)), lit("one")),
+                    (E::bin(BinOp::Eq, col(0), lit(2i64)), lit("two")),
+                ],
+                else_expr: Some(Box::new(lit("many"))),
+            },
+            &tuple,
+        );
+        // Simple CASE with NULL operand matches nothing.
+        run(
+            &E::Case {
+                operand: Some(Box::new(col(2))),
+                arms: vec![(E::Lit(Value::Null), lit(1i64))],
+                else_expr: None,
+            },
+            &tuple,
+        );
+        // Simple CASE over an expression operand.
+        run(
+            &E::Case {
+                operand: Some(Box::new(col(0))),
+                arms: vec![(lit(2i64), lit("pair")), (lit(3i64), lit("triple"))],
+                else_expr: None,
+            },
+            &tuple,
+        );
+        run(
+            &E::Like {
+                expr: Box::new(col(1)),
+                pattern: "tele%".into(),
+                negated: false,
+            },
+            &tuple,
+        );
+        run(
+            &E::Like {
+                expr: Box::new(col(2)),
+                pattern: "%".into(),
+                negated: true,
+            },
+            &tuple,
+        );
+        run(
+            &E::IsNull {
+                expr: Box::new(col(2)),
+                negated: false,
+            },
+            &tuple,
+        );
+        run(&E::Func(ScalarFunc::Year, vec![col(3)]), &tuple);
+        run(&E::Func(ScalarFunc::Upper, vec![col(1)]), &tuple);
+        run(
+            &E::Func(ScalarFunc::Abs, vec![E::Un(UnOp::Neg, Box::new(col(0)))]),
+            &tuple,
+        );
+    }
+
+    #[test]
+    fn scalar_refs_compile_to_constants() {
+        let e = E::bin(BinOp::Add, E::col(qid(9), 0), lit(1i64));
+        let prog = Program::compile(&e, &mut |c: ColRef| {
+            if c.qid.idx == 9 {
+                Ok(Resolved::Const(Value::Int(41)))
+            } else {
+                Err("unexpected quantifier".into())
+            }
+        })
+        .unwrap();
+        let mut scratch = Scratch::new();
+        let got = prog.eval_value(&|_| Cell::Null, &mut scratch);
+        assert_eq!(got, Value::Int(42));
+    }
+
+    #[test]
+    fn aggregates_are_rejected() {
+        let e = E::GeneralAgg {
+            func: sumtab_qgm::AggFunc::Count,
+            arg: None,
+            distinct: false,
+        };
+        assert!(Program::compile(&e, &mut |_| Ok(Resolved::Slot(0))).is_err());
+        assert!(Program::compile(&E::BaseCol(0), &mut |_| Ok(Resolved::Slot(0))).is_err());
+    }
+}

@@ -7,8 +7,8 @@
 
 use crate::db::{Database, Row};
 use crate::error::SumtabError;
-use crate::exec::execute;
-use crate::materialize::materialize;
+use crate::exec::{execute_with, ExecOptions};
+use crate::materialize::materialize_with;
 use sumtab_catalog::{Catalog, Column, SummaryTableDef, Table, Value};
 use sumtab_parser::{parse_statements, render::render_query, Statement};
 use sumtab_qgm::build_query;
@@ -35,6 +35,9 @@ pub struct Session {
     pub catalog: Catalog,
     /// Table data.
     pub db: Database,
+    /// Executor pool/morsel configuration used for queries and
+    /// summary-table materialization.
+    pub exec: ExecOptions,
 }
 
 impl Session {
@@ -48,6 +51,7 @@ impl Session {
         Session {
             catalog,
             db: Database::new(),
+            exec: ExecOptions::default(),
         }
     }
 
@@ -69,7 +73,7 @@ impl Session {
                     .iter()
                     .map(|c| c.name.clone())
                     .collect();
-                let rows = execute(&g, &self.db).map_err(err)?;
+                let rows = execute_with(&g, &self.db, &self.exec).map_err(err)?;
                 Ok(StatementResult::Rows(header, rows))
             }
             Statement::CreateTable(ct) => {
@@ -94,7 +98,8 @@ impl Session {
             }
             Statement::CreateSummaryTable { name, query } => {
                 let g = build_query(query, &self.catalog).map_err(err)?;
-                let backing = materialize(name, &g, &self.catalog, &mut self.db).map_err(err)?;
+                let backing = materialize_with(name, &g, &self.catalog, &mut self.db, &self.exec)
+                    .map_err(err)?;
                 self.catalog
                     .add_summary_table(
                         SummaryTableDef {

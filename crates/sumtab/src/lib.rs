@@ -200,6 +200,19 @@ impl SummarySession {
         SummarySession::default()
     }
 
+    /// Set the executor worker-pool size used for queries, summary-table
+    /// materialization, and refreshes (the `Rewriter::with_pool_size`
+    /// idiom, applied to execution). Results are identical for every pool
+    /// size; only wall-clock time changes.
+    pub fn set_exec_pool_size(&mut self, n: usize) {
+        self.session.exec.pool_size = n.max(1);
+    }
+
+    /// The executor options in effect.
+    pub fn exec_options(&self) -> &sumtab_engine::ExecOptions {
+        &self.session.exec
+    }
+
     /// A session over a pre-built catalog and database.
     ///
     /// Summary tables already present in the catalog are re-registered for
@@ -220,7 +233,11 @@ impl SummarySession {
             }
         }
         SummarySession {
-            session: Session { catalog, db },
+            session: Session {
+                catalog,
+                db,
+                exec: sumtab_engine::ExecOptions::default(),
+            },
             asts,
             registration_failures,
             plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
@@ -487,7 +504,7 @@ impl SummarySession {
                 "execute-rewritten".to_string(),
             ))
         } else {
-            sumtab_engine::execute(&detail.graph, &self.session.db)
+            sumtab_engine::execute_with(&detail.graph, &self.session.db, &self.session.exec)
         };
         match exec {
             Ok(rows) => Ok(QueryResult {
@@ -631,8 +648,12 @@ impl SummarySession {
                 ast: name.to_string(),
                 detail: "unknown summary table".to_string(),
             })?;
-        let rows = sumtab_engine::execute(&self.asts[idx].ast.graph, &self.session.db)
-            .map_err(|e| SumtabError::exec(format!("refresh of `{name}`"), e))?;
+        let rows = sumtab_engine::execute_with(
+            &self.asts[idx].ast.graph,
+            &self.session.db,
+            &self.session.exec,
+        )
+        .map_err(|e| SumtabError::exec(format!("refresh of `{name}`"), e))?;
         self.session.db.put_table(name, rows);
         self.asts[idx].base_epochs = snapshot_epochs(&self.session.db, &self.asts[idx].ast.graph);
         Ok(())
@@ -691,7 +712,7 @@ mod tests {
         .unwrap();
         // Mutate the base table BEHIND the session's back (directly in the
         // database), so no maintenance runs and `st`'s snapshot goes stale.
-        let Session { catalog, db } = &mut s.session;
+        let Session { catalog, db, .. } = &mut s.session;
         db.insert(catalog, "t", vec![vec![Value::Int(1)], vec![Value::Int(2)]])
             .unwrap();
         assert_eq!(s.session.db.row_count("st"), 1, "summary is a snapshot");

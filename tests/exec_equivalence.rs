@@ -1,0 +1,169 @@
+//! Differential property test for the morsel-parallel columnar executor:
+//! for every query in the paper workload (plus NULL-join and DISTINCT
+//! edge cases), `execute_with` at every pool/morsel configuration must
+//! return **byte-identical** results to `execute_serial` — same rows, same
+//! order. This is the determinism contract that lets the parallel path be
+//! the default executor.
+
+// Tests assert on fixed inputs; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sumtab::datagen::workloads::FIGURES;
+use sumtab::datagen::{generate, GenConfig};
+use sumtab::engine::{execute_serial, execute_with, Database, ExecOptions};
+use sumtab::{build_query, Catalog, Value};
+
+const POOLS: [usize; 4] = [1, 2, 4, 8];
+const MORSELS: [usize; 3] = [1, 7, 1024];
+
+/// The datagen star schema plus two bespoke nullable tables: `nl`/`nr`
+/// carry NULL join keys and duplicated doubles so DISTINCT aggregation and
+/// NULL-key join behaviour are exercised.
+fn fixture() -> (Catalog, Database) {
+    let cfg = GenConfig {
+        transactions: 2000,
+        ..GenConfig::scale(2000)
+    };
+    let (mut catalog, mut db) = generate(&cfg);
+
+    use sumtab::catalog::{Column, SqlType, Table};
+    catalog
+        .add_table(Table::new(
+            "nl",
+            vec![
+                Column::nullable("k", SqlType::Int),
+                Column::nullable("v", SqlType::Double),
+            ],
+        ))
+        .unwrap();
+    catalog
+        .add_table(Table::new("nr", vec![Column::nullable("k", SqlType::Int)]))
+        .unwrap();
+    // Deterministic pseudo-random rows: every third key NULL, doubles drawn
+    // from a small set so DISTINCT collapses duplicates.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let nl: Vec<Vec<Value>> = (0..300)
+        .map(|_| {
+            let k = next() % 9;
+            let v = next() % 7;
+            vec![
+                if k % 3 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(k as i64)
+                },
+                if v == 6 {
+                    Value::Null
+                } else {
+                    Value::Double(v as f64 * 1.25 - 2.0)
+                },
+            ]
+        })
+        .collect();
+    let nr: Vec<Vec<Value>> = (0..40)
+        .map(|_| {
+            let k = next() % 9;
+            vec![if k % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(k as i64)
+            }]
+        })
+        .collect();
+    db.insert(&catalog, "nl", nl).unwrap();
+    db.insert(&catalog, "nr", nr).unwrap();
+    (catalog, db)
+}
+
+fn assert_equivalent(sql: &str, catalog: &Catalog, db: &Database) {
+    let q = sumtab::parser::parse_query(sql).unwrap_or_else(|e| panic!("{sql}: {e:?}"));
+    let g = build_query(&q, catalog).unwrap_or_else(|e| panic!("{sql}: {e:?}"));
+    let serial = execute_serial(&g, db).unwrap_or_else(|e| panic!("{sql}: {e}"));
+    for pool in POOLS {
+        for morsel in MORSELS {
+            let opts = ExecOptions {
+                pool_size: pool,
+                morsel_size: morsel,
+            };
+            let par = execute_with(&g, db, &opts).unwrap_or_else(|e| panic!("{sql}: {e}"));
+            assert_eq!(
+                par, serial,
+                "parallel result diverged from serial for `{sql}` \
+                 (pool {pool}, morsel {morsel})"
+            );
+        }
+    }
+}
+
+/// Every figure query of the paper workload, at every configuration.
+#[test]
+fn paper_workload_queries_match_serial() {
+    let (catalog, db) = fixture();
+    for case in FIGURES {
+        assert_equivalent(case.query, &catalog, &db);
+    }
+}
+
+/// Every figure AST definition (the queries that get materialized) too.
+#[test]
+fn paper_workload_ast_definitions_match_serial() {
+    let (catalog, db) = fixture();
+    for case in FIGURES {
+        assert_equivalent(case.ast, &catalog, &db);
+    }
+}
+
+/// NULL join keys must never match, identically in both executors, and
+/// DISTINCT aggregates must fold in the same deterministic order.
+#[test]
+fn null_keys_and_distinct_aggregates_match_serial() {
+    let (catalog, db) = fixture();
+    let queries = [
+        // NULL keys on both sides of a hash join.
+        "select nl.k, nl.v from nl, nr where nl.k = nr.k",
+        // NULL keys grouped (NULLs form their own group).
+        "select k, count(*) as c, sum(v) as sv from nl group by k",
+        // DISTINCT aggregates over doubles: iteration order of the distinct
+        // set must not leak into the float fold.
+        "select count(distinct v) as n, sum(distinct v) as s from nl",
+        "select k, sum(distinct v) as s, min(v) as lo, max(v) as hi from nl group by k",
+        // Join + aggregate + DISTINCT combined.
+        "select nl.k, count(distinct nl.v) as n from nl, nr where nl.k = nr.k group by nl.k",
+        // Grouping sets over nullable data: NULL padding vs NULL keys.
+        "select k, count(*) as c from nl group by grouping sets ((k), ())",
+        // Top-k selection with duplicate sort keys (ties broken by input
+        // order in both paths).
+        "select k, v from nl order by v desc limit 17",
+        "select k, v from nl order by k, v limit 1",
+        // Scalar subquery + filter.
+        "select k, v, (select count(*) from nr) as t from nl where v > 0",
+    ];
+    for sql in queries {
+        assert_equivalent(sql, &catalog, &db);
+    }
+}
+
+/// Larger star-schema joins and multi-way aggregation at scale, where
+/// morsel boundaries actually split the work.
+#[test]
+fn star_schema_joins_match_serial() {
+    let (catalog, db) = fixture();
+    let queries = [
+        "select tid, qty * price * (1 - disc) as amt from trans where qty >= 2",
+        "select country, sum(qty * price) as rev from trans, loc \
+         where flid = lid group by country",
+        "select pgname, year(date) as y, count(*) as cnt, sum(qty) as q \
+         from trans, pgroup where fpgid = pgid group by pgname, year(date)",
+        "select country, pgname, sum(qty) as q from trans, loc, pgroup \
+         where flid = lid and fpgid = pgid group by country, pgname",
+    ];
+    for sql in queries {
+        assert_equivalent(sql, &catalog, &db);
+    }
+}

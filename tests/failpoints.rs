@@ -134,7 +134,7 @@ fn stale_skip_composes_with_injected_match_faults() {
         .unwrap();
 
     // Stale both ASTs by writing behind the session's back.
-    let sumtab::Session { catalog, db } = &mut s.session;
+    let sumtab::Session { catalog, db, .. } = &mut s.session;
     db.insert(catalog, "t", vec![vec![Value::Int(3), Value::Int(1)]])
         .unwrap();
 

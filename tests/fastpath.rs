@@ -71,7 +71,7 @@ fn epoch_bump_evicts_cached_plan() {
 
     // Mutate the base table behind the session's back: bumps `t`'s epoch
     // without maintaining `st`.
-    let sumtab::Session { catalog, db } = &mut s.session;
+    let sumtab::Session { catalog, db, .. } = &mut s.session;
     db.insert(catalog, "t", vec![vec![Value::Int(3), Value::Int(5)]])
         .unwrap();
 
