@@ -45,6 +45,20 @@ fn graph(sql: &str, catalog: &sumtab::Catalog) -> QgmGraph {
 }
 
 fn main() {
+    // Timing is only meaningful with the verifier gates off. Release builds
+    // keep them off unless SUMTAB_VERIFY=1 explicitly opts in; a debug-assert
+    // build (or a stray env var) would silently tax every measurement, so
+    // abort rather than publish tainted numbers.
+    let verify_on = sumtab::qgm::verify::runtime_checks_enabled();
+    assert!(
+        !verify_on || sumtab::qgm::verify::env_verify_requested(),
+        "bench must run with verifier gates off: build with --release and \
+         leave SUMTAB_VERIFY unset"
+    );
+    if verify_on {
+        eprintln!("warning: SUMTAB_VERIFY=1 set; timings include verifier overhead");
+    }
+
     let quick = std::env::args().any(|a| a == "--quick");
     let scales: &[usize] = if quick { &[20_000] } else { &[50_000, 200_000] };
     let reps = if quick { 3 } else { 7 };
@@ -123,8 +137,8 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"bench\": \"exec\",\n  \"quick\": {quick},\n  \"pool_size\": {},\n  \
-         \"morsel_size\": {},\n  \"scales\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"exec\",\n  \"quick\": {quick},\n  \"verify_gates\": {verify_on},\n  \
+         \"pool_size\": {},\n  \"morsel_size\": {},\n  \"scales\": [\n    {}\n  ]\n}}\n",
         opts.pool_size,
         opts.morsel_size,
         scale_records.join(",\n    ")

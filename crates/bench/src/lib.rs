@@ -2,6 +2,7 @@
 //! harness: a generated credit-card database with every figure's AST
 //! materialized, plus prepared (original, rewritten) graph pairs.
 
+#![forbid(unsafe_code)]
 // Bench fixtures run over fixed inputs; a failed setup step should abort
 // the run loudly, so panicking unwraps are intended here.
 #![allow(clippy::unwrap_used, clippy::expect_used)]

@@ -17,6 +17,8 @@
 //!
 //! The crate is dependency-free and sits at the bottom of the workspace.
 
+#![forbid(unsafe_code)]
+
 pub mod date;
 pub mod fx;
 pub mod schema;

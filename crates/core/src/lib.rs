@@ -40,6 +40,8 @@
 //! assert_eq!(rewrite.ast_name, "ast1");
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod baseline;
 pub mod context;
 pub mod derive;
@@ -257,9 +259,22 @@ impl<'a> Rewriter<'a> {
         let mut graph =
             rewrite::build_rewrite(&ctx, eb, entry, &ast.name, &backing_cols).map_err(err)?;
         sumtab_qgm::normalize::merge_selects(&mut graph);
-        graph
-            .check()
+        // Rewrite boundary gate. Strict structure is always enforced (a
+        // structurally broken rewrite was always an error here); the typing
+        // pass and the schema-preservation/AST-projection proofs (pass 3)
+        // run under the verification gates. Every failure surfaces as a
+        // `MatchError`, so candidate sweeps degrade to the un-rewritten
+        // plan instead of aborting the query.
+        sumtab_qgm::verify::verify_plan_structure(&graph)
             .map_err(|e| err(format!("rewritten graph failed validation: {e}")))?;
+        if sumtab_qgm::verify::runtime_checks_enabled() {
+            sumtab_qgm::verify::verify_types(&graph, self.catalog)
+                .map_err(|e| err(e.to_string()))?;
+            sumtab_qgm::verify::verify_schema_preservation(query, &graph, self.catalog)
+                .map_err(|e| err(e.to_string()))?;
+            sumtab_qgm::verify::verify_backing_projection(&graph, &ast.name, &backing_cols)
+                .map_err(|e| err(e.to_string()))?;
+        }
         Ok(Some(Rewrite {
             ast_name: ast.name.clone(),
             graph,

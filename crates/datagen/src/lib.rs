@@ -11,6 +11,8 @@
 //! with probability [`GenConfig::locality`]; the per-account yearly
 //! transaction count follows from `transactions / (accounts * years)`.
 
+#![forbid(unsafe_code)]
+
 use sumtab_catalog::{Catalog, Date, Value};
 use sumtab_engine::{Database, Row};
 

@@ -61,6 +61,9 @@ pub enum SumtabError {
         /// What was attempted.
         detail: String,
     },
+    /// The plan verifier rejected a graph at a transformation boundary
+    /// (see `sumtab-qgm::verify`): the typed pass/box/reason triple.
+    Verify(sumtab_qgm::VerifyError),
 }
 
 impl SumtabError {
@@ -117,6 +120,7 @@ impl std::fmt::Display for SumtabError {
                 write!(f, "maintenance of `{ast}` failed: {detail}")
             }
             SumtabError::Unsupported { detail } => write!(f, "unsupported: {detail}"),
+            SumtabError::Verify(e) => write!(f, "{e}"),
         }
     }
 }
@@ -147,6 +151,12 @@ impl From<ExecError> for SumtabError {
             context: None,
             source,
         }
+    }
+}
+
+impl From<sumtab_qgm::VerifyError> for SumtabError {
+    fn from(e: sumtab_qgm::VerifyError) -> SumtabError {
+        SumtabError::Verify(e)
     }
 }
 

@@ -53,6 +53,9 @@ pub enum ExecError {
     },
     /// A fault injected through a failpoint (testing only).
     Injected(String),
+    /// The plan verifier rejected a compiled expression program
+    /// (pass 4: stack balance, jump targets, slot arity).
+    Verify(sumtab_qgm::VerifyError),
 }
 
 impl ExecError {
@@ -77,6 +80,7 @@ impl std::fmt::Display for ExecError {
                 write!(f, "malformed graph at box {box_id}: {detail}")
             }
             ExecError::Injected(fp) => write!(f, "injected fault at failpoint `{fp}`"),
+            ExecError::Verify(e) => write!(f, "{e}"),
         }
     }
 }
@@ -387,8 +391,9 @@ fn compile_bound(
     b: BoxId,
     offsets: &FxHashMap<u32, usize>,
     scalars: &FxHashMap<u32, Value>,
+    arity: usize,
 ) -> Result<Program, ExecError> {
-    Program::compile(e, &mut |c: ColRef| {
+    let prog = Program::compile(e, &mut |c: ColRef| {
         if let Some(v) = scalars.get(&c.qid.idx) {
             return Ok(Resolved::Const(v.clone()));
         }
@@ -397,7 +402,9 @@ fn compile_bound(
             None => Err(format!("unbound quantifier q{}", c.qid.idx)),
         }
     })
-    .map_err(|d| ExecError::malformed(b, d))
+    .map_err(|d| ExecError::malformed(b, d))?;
+    verify_program(&prog, b, arity)?;
+    Ok(prog)
 }
 
 /// Compile `e` against a single child relation: quantifier `q` resolves to
@@ -407,8 +414,9 @@ fn compile_local(
     b: BoxId,
     q: u32,
     scalars: &FxHashMap<u32, Value>,
+    arity: usize,
 ) -> Result<Program, ExecError> {
-    Program::compile(e, &mut |c: ColRef| {
+    let prog = Program::compile(e, &mut |c: ColRef| {
         if let Some(v) = scalars.get(&c.qid.idx) {
             return Ok(Resolved::Const(v.clone()));
         }
@@ -418,7 +426,19 @@ fn compile_local(
             Err(format!("unbound quantifier q{}", c.qid.idx))
         }
     })
-    .map_err(|d| ExecError::malformed(b, d))
+    .map_err(|d| ExecError::malformed(b, d))?;
+    verify_program(&prog, b, arity)?;
+    Ok(prog)
+}
+
+/// Pass 4 gate: statically verify a freshly compiled program against the
+/// input arity it will be evaluated with. Zero-cost when the gates are off.
+fn verify_program(prog: &Program, b: BoxId, arity: usize) -> Result<(), ExecError> {
+    if sumtab_qgm::verify::runtime_checks_enabled() {
+        prog.verify(arity)
+            .map_err(|r| ExecError::Verify(sumtab_qgm::VerifyError::program(b.0, r)))?;
+    }
+    Ok(())
 }
 
 /// A scan source for one join input: either a zero-copy columnar base
@@ -751,7 +771,7 @@ impl ParExec<'_> {
         for (i, p) in sel.predicates.iter().enumerate() {
             if pred_refs[i].is_empty() {
                 pred_done[i] = true;
-                let prog = compile_bound(p, b, &no_offsets, &scalars)?;
+                let prog = compile_bound(p, b, &no_offsets, &scalars, 0)?;
                 let mut scratch = Scratch::new();
                 if prog.eval_truth(&|_| Cell::Null, &mut scratch) != Some(true) {
                     return Ok(Vec::new());
@@ -790,7 +810,13 @@ impl ParExec<'_> {
             for (i, refs) in pred_refs.iter().enumerate() {
                 if !pred_done[i] && refs.len() == 1 && refs.contains(&q.idx) {
                     pred_done[i] = true;
-                    singles.push(compile_local(&sel.predicates[i], b, q.idx, &scalars)?);
+                    singles.push(compile_local(
+                        &sel.predicates[i],
+                        b,
+                        q.idx,
+                        &scalars,
+                        child_width,
+                    )?);
                 }
             }
             // Lower what we can to typed vectorized kernels (columnar scans
@@ -817,8 +843,8 @@ impl ParExec<'_> {
                 }
                 if let Some((bs, qs)) = split_equi_join(p, &offsets, q.idx, &pred_refs[i]) {
                     pred_done[i] = true;
-                    hash_bound.push(compile_bound(&bs, b, &offsets, &scalars)?);
-                    hash_child.push(compile_local(&qs, b, q.idx, &scalars)?);
+                    hash_bound.push(compile_bound(&bs, b, &offsets, &scalars, width)?);
+                    hash_child.push(compile_local(&qs, b, q.idx, &scalars, child_width)?);
                 }
             }
 
@@ -831,7 +857,7 @@ impl ParExec<'_> {
                 let out_progs = bx
                     .outputs
                     .iter()
-                    .map(|oc| compile_local(&oc.expr, b, q.idx, &scalars))
+                    .map(|oc| compile_local(&oc.expr, b, q.idx, &scalars, child_width))
                     .collect::<Result<Vec<Program>, ExecError>>()?;
                 debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
                 // Bare-column outputs copy straight from the source; only
@@ -983,7 +1009,7 @@ impl ParExec<'_> {
                     continue;
                 }
                 pred_done[i] = true;
-                let prog = compile_bound(p, b, &offsets, &scalars)?;
+                let prog = compile_bound(p, b, &offsets, &scalars, width)?;
                 let keep: Vec<bool> =
                     par_map(self.workers, self.morsel, tuples.len(), |_, range| {
                         let mut scratch = Scratch::new();
@@ -1010,7 +1036,7 @@ impl ParExec<'_> {
         let out_progs = bx
             .outputs
             .iter()
-            .map(|oc| compile_bound(&oc.expr, b, &offsets, &scalars))
+            .map(|oc| compile_bound(&oc.expr, b, &offsets, &scalars, width))
             .collect::<Result<Vec<Program>, ExecError>>()?;
         let parts = par_map(self.workers, self.morsel, tuples.len(), |_, range| {
             let mut scratch = Scratch::new();

@@ -20,6 +20,8 @@
 //! deterministic slot-merge. The row-at-a-time interpreter survives as
 //! [`execute_serial`], the differential-testing oracle.
 
+#![forbid(unsafe_code)]
+
 pub mod csv;
 pub mod db;
 pub mod error;

@@ -451,6 +451,165 @@ impl Program {
         Ok(())
     }
 
+    /// Pass 4 of the plan verifier: a bytecode-verifier-style abstract
+    /// interpretation of the postfix ops. Checks, in one forward sweep:
+    ///
+    /// * every jump target is in bounds (`target <= ops.len()`; the op
+    ///   count itself is the normal exit) and strictly forward, so
+    ///   evaluation provably terminates;
+    /// * stack depth is statically known at every op (merge points agree),
+    ///   no op pops an empty stack, and exactly one value remains at exit;
+    /// * every slot/constant/pattern/temp index is within its pool —
+    ///   column slots within `input_arity`, the evaluation-time input width.
+    ///
+    /// Runs once per compiled box when the verification gates are enabled;
+    /// the evaluation hot loop stays check-free.
+    pub fn verify(&self, input_arity: usize) -> Result<(), String> {
+        let n = self.ops.len();
+        if n == 0 {
+            return Err("empty program".to_string());
+        }
+        // depth[pc] = stack depth on entry to op pc (depth[n] = exit).
+        let mut depth: Vec<Option<usize>> = vec![None; n + 1];
+        depth[0] = Some(0);
+        let merge = |depth: &mut Vec<Option<usize>>, pc: usize, d: usize| -> Result<(), String> {
+            match depth[pc] {
+                Some(prev) if prev != d => Err(format!(
+                    "inconsistent stack depth at op {pc}: {prev} vs {d}"
+                )),
+                _ => {
+                    depth[pc] = Some(d);
+                    Ok(())
+                }
+            }
+        };
+        for pc in 0..n {
+            let Some(d) = depth[pc] else {
+                return Err(format!("unreachable op at {pc}"));
+            };
+            let need = |k: usize| -> Result<(), String> {
+                if d < k {
+                    Err(format!("op {pc} pops {k} values from a stack of {d}"))
+                } else {
+                    Ok(())
+                }
+            };
+            let jump_target = |t: u32| -> Result<usize, String> {
+                let t = t as usize;
+                if t > n {
+                    Err(format!("op {pc}: jump target {t} out of bounds ({n} ops)"))
+                } else if t <= pc {
+                    Err(format!("op {pc}: backward jump to {t}"))
+                } else {
+                    Ok(t)
+                }
+            };
+            match &self.ops[pc] {
+                Op::Col(s) => {
+                    if (*s as usize) >= input_arity {
+                        return Err(format!(
+                            "op {pc}: slot {s} outside input arity {input_arity}"
+                        ));
+                    }
+                    merge(&mut depth, pc + 1, d + 1)?;
+                }
+                Op::Const(k) => {
+                    if (*k as usize) >= self.consts.len() {
+                        return Err(format!("op {pc}: constant index {k} out of pool"));
+                    }
+                    merge(&mut depth, pc + 1, d + 1)?;
+                }
+                Op::Bin(_) | Op::AndMerge | Op::OrMerge | Op::CaseEq => {
+                    need(2)?;
+                    merge(&mut depth, pc + 1, d - 1)?;
+                }
+                Op::AndShort(t) | Op::OrShort(t) => {
+                    need(1)?;
+                    // Pops the tested value and pushes the verdict: depth is
+                    // unchanged on both edges.
+                    let t = jump_target(*t)?;
+                    merge(&mut depth, t, d)?;
+                    merge(&mut depth, pc + 1, d)?;
+                }
+                Op::Neg | Op::Not | Op::Func(_) | Op::IsNull { .. } => {
+                    need(1)?;
+                    merge(&mut depth, pc + 1, d)?;
+                }
+                Op::Like { pat, .. } => {
+                    if (*pat as usize) >= self.pats.len() {
+                        return Err(format!("op {pc}: pattern index {pat} out of pool"));
+                    }
+                    need(1)?;
+                    merge(&mut depth, pc + 1, d)?;
+                }
+                Op::Jump(t) => {
+                    let t = jump_target(*t)?;
+                    merge(&mut depth, t, d)?;
+                    // No fallthrough.
+                }
+                Op::JumpIfNotTrue(t) => {
+                    need(1)?;
+                    let t = jump_target(*t)?;
+                    merge(&mut depth, t, d - 1)?;
+                    merge(&mut depth, pc + 1, d - 1)?;
+                }
+                Op::StoreTmp(s) => {
+                    if (*s as usize) >= self.tmp_slots {
+                        return Err(format!("op {pc}: temp slot {s} out of range"));
+                    }
+                    need(1)?;
+                    merge(&mut depth, pc + 1, d - 1)?;
+                }
+                Op::LoadTmp(s) => {
+                    if (*s as usize) >= self.tmp_slots {
+                        return Err(format!("op {pc}: temp slot {s} out of range"));
+                    }
+                    merge(&mut depth, pc + 1, d + 1)?;
+                }
+                Op::PushNull => merge(&mut depth, pc + 1, d + 1)?,
+            }
+        }
+        match depth[n] {
+            Some(1) => Ok(()),
+            Some(d) => Err(format!("program exits with {d} values on the stack")),
+            None => Err("program exit is unreachable".to_string()),
+        }
+    }
+
+    /// Test-only corruption hook: retarget every jump-family op to `target`
+    /// (e.g. `0` forges backward jumps, a huge value forges out-of-bounds
+    /// ones). Returns how many ops were rewritten. Exists so the
+    /// mutation-kill suite can forge op sequences the compiler can never
+    /// emit; never call this outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_retarget_jumps(&mut self, target: u32) -> usize {
+        let mut hits = 0;
+        for op in &mut self.ops {
+            match op {
+                Op::AndShort(t) | Op::OrShort(t) | Op::Jump(t) | Op::JumpIfNotTrue(t) => {
+                    *t = target;
+                    hits += 1;
+                }
+                _ => {}
+            }
+        }
+        hits
+    }
+
+    /// Test-only corruption hook: drop the last op, unbalancing the stack
+    /// of any multi-op program. See [`Program::corrupt_retarget_jumps`].
+    #[doc(hidden)]
+    pub fn corrupt_pop_op(&mut self) -> bool {
+        self.ops.pop().is_some()
+    }
+
+    /// Test-only corruption hook: append a stray `PushNull`, leaving two
+    /// values on the exit stack. See [`Program::corrupt_retarget_jumps`].
+    #[doc(hidden)]
+    pub fn corrupt_push_extra(&mut self) {
+        self.ops.push(Op::PushNull);
+    }
+
     /// `Some(slot)` when the program is a bare column reference — lets
     /// projections copy the column value without running the interpreter.
     pub fn as_col(&self) -> Option<u32> {
@@ -640,6 +799,8 @@ mod tests {
     /// against the tree-walking interpreter.
     fn run(e: &E, tuple: &[Value]) -> Value {
         let mut prog = Program::compile(e, &mut |c: ColRef| Ok(Resolved::Slot(c.ordinal))).unwrap();
+        // Every compiled shape must pass the static verifier.
+        prog.verify(tuple.len()).expect("compiled program verifies");
         // Exercise `Clone` too.
         prog = prog.clone();
         let mut scratch = Scratch::new();
@@ -784,6 +945,35 @@ mod tests {
         let mut scratch = Scratch::new();
         let got = prog.eval_value(&|_| Cell::Null, &mut scratch);
         assert_eq!(got, Value::Int(42));
+    }
+
+    #[test]
+    fn verifier_rejects_corrupted_programs() {
+        let e = E::bin(
+            BinOp::And,
+            E::bin(BinOp::Gt, col(0), lit(1i64)),
+            E::bin(BinOp::Lt, col(1), lit(9i64)),
+        );
+        let compile = || Program::compile(&e, &mut |c| Ok(Resolved::Slot(c.ordinal))).unwrap();
+        compile().verify(2).unwrap();
+        // Slot outside the declared input arity.
+        let err = compile().verify(1).unwrap_err();
+        assert!(err.contains("slot"), "{err}");
+        // Backward jump.
+        let mut p = compile();
+        assert!(p.corrupt_retarget_jumps(0) > 0);
+        assert!(p.verify(2).unwrap_err().contains("backward"));
+        // Out-of-bounds jump.
+        let mut p = compile();
+        p.corrupt_retarget_jumps(10_000);
+        assert!(p.verify(2).unwrap_err().contains("out of bounds"));
+        // Unbalanced stack: missing final op / extra value.
+        let mut p = compile();
+        p.corrupt_pop_op();
+        assert!(p.verify(2).is_err());
+        let mut p = compile();
+        p.corrupt_push_extra();
+        assert!(p.verify(2).unwrap_err().contains("2 values"));
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! The produced syntax tree is deliberately independent of the Query Graph
 //! Model; `sumtab-qgm` performs name resolution and QGM construction.
 
+#![forbid(unsafe_code)]
+
 pub mod lexer;
 pub mod parser;
 pub mod render;

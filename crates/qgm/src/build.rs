@@ -116,8 +116,11 @@ pub fn build_query_with_params(
     if normalize {
         crate::normalize::merge_selects(&mut g);
     }
-    #[cfg(debug_assertions)]
-    g.check().map_err(BuildError::internal)?;
+    // Translation/normalization boundary gate: passes 1+2 of the plan
+    // verifier (debug builds and opt-in `SUMTAB_VERIFY=1` release runs).
+    if crate::verify::runtime_checks_enabled() {
+        crate::verify::verify_plan(&g, catalog).map_err(|e| BuildError::internal(e.to_string()))?;
+    }
     Ok(g)
 }
 

@@ -345,135 +345,23 @@ impl QgmGraph {
     }
 
     /// Structural sanity checks; returns a description of the first
-    /// violation found. The non-panicking core behind [`QgmGraph::validate`];
-    /// library code (the matcher, the builder) uses this to surface a typed
-    /// error instead of aborting.
+    /// violation found.
+    ///
+    /// Thin compatibility shim over [`crate::verify::verify_structure`]
+    /// (pass 1 of the plan verifier), which callers should use directly for
+    /// the typed [`crate::verify::VerifyError`]. Unlike the historical
+    /// implementation, this now also rejects orphan (unreachable) boxes and
+    /// cyclic graphs.
+    #[deprecated(note = "use `verify::verify_structure` for a typed VerifyError")]
     pub fn check(&self) -> Result<(), String> {
-        macro_rules! ensure {
-            ($cond:expr, $($arg:tt)+) => {
-                if !$cond {
-                    return Err(format!($($arg)+));
-                }
-            };
-        }
-        ensure!(
-            (self.root.0 as usize) < self.boxes.len(),
-            "root out of range"
-        );
-        for (i, q) in self.quants.iter().enumerate() {
-            ensure!(
-                (q.owner.0 as usize) < self.boxes.len(),
-                "quant {i} owner out of range"
-            );
-            ensure!(
-                (q.input.0 as usize) < self.boxes.len(),
-                "quant {i} input out of range"
-            );
-        }
-        for (bi, b) in self.boxes.iter().enumerate() {
-            for &q in &b.quants {
-                if q.graph == self.id {
-                    ensure!(
-                        self.quant(q).owner == BoxId(bi as u32),
-                        "box {bi} lists quantifier it does not own"
-                    );
-                }
-            }
-            // Column references in outputs/predicates must use the box's own
-            // quantifiers.
-            let own: std::collections::HashSet<QuantId> = b.quants.iter().copied().collect();
-            let check_expr = |e: &ScalarExpr, what: &str| -> Result<(), String> {
-                for c in e.col_refs() {
-                    ensure!(
-                        own.contains(&c.qid),
-                        "box {bi}: {what} references foreign quantifier {c}"
-                    );
-                    if c.qid.graph == self.id {
-                        let input = self.input_of(c.qid);
-                        ensure!(
-                            c.ordinal < self.boxed(input).outputs.len()
-                                || matches!(self.boxed(input).kind, BoxKind::SubsumerRef { .. }),
-                            "box {bi}: {what} ordinal {} out of range",
-                            c.ordinal
-                        );
-                    }
-                }
-                Ok(())
-            };
-            match &b.kind {
-                BoxKind::BaseTable { .. } => {
-                    ensure!(b.quants.is_empty(), "base table box {bi} has quantifiers");
-                    for c in &b.outputs {
-                        ensure!(
-                            matches!(c.expr, ScalarExpr::BaseCol(_)),
-                            "base table box {bi} output must be BaseCol"
-                        );
-                    }
-                }
-                BoxKind::Select(s) => {
-                    for c in &b.outputs {
-                        ensure!(
-                            !c.expr.contains_agg(),
-                            "select box {bi} output contains aggregate"
-                        );
-                        check_expr(&c.expr, "output")?;
-                    }
-                    for p in &s.predicates {
-                        check_expr(p, "predicate")?;
-                    }
-                }
-                BoxKind::GroupBy(g) => {
-                    let foreach: Vec<_> = b
-                        .quants
-                        .iter()
-                        .filter(|q| {
-                            q.graph != self.id || self.quant(**q).kind == QuantKind::Foreach
-                        })
-                        .collect();
-                    ensure!(
-                        foreach.len() == 1,
-                        "group-by box {bi} needs exactly 1 child"
-                    );
-                    ensure!(
-                        g.sets.iter().all(|s| s.windows(2).all(|w| w[0] < w[1])),
-                        "group-by box {bi} sets not sorted/deduped"
-                    );
-                    ensure!(
-                        g.sets.iter().all(|s| s.iter().all(|&i| i < g.items.len())),
-                        "group-by box {bi} set index out of range"
-                    );
-                    for (i, c) in b.outputs.iter().enumerate() {
-                        // Each output is either a grouping item reference or
-                        // an aggregate (in any order; compensation boxes may
-                        // append grouping outputs).
-                        match &c.expr {
-                            ScalarExpr::Col(cr) => ensure!(
-                                g.items.contains(cr),
-                                "group-by box {bi} output {i} must reference a grouping item"
-                            ),
-                            ScalarExpr::Agg(_) => {}
-                            other => {
-                                return Err(format!(
-                                    "group-by box {bi} output {i} must be item or aggregate, got {other:?}"
-                                ))
-                            }
-                        }
-                        check_expr(&c.expr, "output")?;
-                    }
-                }
-                BoxKind::SubsumerRef { .. } => {
-                    ensure!(b.quants.is_empty(), "subsumer-ref box {bi} has quantifiers");
-                }
-            }
-        }
-        Ok(())
+        crate::verify::verify_structure(self).map_err(|e| e.to_string())
     }
 
     /// Structural sanity checks; panics with a description on violation.
     /// Call from tests and after graph surgery; library code should prefer
-    /// [`QgmGraph::check`].
+    /// [`crate::verify::verify_structure`].
     pub fn validate(&self) {
-        if let Err(e) = self.check() {
+        if let Err(e) = crate::verify::verify_structure(self) {
             panic!("invalid QGM graph: {e}");
         }
     }

@@ -16,6 +16,8 @@
 //! owns it, so expressions that mix spaces during matching (subsumer QNCs vs
 //! compensation rejoin columns) stay unambiguous.
 
+#![forbid(unsafe_code)]
+
 pub mod build;
 pub mod dump;
 pub mod expr;
@@ -25,6 +27,7 @@ pub mod grouping;
 pub mod normalize;
 pub mod render;
 pub mod types;
+pub mod verify;
 
 pub use build::{
     build_query, build_query_with_params, BuildError, BuildErrorKind, MAX_BUILD_DEPTH,
@@ -39,6 +42,7 @@ pub use graph::{
 pub use grouping::canonical_grouping_sets;
 pub use render::render_graph_sql;
 pub use types::{infer_output_types, ColMeta};
+pub use verify::{VerifyError, VerifyPass};
 
 // Re-export the operator enums shared with the parser so downstream crates
 // can depend on `sumtab-qgm` alone.

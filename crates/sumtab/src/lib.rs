@@ -41,6 +41,8 @@
 //!   boundaries carry [`failpoint`] hooks so the degraded paths are
 //!   deterministically testable.
 
+#![forbid(unsafe_code)]
+
 pub mod failpoint;
 pub mod maintain;
 
@@ -597,7 +599,17 @@ impl SummarySession {
                 detail: "registered AST set changed during append".to_string(),
             })?;
             let name = st.ast.name.clone();
-            let result = if failpoint::triggered("maintain") {
+            // Maintenance boundary gate (passes 1–3): a plan that no longer
+            // matches its AST definition degrades to a full refresh below,
+            // exactly like a failed incremental merge.
+            let gate = if sumtab_qgm::verify::runtime_checks_enabled() {
+                maintain::verify_maintenance(&st.ast.graph, &plan, &self.session.catalog)
+            } else {
+                Ok(())
+            };
+            let result = if let Err(e) = gate {
+                Err(sumtab_engine::ExecError::Verify(e))
+            } else if failpoint::triggered("maintain") {
                 Err(sumtab_engine::ExecError::Injected("maintain".to_string()))
             } else {
                 maintain::apply_append(

@@ -16,9 +16,9 @@
 //! * the appended table occurs exactly once in the definition (linearity),
 //!   so the delta query computes exactly the contribution of the new rows.
 
-use sumtab_catalog::Value;
+use sumtab_catalog::{Catalog, Value};
 use sumtab_engine::{execute, Database, Row};
-use sumtab_qgm::{AggFunc, BoxKind, QgmGraph, QuantKind, ScalarExpr};
+use sumtab_qgm::{AggFunc, BoxKind, QgmGraph, QuantKind, ScalarExpr, VerifyError};
 
 /// How each backing-table column merges during maintenance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +108,28 @@ pub fn maintenance_plan(graph: &QgmGraph, table: &str) -> Option<MaintenancePlan
         return None;
     }
     Some(MaintenancePlan { ops })
+}
+
+/// Maintenance boundary gate: before a [`MaintenancePlan`] is applied, prove
+/// the AST definition graph still verifies (passes 1+2) and that the plan's
+/// per-column merge ops line up one-to-one with the definition's root
+/// outputs — a drifted plan would merge deltas into the wrong columns.
+/// Callers treat a failure like any other incremental-maintenance error and
+/// degrade to a full refresh.
+pub fn verify_maintenance(
+    graph: &QgmGraph,
+    plan: &MaintenancePlan,
+    catalog: &Catalog,
+) -> Result<(), VerifyError> {
+    sumtab_qgm::verify::verify_plan(graph, catalog)?;
+    let arity = graph.boxed(graph.root).outputs.len();
+    if plan.ops.len() != arity {
+        return Err(VerifyError::schema(format!(
+            "maintenance plan has {} merge ops but the AST definition exposes {arity} columns",
+            plan.ops.len()
+        )));
+    }
+    Ok(())
 }
 
 /// Apply an append incrementally: compute the AST definition over a database

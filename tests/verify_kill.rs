@@ -1,0 +1,452 @@
+//! Deterministic mutation-kill suite for the plan verifier
+//! (`sumtab-qgm::verify` + `Program::verify`).
+//!
+//! Each test applies one corruption class to a known-good graph or compiled
+//! program and asserts the verifier rejects it with a typed [`VerifyError`]
+//! naming the *right* pass. The final tests are the acceptance side: every
+//! graph in the paper workload — AST definitions, query plans, and the
+//! rewrites the matcher produces for them — must verify clean, so the
+//! verifier kills mutants without ever killing a legitimate plan.
+//!
+//! Random choices (which box/output to corrupt) come from the in-tree
+//! SplitMix64 PRNG with fixed seeds: the suite is bit-for-bit deterministic.
+
+// Tests assert on fixed inputs; unwrap/expect failures are test failures.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sumtab::datagen::rng::SplitMix64;
+use sumtab::datagen::workloads::FIGURES;
+use sumtab::engine::{Program, Resolved};
+use sumtab::qgm::verify::{
+    verify_backing_projection, verify_plan, verify_plan_structure, verify_schema_preservation,
+    verify_structure, verify_types, VerifyPass,
+};
+use sumtab::qgm::{
+    build_query, AggCall, AggFunc, BinOp, BoxId, BoxKind, GraphId, QgmGraph, QuantId, ScalarExpr,
+};
+use sumtab::{parser, Catalog, RegisteredAst, Rewriter, Value};
+
+fn cat() -> Catalog {
+    Catalog::credit_card_sample()
+}
+
+fn built(sql: &str) -> QgmGraph {
+    build_query(&parser::parse_query(sql).unwrap(), &cat()).unwrap()
+}
+
+/// A join + group-by graph with plenty of boxes to corrupt.
+fn rich() -> QgmGraph {
+    built("select state, min(city) as m, sum(qty) as s from trans, loc where flid = lid group by state")
+}
+
+fn expect_pass(e: sumtab::qgm::VerifyError, pass: VerifyPass, frag: &str) {
+    assert_eq!(e.pass, pass, "wrong pass for `{e}`");
+    assert!(
+        e.reason.contains(frag),
+        "expected reason containing `{frag}`, got `{e}`"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: structural corruptions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_dangling_root() {
+    let mut g = rich();
+    g.root = BoxId(999);
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "out of range");
+}
+
+#[test]
+fn kill_dangling_quantifier_input() {
+    let mut g = rich();
+    let mut rng = SplitMix64::new(0xDEAD_0001);
+    let qi = rng.gen_index(g.quants.len());
+    g.quants[qi].input = BoxId(4_000_000);
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "dangling");
+}
+
+#[test]
+fn kill_cycle() {
+    // `tid` is ordinal 0, so re-pointing the child edge at the root keeps
+    // every ordinal in range — only the acyclicity check can fire.
+    let mut g = built("select tid from trans");
+    let qidx = g.boxed(g.root).quants[0].idx as usize;
+    g.quants[qidx].input = g.root;
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "cycle");
+}
+
+#[test]
+fn kill_orphan_box() {
+    let mut g = rich();
+    g.add_box(BoxKind::BaseTable {
+        table: "pgroup".into(),
+    });
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "orphan");
+}
+
+#[test]
+fn kill_foreign_quantifier_reference() {
+    let mut g = rich();
+    let alien = QuantId {
+        graph: GraphId(9_999_999),
+        idx: 0,
+    };
+    let root = g.root;
+    g.boxed_mut(root).outputs[0].expr = ScalarExpr::col(alien, 0);
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "foreign quantifier");
+}
+
+#[test]
+fn kill_unowned_quantifier_listing() {
+    let mut g = rich();
+    // Graft some other box's quantifier onto the root's list.
+    let stolen = g
+        .boxes
+        .iter()
+        .enumerate()
+        .find(|(i, b)| BoxId(*i as u32) != g.root && !b.quants.is_empty())
+        .map(|(_, b)| b.quants[0])
+        .unwrap();
+    let root = g.root;
+    g.boxed_mut(root).quants.push(stolen);
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "does not own");
+}
+
+#[test]
+fn kill_ordinal_out_of_range_randomized() {
+    // Across seeds, corrupt a random output of a random quantifier-bearing
+    // box; the structural pass must catch every mutant.
+    for seed in 0..16u64 {
+        let mut rng = SplitMix64::new(0xC0FFEE ^ seed);
+        let mut g = rich();
+        let candidates: Vec<BoxId> = (0..g.boxes.len() as u32)
+            .map(BoxId)
+            .filter(|&b| !g.boxed(b).quants.is_empty() && !g.boxed(b).outputs.is_empty())
+            .collect();
+        let b = *rng.choose(&candidates);
+        let q = g.boxed(b).quants[rng.gen_index(g.boxed(b).quants.len())];
+        let oi = rng.gen_index(g.boxed(b).outputs.len());
+        g.boxed_mut(b).outputs[oi].expr = ScalarExpr::col(q, 100 + rng.gen_index(100));
+        let e =
+            verify_plan(&g, &cat()).expect_err(&format!("seed {seed}: mutant must be rejected"));
+        // A group-by output mutated this way trips either the ordinal check
+        // or the grouping-item check — both structural.
+        assert_eq!(e.pass, VerifyPass::Structural, "seed {seed}: `{e}`");
+    }
+}
+
+#[test]
+fn kill_non_canonical_grouping_sets() {
+    let cube = || {
+        built(
+            "select flid, year(date) as y, count(*) as c from trans \
+             group by grouping sets ((flid, year(date)), (flid), ())",
+        )
+    };
+    let gb_of = |g: &QgmGraph| {
+        (0..g.boxes.len() as u32)
+            .map(BoxId)
+            .find(|&b| g.boxed(b).is_group_by())
+            .unwrap()
+    };
+    // Unsorted set.
+    let mut g = cube();
+    let b = gb_of(&g);
+    if let BoxKind::GroupBy(gb) = &mut g.boxed_mut(b).kind {
+        gb.sets[0] = vec![1, 0];
+    }
+    expect_pass(
+        verify_plan(&g, &cat()).unwrap_err(),
+        VerifyPass::Structural,
+        "not sorted",
+    );
+    // Duplicate set.
+    let mut g = cube();
+    let b = gb_of(&g);
+    if let BoxKind::GroupBy(gb) = &mut g.boxed_mut(b).kind {
+        let dup = gb.sets[0].clone();
+        gb.sets.push(dup);
+    }
+    expect_pass(
+        verify_plan(&g, &cat()).unwrap_err(),
+        VerifyPass::Structural,
+        "duplicate",
+    );
+    // Set index out of range.
+    let mut g = cube();
+    let b = gb_of(&g);
+    if let BoxKind::GroupBy(gb) = &mut g.boxed_mut(b).kind {
+        gb.sets.push(vec![97]);
+    }
+    expect_pass(
+        verify_plan(&g, &cat()).unwrap_err(),
+        VerifyPass::Structural,
+        "out of range",
+    );
+}
+
+#[test]
+fn kill_aggregate_in_select_output() {
+    let mut g = rich();
+    let root = g.root;
+    assert!(g.boxed(root).is_select());
+    g.boxed_mut(root).outputs[0].expr = ScalarExpr::Agg(AggCall {
+        func: AggFunc::Count,
+        arg: None,
+        distinct: false,
+    });
+    let e = verify_plan(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "aggregate");
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: typing corruptions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_non_boolean_predicate() {
+    let mut g = built("select tid from trans where qty > 0");
+    let sel = (0..g.boxes.len() as u32)
+        .map(BoxId)
+        .find(|&b| {
+            g.boxed(b)
+                .as_select()
+                .is_some_and(|s| !s.predicates.is_empty())
+        })
+        .unwrap();
+    if let BoxKind::Select(s) = &mut g.boxed_mut(sel).kind {
+        s.predicates.push(ScalarExpr::Lit(Value::Int(7)));
+    }
+    // Structure is still fine — only the typing pass can reject this.
+    verify_plan_structure(&g).unwrap();
+    let e = verify_types(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Typing, "expected Bool");
+}
+
+#[test]
+fn kill_sum_over_varchar() {
+    // Flip `min(city)` (fine) into `sum(city)` (a type clash).
+    let mut g = rich();
+    let gb = (0..g.boxes.len() as u32)
+        .map(BoxId)
+        .find(|&b| g.boxed(b).is_group_by())
+        .unwrap();
+    let mut flipped = false;
+    for oc in &mut g.boxed_mut(gb).outputs {
+        if let ScalarExpr::Agg(a) = &mut oc.expr {
+            if a.func == AggFunc::Min {
+                a.func = AggFunc::Sum;
+                flipped = true;
+            }
+        }
+    }
+    assert!(flipped, "fixture must contain a MIN aggregate");
+    verify_plan_structure(&g).unwrap();
+    let e = verify_types(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Typing, "non-numeric");
+}
+
+#[test]
+fn kill_base_table_catalog_mismatch() {
+    let mut g = rich();
+    let mut rng = SplitMix64::new(0xBEEF);
+    let bases: Vec<BoxId> = (0..g.boxes.len() as u32)
+        .map(BoxId)
+        .filter(|&b| matches!(g.boxed(b).kind, BoxKind::BaseTable { .. }))
+        .collect();
+    let b = *rng.choose(&bases);
+    let oi = rng.gen_index(g.boxed(b).outputs.len());
+    g.boxed_mut(b).outputs[oi].name = "no_such_column".into();
+    verify_plan_structure(&g).unwrap();
+    let e = verify_types(&g, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Typing, "no_such_column");
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: rewrite-soundness corruptions
+// ---------------------------------------------------------------------------
+
+#[test]
+fn kill_dropped_output_column() {
+    let g = built("select faid, count(*) as c from trans group by faid");
+    let mut rw = g.clone();
+    let root = rw.root;
+    rw.boxed_mut(root).outputs.pop();
+    let e = verify_schema_preservation(&g, &rw, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Schema, "arity");
+}
+
+#[test]
+fn kill_renamed_output_column() {
+    let g = built("select faid, count(*) as c from trans group by faid");
+    let mut rw = g.clone();
+    let root = rw.root;
+    rw.boxed_mut(root).outputs[1].name = "cnt".into();
+    let e = verify_schema_preservation(&g, &rw, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Schema, "renamed");
+}
+
+#[test]
+fn kill_output_type_clash() {
+    let g = built("select faid, count(*) as c from trans group by faid");
+    let clash = built("select faid, date as c from trans");
+    let e = verify_schema_preservation(&g, &clash, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Schema, "type");
+}
+
+#[test]
+fn kill_narrowed_nullability() {
+    // A grand-total SUM is nullable (empty input); COUNT(*) is not. A
+    // rewrite replacing the former with the latter invents non-nullability.
+    let orig = built("select sum(qty) as s from trans");
+    let narrower = built("select count(*) as s from trans");
+    let e = verify_schema_preservation(&orig, &narrower, &cat()).unwrap_err();
+    expect_pass(e, VerifyPass::Schema, "nullability");
+}
+
+#[test]
+fn kill_rewrite_reading_unknown_ast_column() {
+    // A rewrite over AST `a(k, total)` must not read a third column or
+    // rename what it reads.
+    let mut base = QgmGraph::new();
+    let t = base.add_box(BoxKind::BaseTable { table: "a".into() });
+    base.boxed_mut(t).outputs = vec![
+        sumtab::qgm::OutputCol {
+            name: "k".into(),
+            expr: ScalarExpr::BaseCol(0),
+        },
+        sumtab::qgm::OutputCol {
+            name: "phantom".into(),
+            expr: ScalarExpr::BaseCol(2),
+        },
+    ];
+    let s = base.add_box(BoxKind::Select(sumtab::qgm::SelectBox::default()));
+    let q = base.add_quant(s, t, sumtab::qgm::QuantKind::Foreach, "a");
+    base.boxed_mut(s).outputs = vec![sumtab::qgm::OutputCol {
+        name: "k".into(),
+        expr: ScalarExpr::col(q, 0),
+    }];
+    base.root = s;
+    let e = verify_backing_projection(&base, "a", &["k".into(), "total".into()]).unwrap_err();
+    expect_pass(e, VerifyPass::Schema, "exposes only");
+}
+
+// ---------------------------------------------------------------------------
+// Pass 4: program corruptions
+// ---------------------------------------------------------------------------
+
+fn compiled() -> Program {
+    let qid = QuantId {
+        graph: GraphId(0),
+        idx: 0,
+    };
+    let e = ScalarExpr::bin(
+        BinOp::And,
+        ScalarExpr::bin(
+            BinOp::Gt,
+            ScalarExpr::col(qid, 0),
+            ScalarExpr::Lit(Value::Int(1)),
+        ),
+        ScalarExpr::bin(
+            BinOp::Lt,
+            ScalarExpr::col(qid, 1),
+            ScalarExpr::Lit(Value::Int(9)),
+        ),
+    );
+    Program::compile(&e, &mut |c| Ok(Resolved::Slot(c.ordinal))).unwrap()
+}
+
+#[test]
+fn kill_bad_jump_targets() {
+    compiled().verify(2).expect("pristine program verifies");
+    let mut p = compiled();
+    assert!(
+        p.corrupt_retarget_jumps(0) > 0,
+        "fixture must contain jumps"
+    );
+    assert!(p.verify(2).unwrap_err().contains("backward"));
+    let mut p = compiled();
+    p.corrupt_retarget_jumps(60_000);
+    assert!(p.verify(2).unwrap_err().contains("out of bounds"));
+}
+
+#[test]
+fn kill_unbalanced_stack() {
+    let mut p = compiled();
+    p.corrupt_pop_op();
+    assert!(p.verify(2).is_err(), "truncated program must not verify");
+    let mut p = compiled();
+    p.corrupt_push_extra();
+    assert!(p.verify(2).unwrap_err().contains("values"));
+}
+
+#[test]
+fn kill_slot_outside_input_arity() {
+    // The same program is valid at arity 2 and a verifier error at arity 1:
+    // slot indices are checked against the declared input width.
+    compiled().verify(2).unwrap();
+    assert!(compiled().verify(1).unwrap_err().contains("slot"));
+    assert!(compiled().verify(0).unwrap_err().contains("slot"));
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: the whole paper workload verifies clean
+// ---------------------------------------------------------------------------
+
+#[test]
+fn paper_workload_verifies_clean() {
+    let cat = cat();
+    let rewriter = Rewriter::new(&cat);
+    for case in FIGURES {
+        let ast = RegisteredAst::from_sql("ast_v", case.ast, &cat)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id));
+        verify_plan(&ast.graph, &cat).unwrap_or_else(|e| panic!("{} AST: {e}", case.id));
+        let q = built(case.query);
+        verify_plan(&q, &cat).unwrap_or_else(|e| panic!("{} query: {e}", case.id));
+        let Some(rw) = rewriter
+            .rewrite(&q, &ast)
+            .unwrap_or_else(|e| panic!("{}: {e}", case.id))
+        else {
+            continue;
+        };
+        verify_plan(&rw.graph, &cat).unwrap_or_else(|e| panic!("{} rewrite: {e}", case.id));
+        verify_schema_preservation(&q, &rw.graph, &cat)
+            .unwrap_or_else(|e| panic!("{} schema: {e}", case.id));
+        verify_backing_projection(&rw.graph, "ast_v", &ast.backing_columns())
+            .unwrap_or_else(|e| panic!("{} projection: {e}", case.id));
+    }
+}
+
+#[test]
+fn permissive_structure_tolerates_matcher_shapes_but_plans_do_not() {
+    // A SubsumerRef leaf is legal in matcher-internal graphs (permissive
+    // mode) and must be rejected from final plans (strict mode).
+    let mut g = QgmGraph::new();
+    let donor = built("select tid from trans");
+    let sr = g.add_box(BoxKind::SubsumerRef {
+        graph: donor.id,
+        target: donor.root,
+    });
+    g.boxed_mut(sr).outputs.push(sumtab::qgm::OutputCol {
+        name: "x".into(),
+        expr: ScalarExpr::BaseCol(0),
+    });
+    let s = g.add_box(BoxKind::Select(sumtab::qgm::SelectBox::default()));
+    let q = g.add_quant(s, sr, sumtab::qgm::QuantKind::Foreach, "sr");
+    g.boxed_mut(s).outputs = vec![sumtab::qgm::OutputCol {
+        name: "x".into(),
+        expr: ScalarExpr::col(q, 0),
+    }];
+    g.root = s;
+    verify_structure(&g).expect("permissive mode tolerates SubsumerRef");
+    let e = verify_plan_structure(&g).unwrap_err();
+    expect_pass(e, VerifyPass::Structural, "SubsumerRef");
+}
