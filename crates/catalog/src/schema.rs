@@ -244,6 +244,20 @@ impl Catalog {
         self.summary_tables.contains_key(&name.to_ascii_lowercase())
     }
 
+    /// Deregister a summary table: removes both the definition and its
+    /// materialized backing table's schema. Returns the removed definition,
+    /// or [`CatalogError::UnknownTable`] if no such summary table exists
+    /// (base tables are deliberately not droppable through this path).
+    pub fn drop_summary_table(&mut self, name: &str) -> Result<SummaryTableDef, CatalogError> {
+        let key = name.to_ascii_lowercase();
+        let def = self
+            .summary_tables
+            .remove(&key)
+            .ok_or_else(|| CatalogError::UnknownTable(name.into()))?;
+        self.tables.remove(&key);
+        Ok(def)
+    }
+
     /// The paper's Section 1.1 credit-card star schema.
     ///
     /// ```text
@@ -417,5 +431,15 @@ mod tests {
         assert!(cat
             .add_summary_table(again, Table::new("ast1b", vec![]))
             .is_err());
+        // Deregistration removes both the definition and the backing table,
+        // and frees the name for re-registration.
+        let removed = cat.drop_summary_table("AST1").unwrap();
+        assert_eq!(removed.name, "ast1");
+        assert!(!cat.is_summary_table("ast1"));
+        assert!(cat.table("ast1").is_none());
+        assert!(matches!(
+            cat.drop_summary_table("ast1"),
+            Err(CatalogError::UnknownTable(_))
+        ));
     }
 }

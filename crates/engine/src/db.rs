@@ -335,6 +335,12 @@ impl std::fmt::Display for DbError {
 
 impl std::error::Error for DbError {}
 
+/// Exported table contents: `(table name, rows)`, sorted by name.
+pub type TableData = Vec<(String, Vec<Row>)>;
+
+/// Exported modification epochs: `(table name, epoch)`, sorted by name.
+pub type TableEpochs = Vec<(String, u64)>;
+
 impl Database {
     /// An empty database.
     pub fn new() -> Database {
@@ -478,6 +484,48 @@ impl Database {
     fn bump(&mut self, key: &str) {
         *self.epochs.entry(key.to_string()).or_insert(0) += 1;
     }
+
+    /// Bump a table's modification epoch without touching its data — the
+    /// durable-invalidation hook: consumers that snapshotted the old epoch
+    /// (summary staleness, cached plans) see the table as modified.
+    pub fn bump_epoch(&mut self, table: &str) {
+        self.bump(&table.to_ascii_lowercase());
+    }
+
+    /// Export the full storage state — every table's rows plus every
+    /// modification epoch — sorted by table name for deterministic
+    /// serialization. Feed the result to [`Database::restore_state`] to
+    /// rebuild an identical database (same data, same epochs).
+    pub fn export_state(&self) -> (TableData, TableEpochs) {
+        let mut data: TableData = self
+            .tables
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        data.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut epochs: TableEpochs = self.epochs.iter().map(|(k, &e)| (k.clone(), e)).collect();
+        epochs.sort_by(|a, b| a.0.cmp(&b.0));
+        (data, epochs)
+    }
+
+    /// Replace the whole storage state with a previously exported one.
+    /// Unlike [`Database::put_table`], epochs are restored *exactly* — not
+    /// bumped — so staleness bookkeeping snapshotted against the exported
+    /// state remains valid after recovery.
+    pub fn restore_state(&mut self, data: TableData, epochs: TableEpochs) {
+        self.tables = data
+            .into_iter()
+            .map(|(k, v)| (k.to_ascii_lowercase(), v))
+            .collect();
+        self.epochs = epochs
+            .into_iter()
+            .map(|(k, e)| (k.to_ascii_lowercase(), e))
+            .collect();
+        match self.columnar.lock() {
+            Ok(mut g) => g.clear(),
+            Err(poisoned) => poisoned.into_inner().clear(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +655,32 @@ mod tests {
         // Clones start with a cold columnar cache but identical data.
         let db2 = db.clone();
         assert_eq!(db2.columnar("t").len(), 2);
+    }
+
+    #[test]
+    fn export_restore_preserves_data_and_epochs_exactly() {
+        let mut db = Database::new();
+        db.put_table("b", vec![vec![Value::Int(2)]]);
+        db.put_table("a", vec![vec![Value::Int(1)]]);
+        db.put_table("a", vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+        db.drop_table("gone");
+        let (data, epochs) = db.export_state();
+        assert_eq!(
+            epochs,
+            vec![("a".into(), 2), ("b".into(), 1), ("gone".into(), 1)]
+        );
+        let mut db2 = Database::new();
+        db2.put_table("junk", vec![vec![Value::Null]]);
+        db2.restore_state(data, epochs);
+        assert_eq!(db2.rows("a"), db.rows("a"));
+        assert_eq!(db2.rows("b"), db.rows("b"));
+        assert_eq!(db2.row_count("junk"), 0, "restore replaces, not merges");
+        assert_eq!(db2.epoch("a"), 2, "epochs restored exactly, not bumped");
+        assert_eq!(db2.epoch("gone"), 1, "dropped-table epochs survive");
+        // bump_epoch invalidates without data changes.
+        db2.bump_epoch("A");
+        assert_eq!(db2.epoch("a"), 3);
+        assert_eq!(db2.rows("a").len(), 2);
     }
 
     #[test]

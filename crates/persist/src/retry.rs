@@ -1,0 +1,193 @@
+//! Bounded retry with jittered exponential backoff for transient IO errors.
+//!
+//! Operational faults on the durability path split into two classes:
+//! *transient* OS errors (interrupted syscalls, momentary ENOSPC races,
+//! network-filesystem hiccups) that a short retry usually clears, and
+//! everything else (injected faults, corruption) where retrying is wasted
+//! work. [`with_backoff`] retries only the transient class, sleeping an
+//! exponentially-growing, jittered delay between attempts so concurrent
+//! retries do not thundering-herd the same device.
+//!
+//! Jitter comes from an in-tree SplitMix64 over a process-global counter —
+//! the workspace builds with zero external dependencies, and cryptographic
+//! quality is irrelevant here; decorrelation is the point.
+
+use crate::PersistError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// How a write path retries transient IO errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Base delay before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_delay_ms: 2,
+            max_delay_ms: 50,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — for tests and for read paths where the
+    /// caller handles failure itself.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// The delay before retry number `retry` (1-based), jittered to
+    /// 50–100% of the exponential target. Zero when the policy's base
+    /// delay is zero, so tests never sleep.
+    fn delay(&self, retry: u32) -> Duration {
+        if self.base_delay_ms == 0 {
+            return Duration::ZERO;
+        }
+        let target = self
+            .base_delay_ms
+            .saturating_mul(1u64 << retry.min(16))
+            .min(self.max_delay_ms.max(self.base_delay_ms));
+        let j = splitmix64(JITTER_STATE.fetch_add(1, Ordering::Relaxed));
+        let jittered = target / 2 + j % (target / 2 + 1);
+        Duration::from_millis(jittered)
+    }
+}
+
+static JITTER_STATE: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+
+/// SplitMix64: a tiny, well-mixed PRNG step (same generator the datagen
+/// crate uses for workload synthesis).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Run `op` up to `policy.attempts` times, sleeping a jittered backoff
+/// between attempts. Only [transient](PersistError::is_transient) errors are
+/// retried; injected faults and corruption return immediately. The attempt
+/// number (0-based) is passed to `op` so callers can log or adapt.
+pub fn with_backoff<T>(
+    policy: RetryPolicy,
+    mut op: impl FnMut(u32) -> Result<T, PersistError>,
+) -> Result<T, PersistError> {
+    let attempts = policy.attempts.max(1);
+    let mut last = None;
+    for attempt in 0..attempts {
+        match op(attempt) {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                let transient = e.is_transient();
+                last = Some(e);
+                if !transient || attempt + 1 == attempts {
+                    break;
+                }
+                let d = policy.delay(attempt + 1);
+                if !d.is_zero() {
+                    std::thread::sleep(d);
+                }
+            }
+        }
+    }
+    // `last` is always set when we fall through: the loop runs at least
+    // once and only breaks after storing an error.
+    Err(last.unwrap_or(PersistError::Corrupt {
+        what: "retry loop",
+        detail: "no attempt ran".into(),
+    }))
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
+mod tests {
+    use super::*;
+    use std::io;
+
+    fn transient() -> PersistError {
+        PersistError::io(
+            "test op",
+            &io::Error::new(io::ErrorKind::Interrupted, "EINTR"),
+        )
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        };
+        let out = with_backoff(policy, |_| {
+            calls += 1;
+            if calls < 3 {
+                Err(transient())
+            } else {
+                Ok(42)
+            }
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn exhausts_attempts_and_reports_last_error() {
+        let mut calls = 0;
+        let policy = RetryPolicy {
+            attempts: 3,
+            base_delay_ms: 0,
+            max_delay_ms: 0,
+        };
+        let err = with_backoff::<()>(policy, |_| {
+            calls += 1;
+            Err(transient())
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3);
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn injected_faults_are_not_retried() {
+        let mut calls = 0;
+        let err = with_backoff::<()>(RetryPolicy::default(), |_| {
+            calls += 1;
+            Err(PersistError::injected("wal-append"))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "non-transient errors short-circuit");
+        assert_eq!(
+            err,
+            PersistError::Injected {
+                failpoint: "wal-append".into()
+            }
+        );
+    }
+
+    #[test]
+    fn delays_are_bounded_and_zero_when_disabled() {
+        let p = RetryPolicy {
+            attempts: 4,
+            base_delay_ms: 2,
+            max_delay_ms: 10,
+        };
+        for retry in 1..10 {
+            assert!(p.delay(retry) <= Duration::from_millis(10));
+        }
+        assert_eq!(RetryPolicy::none().delay(1), Duration::ZERO);
+    }
+}

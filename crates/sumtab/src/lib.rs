@@ -39,11 +39,16 @@
 //!   reports the cause in [`QueryResult::fallback`] instead of erroring.
 //! * **Fail points**: the `match`, `execute-rewritten`, and `maintain`
 //!   boundaries carry [`failpoint`] hooks so the degraded paths are
-//!   deterministically testable.
+//!   deterministically testable, as do the WAL/snapshot IO boundaries
+//!   (`wal-append`, `wal-fsync`, `snapshot-write`, `snapshot-rename`).
+//! * **Durability**: [`DurableSession`] wraps a [`SummarySession`] with a
+//!   checksummed write-ahead log plus periodic atomic snapshots, and
+//!   recovers the full session — catalog, data, registered ASTs, staleness
+//!   epochs — after a crash (see [`durable`] and DESIGN.md §12).
 
 #![forbid(unsafe_code)]
 
-pub mod failpoint;
+pub mod durable;
 pub mod maintain;
 
 pub use sumtab_catalog as catalog;
@@ -51,7 +56,11 @@ pub use sumtab_datagen as datagen;
 pub use sumtab_engine as engine;
 pub use sumtab_matcher as matcher;
 pub use sumtab_parser as parser;
+pub use sumtab_persist as persist;
+pub use sumtab_persist::failpoint;
 pub use sumtab_qgm as qgm;
+
+pub use durable::{DurabilityMode, DurableOptions, DurableSession, RecoverError, RecoveryReport};
 
 pub use sumtab_catalog::{Catalog, Date, SqlType, Value};
 pub use sumtab_engine::{
@@ -103,6 +112,72 @@ pub struct SkippedAst {
     pub ast: String,
     /// Human-readable skip reason (staleness or a matcher error).
     pub reason: String,
+}
+
+/// What a statement *logically did* to session state — the unit the
+/// durability layer ([`durable`]) frames into write-ahead-log records.
+/// Replaying the same ops against the same starting state reproduces the
+/// session exactly (data, catalog, and epoch bookkeeping alike), which is
+/// the contract crash recovery depends on.
+#[derive(Debug, Clone)]
+pub enum AppliedOp {
+    /// No durable effect (a query).
+    None,
+    /// A table was created, with this registered schema.
+    CreateTable(catalog::Table),
+    /// An RI constraint was declared, by names (replay re-validates).
+    AddForeignKey {
+        /// Referencing table.
+        child_table: String,
+        /// Referencing column names.
+        columns: Vec<String>,
+        /// Referenced table.
+        parent_table: String,
+    },
+    /// A summary table was materialized and registered for rewriting.
+    RegisterAst {
+        /// The AST's name.
+        name: String,
+        /// Its canonical defining SQL (as stored in the catalog).
+        query_sql: String,
+    },
+    /// A plain insert (no registered AST reads the table).
+    Insert {
+        /// Target table.
+        table: String,
+        /// The inserted values.
+        rows: Vec<Row>,
+    },
+    /// An insert routed through summary maintenance.
+    Append {
+        /// Target table.
+        table: String,
+        /// The inserted values.
+        rows: Vec<Row>,
+        /// ASTs whose *incremental* path failed and degraded to a full
+        /// refresh. The degradation can be non-deterministic (a transient
+        /// fault), so replay must re-refresh these to converge — the
+        /// durability layer logs one `Refresh` record per name.
+        refreshed: Vec<String>,
+    },
+    /// A summary table was deregistered (definition, schema, and data).
+    DeregisterAst {
+        /// The AST's name.
+        name: String,
+    },
+}
+
+/// How an [`SummarySession::append_with_report`] kept each affected summary
+/// fresh.
+#[derive(Debug, Clone, Default)]
+pub struct AppendReport {
+    /// ASTs maintained through the incremental merge path.
+    pub maintained: Vec<String>,
+    /// ASTs recomputed in full because their incremental path failed
+    /// (verify gate, injected fault, or merge error). ASTs whose definition
+    /// *never* had an incremental plan (e.g. HAVING) are not listed: their
+    /// full refresh re-runs deterministically on replay.
+    pub refreshed: Vec<String>,
 }
 
 /// The outcome of planning one query: the final (possibly rewritten) graph,
@@ -285,6 +360,31 @@ impl SummarySession {
         self.ast_generation
     }
 
+    /// Force-advance the plan-cache generation, invalidating every cached
+    /// plan on its next lookup. Crash recovery calls this after replay so a
+    /// plan cached by the pre-crash process can never validate against the
+    /// recovered session, whatever epochs replay reproduced.
+    pub fn bump_plan_generation(&mut self) {
+        self.ast_generation += 1;
+    }
+
+    /// Deregister a summary table: drops its definition and backing schema
+    /// from the catalog, its materialized data from the database, and its
+    /// rewrite registration. Errors if no such summary table exists.
+    pub fn deregister(&mut self, name: &str) -> Result<(), SumtabError> {
+        self.session
+            .catalog
+            .drop_summary_table(name)
+            .map_err(SumtabError::Catalog)?;
+        self.session.db.drop_table(name);
+        self.asts
+            .retain(|st| !st.ast.name.eq_ignore_ascii_case(name));
+        self.registration_failures
+            .retain(|(n, _)| !n.eq_ignore_ascii_case(name));
+        self.ast_generation += 1;
+        Ok(())
+    }
+
     /// Cumulative plan-cache statistics for this session.
     pub fn plan_cache_stats(&self) -> CacheStats {
         lock_cache(&self.plan_cache).stats()
@@ -319,29 +419,82 @@ impl SummarySession {
         let stmts = parse_statements(sql).map_err(|e| SumtabError::parse(sql, e))?;
         let mut out = Vec::with_capacity(stmts.len());
         for stmt in &stmts {
-            match stmt {
-                Statement::Insert { table, rows } if self.any_ast_reads(table) => {
-                    let values = sumtab_engine::session::literal_rows(rows)?;
-                    let n = values.len();
-                    self.append(table, values)?;
-                    out.push(StatementResult::Count(n));
-                }
-                _ => {
-                    out.push(self.session.run_statement(stmt)?);
-                    match stmt {
-                        Statement::CreateSummaryTable { name, .. } => self.register_ast(name)?,
-                        // Catalog DDL can change match outcomes (a new RI
-                        // constraint legalizes extra joins) without moving
-                        // any table epoch — invalidate cached plans.
-                        Statement::CreateTable(_) | Statement::AddForeignKey { .. } => {
-                            self.ast_generation += 1;
-                        }
-                        _ => {}
-                    }
-                }
-            }
+            out.push(self.apply_statement(stmt)?.0);
         }
         Ok(out)
+    }
+
+    /// Run one parsed statement and report what it logically did as an
+    /// [`AppliedOp`] — the hook the durability layer uses to frame WAL
+    /// records *after* the in-memory application succeeds (logical redo:
+    /// apply, then log, then acknowledge).
+    pub fn apply_statement(
+        &mut self,
+        stmt: &Statement,
+    ) -> Result<(StatementResult, AppliedOp), SumtabError> {
+        match stmt {
+            Statement::Insert { table, rows } if self.any_ast_reads(table) => {
+                let values = sumtab_engine::session::literal_rows(rows)?;
+                let n = values.len();
+                let report = self.append_with_report(table, values.clone())?;
+                Ok((
+                    StatementResult::Count(n),
+                    AppliedOp::Append {
+                        table: table.clone(),
+                        rows: values,
+                        refreshed: report.refreshed,
+                    },
+                ))
+            }
+            _ => {
+                let result = self.session.run_statement(stmt)?;
+                let op = match stmt {
+                    Statement::CreateSummaryTable { name, .. } => {
+                        self.register_ast(name)?;
+                        // Log the catalog's canonical rendering, which is
+                        // what re-registration parses on recovery.
+                        let query_sql = self
+                            .session
+                            .catalog
+                            .summary_table(name)
+                            .map(|d| d.query_sql.clone())
+                            .unwrap_or_default();
+                        AppliedOp::RegisterAst {
+                            name: name.clone(),
+                            query_sql,
+                        }
+                    }
+                    // Catalog DDL can change match outcomes (a new RI
+                    // constraint legalizes extra joins) without moving
+                    // any table epoch — invalidate cached plans.
+                    Statement::CreateTable(ct) => {
+                        self.ast_generation += 1;
+                        match self.session.catalog.table(&ct.name) {
+                            Some(t) => AppliedOp::CreateTable(t.clone()),
+                            None => AppliedOp::None,
+                        }
+                    }
+                    Statement::AddForeignKey {
+                        child_table,
+                        columns,
+                        parent_table,
+                    } => {
+                        self.ast_generation += 1;
+                        AppliedOp::AddForeignKey {
+                            child_table: child_table.clone(),
+                            columns: columns.clone(),
+                            parent_table: parent_table.clone(),
+                        }
+                    }
+                    Statement::Insert { table, rows } => AppliedOp::Insert {
+                        table: table.clone(),
+                        rows: sumtab_engine::session::literal_rows(rows)?,
+                    },
+                    Statement::Query(_) => AppliedOp::None,
+                };
+                Ok((result, op))
+            }
+        }
     }
 
     /// Plan a query: build its QGM and rewrite it against the registered
@@ -572,6 +725,18 @@ impl SummarySession {
     ///
     /// Returns the names of the incrementally-maintained ASTs.
     pub fn append(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<String>, SumtabError> {
+        self.append_with_report(table, rows).map(|r| r.maintained)
+    }
+
+    /// [`SummarySession::append`], additionally reporting which ASTs fell
+    /// off the incremental path onto a full refresh — the durability layer
+    /// needs that distinction because the degradation may be caused by a
+    /// transient fault that will not recur on replay.
+    pub fn append_with_report(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<AppendReport, SumtabError> {
         let table_lc = table.to_ascii_lowercase();
         // Plan first, against the pre-append state.
         let mut incremental = Vec::new();
@@ -592,7 +757,7 @@ impl SummarySession {
         self.session
             .db
             .insert(&self.session.catalog, table, rows.clone())?;
-        let mut maintained = Vec::new();
+        let mut report = AppendReport::default();
         for (i, plan) in incremental {
             let st = self.asts.get(i).ok_or_else(|| SumtabError::Maintain {
                 ast: table_lc.clone(),
@@ -627,7 +792,7 @@ impl SummarySession {
                     if let Some(st) = self.asts.get_mut(i) {
                         st.base_epochs.insert(table_lc.clone(), epoch);
                     }
-                    maintained.push(name);
+                    report.maintained.push(name);
                 }
                 Err(cause) => {
                     // Degrade: recompute from scratch rather than leaving
@@ -639,13 +804,14 @@ impl SummarySession {
                              fallback full refresh also failed: {e}"
                         ),
                     })?;
+                    report.refreshed.push(name);
                 }
             }
         }
         for name in full {
             self.refresh(&name)?;
         }
-        Ok(maintained)
+        Ok(report)
     }
 
     /// Refresh one summary table from current base data (full recompute —

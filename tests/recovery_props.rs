@@ -1,0 +1,353 @@
+//! Property tests for crash recovery: random workload scripts (inserts
+//! with unique ids, refreshes, invalidations, AST register/deregister)
+//! killed at random points — cleanly and at every IO fail point — must
+//! recover to byte-identical results against an uninterrupted run of the
+//! same script. Double recovery must be idempotent.
+//!
+//! Seeds are deterministic but overridable: set `SUMTAB_RECOVERY_SEED` to
+//! reproduce a failure. Before each case runs, its seed (and the exact
+//! reproduction command) is written to `target/recovery-props-seed.txt`,
+//! so a failing run always leaves the seed on disk for CI to upload.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use sumtab::{failpoint, sort_rows, DurabilityMode, DurableOptions, DurableSession, Row, Value};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sumtab-props-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+/// SplitMix64 — tiny, deterministic, good enough for workload shuffling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("SUMTAB_RECOVERY_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x");
+            u64::from_str_radix(t, 16)
+                .or_else(|_| t.parse())
+                .expect("SUMTAB_RECOVERY_SEED must be a (hex or decimal) u64")
+        }
+        Err(_) => 0x5eed_2026_0807_0001,
+    }
+}
+
+/// Leave the case's seed on disk *before* running it, so a failure (or a
+/// kill) still has the reproduction recipe available for CI to upload.
+/// Integration tests run with the package root (`crates/sumtab`) as cwd.
+fn record_seed(label: &str, seed: u64) {
+    let dir = std::path::Path::new("../../target");
+    std::fs::create_dir_all(dir).ok();
+    std::fs::write(
+        dir.join("recovery-props-seed.txt"),
+        format!(
+            "case: {label}\nseed: {seed:#x}\nreproduce: SUMTAB_RECOVERY_SEED={seed:#x} \
+             cargo test -p sumtab --test recovery_props\n"
+        ),
+    )
+    .ok();
+}
+
+const SETUP: &str = "create table t (k int not null, id int not null, v int not null);
+     create summary table st as (select k, sum(v) as sv, count(*) as c from t group by k);";
+
+const PROBE: &str = "select k, sum(v) as sv, count(*) as c from t group by k";
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert one row with a workload-unique `id` — the uniqueness is what
+    /// makes "was this op made durable?" decidable after a crash.
+    Insert {
+        k: i64,
+        id: i64,
+        v: i64,
+    },
+    Refresh,
+    Invalidate,
+    RegisterExtra,
+    DeregisterExtra,
+}
+
+fn gen_ops(rng: &mut Rng, n: usize) -> Vec<Op> {
+    let mut ops = Vec::with_capacity(n);
+    let mut next_id = 0i64;
+    for _ in 0..n {
+        ops.push(match rng.below(10) {
+            0..=5 => {
+                next_id += 1;
+                Op::Insert {
+                    k: rng.below(4) as i64,
+                    id: next_id,
+                    v: rng.below(100) as i64,
+                }
+            }
+            6 => Op::Refresh,
+            7 => Op::Invalidate,
+            8 => Op::RegisterExtra,
+            _ => Op::DeregisterExtra,
+        });
+    }
+    ops
+}
+
+/// Apply one op. Register/deregister check current state first, which
+/// doubles as the exactly-once guard when an op is conditionally re-applied
+/// after a mid-op crash.
+fn apply(s: &mut DurableSession, op: &Op) {
+    match op {
+        Op::Insert { k, id, v } => {
+            s.run_script(&format!("insert into t values ({k}, {id}, {v})"))
+                .unwrap();
+        }
+        Op::Refresh => s.refresh("st").unwrap(),
+        Op::Invalidate => s.invalidate("t"),
+        Op::RegisterExtra => {
+            if !s.session().session.catalog.is_summary_table("st2") {
+                s.run_script(
+                    "create summary table st2 as (select id, sum(v) as sv from t group by id)",
+                )
+                .unwrap();
+            }
+        }
+        Op::DeregisterExtra => {
+            if s.session().session.catalog.is_summary_table("st2") {
+                s.deregister("st2").unwrap();
+            }
+        }
+    }
+}
+
+/// Is this op's effect already present? Only inserts need real detection
+/// (via their unique id); register/deregister self-check inside [`apply`];
+/// refresh/invalidate are idempotent and safe to re-apply.
+fn already_applied(s: &DurableSession, op: &Op) -> bool {
+    match op {
+        Op::Insert { id, .. } => {
+            let (data, _) = s.session().session.db.export_state();
+            data.iter()
+                .find(|(name, _)| name == "t")
+                .is_some_and(|(_, rows)| rows.iter().any(|r| r.get(1) == Some(&Value::Int(*id))))
+        }
+        _ => false,
+    }
+}
+
+/// Everything a workload can observe: full per-table contents (sorted —
+/// summary maintenance order is an implementation detail) and the probe
+/// query's result rows. Byte-identical here means recovery is exact.
+fn observe(s: &mut DurableSession) -> (Vec<(String, Vec<Row>)>, Vec<Row>) {
+    let (data, _) = s.session().session.db.export_state();
+    let data = data
+        .into_iter()
+        .map(|(name, rows)| (name, sort_rows(rows)))
+        .collect();
+    let probe = sort_rows(s.query(PROBE).unwrap().rows);
+    (data, probe)
+}
+
+fn open(dir: &std::path::Path) -> DurableSession {
+    DurableSession::open_with(
+        dir,
+        DurableOptions {
+            snapshot_every: 5,
+            ..DurableOptions::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Clean kills: drop the session at random points mid-workload (every op
+/// was acked durable, so *nothing* may be lost) and compare the final
+/// state — including per-table modification epochs, which recovery
+/// restores exactly — against an uninterrupted run.
+#[test]
+fn clean_kills_recover_byte_identical_state() {
+    let _serial = serialize();
+    failpoint::disarm_all();
+    let base = base_seed();
+    for case in 0..4u64 {
+        let seed = base ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        record_seed(&format!("clean-kills[{case}]"), seed);
+        let mut rng = Rng(seed);
+        let ops = gen_ops(&mut rng, 30);
+
+        let dir_a = tmp_dir("clean-a");
+        let mut a = open(&dir_a);
+        a.run_script(SETUP).unwrap();
+        for op in &ops {
+            apply(&mut a, op);
+        }
+        let (data_a, probe_a) = observe(&mut a);
+        let (_, epochs_a) = a.session().session.db.export_state();
+        drop(a);
+
+        let dir_b = tmp_dir("clean-b");
+        let mut b = open(&dir_b);
+        b.run_script(SETUP).unwrap();
+        let mut kills = 0usize;
+        for op in &ops {
+            apply(&mut b, op);
+            assert_eq!(b.mode(), &DurabilityMode::Durable, "seed {seed:#x}");
+            if rng.below(5) == 0 {
+                drop(b);
+                b = open(&dir_b);
+                kills += 1;
+            }
+        }
+        // Final kill plus a double recovery: recovering a recovered state
+        // must change nothing.
+        drop(b);
+        let b1 = open(&dir_b);
+        assert!(b1.recovery_report().rejected.is_empty(), "seed {seed:#x}");
+        drop(b1);
+        let mut b = open(&dir_b);
+        let (data_b, probe_b) = observe(&mut b);
+        let (_, epochs_b) = b.session().session.db.export_state();
+
+        let ctx = format!("seed {seed:#x}, {kills} kills");
+        assert_eq!(probe_a, probe_b, "{ctx}: query results diverged");
+        assert_eq!(data_a, data_b, "{ctx}: table contents diverged");
+        assert_eq!(epochs_a, epochs_b, "{ctx}: epochs must recover exactly");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}
+
+/// Kill at every IO fail point mid-workload. A WAL fault degrades the
+/// session to ephemeral — at that point we "crash", recover, and re-apply
+/// the interrupted op only if its effect is missing (its durability was
+/// exactly what the fault destroyed; with `wal-fsync` the bytes may have
+/// survived anyway, which is why the re-apply must be conditional).
+/// Snapshot faults must be absorbed without losing anything at all. Either
+/// way the final state matches the uninterrupted run byte for byte.
+#[test]
+fn faulted_kills_converge_with_conditional_reapply() {
+    let _serial = serialize();
+    let base = base_seed();
+    for (ci, fp) in [
+        "wal-append",
+        "wal-fsync",
+        "snapshot-write",
+        "snapshot-rename",
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        failpoint::disarm_all();
+        let seed = base ^ (ci as u64 + 11).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        record_seed(&format!("faulted[{fp}]"), seed);
+        let mut rng = Rng(seed);
+        let mut ops = gen_ops(&mut rng, 24);
+        // Arm the fault at an insert: inserts always emit WAL records (a
+        // register/deregister can be a state-checked no-op), so a WAL fail
+        // point armed there is guaranteed to fire during that very op.
+        let inserts: Vec<usize> = ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| matches!(op, Op::Insert { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let fault_at = if inserts.is_empty() {
+            ops.push(Op::Insert {
+                k: 0,
+                id: 1000,
+                v: 1,
+            });
+            ops.len() - 1
+        } else {
+            inserts[rng.below(inserts.len() as u64) as usize]
+        };
+
+        let dir_a = tmp_dir("fault-a");
+        let mut a = open(&dir_a);
+        a.run_script(SETUP).unwrap();
+        for op in &ops {
+            apply(&mut a, op);
+        }
+        let (data_a, probe_a) = observe(&mut a);
+        drop(a);
+
+        let dir_b = tmp_dir("fault-b");
+        let mut b = open(&dir_b);
+        b.run_script(SETUP).unwrap();
+        let mut crashed = false;
+        for (i, op) in ops.iter().enumerate() {
+            if i == fault_at {
+                failpoint::arm_times(fp, 1);
+            }
+            apply(&mut b, op);
+            if matches!(b.mode(), DurabilityMode::Ephemeral { .. }) {
+                // The fault destroyed this op's durability (and only
+                // this op's: the mode is checked after every one).
+                drop(b);
+                failpoint::disarm_all();
+                b = open(&dir_b);
+                assert_eq!(b.mode(), &DurabilityMode::Durable, "{fp} seed {seed:#x}");
+                if !already_applied(&b, op) {
+                    apply(&mut b, op);
+                }
+                crashed = true;
+            }
+        }
+        failpoint::disarm_all();
+        match fp {
+            "wal-append" | "wal-fsync" => assert!(
+                crashed,
+                "{fp} seed {seed:#x}: the armed WAL fault must have fired"
+            ),
+            // Snapshot faults never cost durability, hence never a crash.
+            _ => assert!(!crashed, "{fp} seed {seed:#x}"),
+        }
+        drop(b);
+        let mut b = open(&dir_b);
+        let (data_b, probe_b) = observe(&mut b);
+        let ctx = format!("{fp} seed {seed:#x} fault at op {fault_at}");
+        assert_eq!(probe_a, probe_b, "{ctx}: query results diverged");
+        assert_eq!(data_a, data_b, "{ctx}: table contents diverged");
+
+        // And once more: double recovery of the converged state is a no-op.
+        drop(b);
+        let mut b2 = open(&dir_b);
+        let (data_b2, probe_b2) = observe(&mut b2);
+        assert_eq!(
+            (data_b2, probe_b2),
+            (data_a, probe_a),
+            "{ctx}: double recovery"
+        );
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+}

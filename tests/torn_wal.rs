@@ -1,0 +1,229 @@
+//! Torn-write corpus: take a small but representative WAL (DDL, AST
+//! registration, inserts, maintenance, an epoch bump) and a snapshot, then
+//! mutilate them at **every byte offset** — truncations and bit flips —
+//! and recover from each mutant. The contract: recovery either succeeds
+//! with a consistent prefix of the original history, or fails with a typed
+//! [`PersistError`]/[`RecoverError`]; it never panics and never serves a
+//! state that disagrees with itself.
+//!
+//! Fail-point state is process-global elsewhere in the suite, so these
+//! tests take the same lock even though they arm nothing themselves.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use sumtab::persist::{snapshot, wal, PersistError};
+use sumtab::{sort_rows, DurableOptions, DurableSession, RecoverError};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serialize() -> MutexGuard<'static, ()> {
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let d = std::env::temp_dir().join(format!(
+        "sumtab-torn-{}-{}-{}",
+        std::process::id(),
+        tag,
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::remove_dir_all(&d).ok();
+    d
+}
+
+const PROBE: &str = "select k, sum(v) as sv from t group by k";
+
+/// Build a golden durability directory covering every record kind, with
+/// `snapshot_every: 0` so the whole history lives in the WAL.
+fn golden_dir(tag: &str) -> (PathBuf, usize) {
+    let dir = tmp_dir(tag);
+    let mut s = DurableSession::open_with(
+        &dir,
+        DurableOptions {
+            snapshot_every: 0,
+            ..DurableOptions::default()
+        },
+    )
+    .unwrap();
+    s.run_script(
+        "create table t (k int not null, v int not null);
+         insert into t values (1, 10);
+         create summary table st as (select k, sum(v) as sv, count(*) as c from t group by k);
+         insert into t values (2, 20);
+         insert into t values (1, 5);",
+    )
+    .unwrap();
+    s.invalidate("t");
+    s.refresh("st").unwrap();
+    let rows = s.session().session.db.row_count("t");
+    drop(s);
+    (dir, rows)
+}
+
+/// Open a scratch dir holding `wal_bytes` as its entire WAL (recovery
+/// *writes* — truncating torn tails, appending — so every mutant needs a
+/// fresh directory) and check the recovery contract.
+fn check_mutant(scratch: &Path, wal_bytes: &[u8], golden_rows: usize, what: &str) {
+    std::fs::create_dir_all(scratch).unwrap();
+    std::fs::write(scratch.join("wal.bin"), wal_bytes).unwrap();
+    // The call must return, not panic; catch_unwind would mask aborts and
+    // is redundant — a panic fails the test on its own.
+    match DurableSession::open(scratch) {
+        Ok(mut s) => {
+            let recovered = s.session().session.db.row_count("t");
+            assert!(
+                recovered <= golden_rows,
+                "{what}: recovered {recovered} rows from a prefix of {golden_rows}"
+            );
+            // Consistency of whatever prefix survived: if the AST came
+            // back, it must agree exactly with the base tables.
+            if !s.session().asts().is_empty() && recovered > 0 {
+                let with = s.query(PROBE).unwrap();
+                let without = s.query_no_rewrite(PROBE).unwrap();
+                assert_eq!(
+                    sort_rows(with.rows),
+                    sort_rows(without.rows),
+                    "{what}: recovered AST diverges from base data"
+                );
+            }
+            // The tail (if any) was truncated: recovering the recovered
+            // state is clean and identical.
+            let torn = s.recovery_report().torn_tail.clone();
+            drop(s);
+            let s2 = DurableSession::open(scratch).unwrap();
+            assert!(
+                s2.recovery_report().torn_tail.is_none(),
+                "{what}: first recovery (torn: {torn:?}) left a torn tail behind"
+            );
+            assert_eq!(
+                s2.session().session.db.row_count("t"),
+                recovered,
+                "{what}: double recovery diverged"
+            );
+        }
+        Err(e) => {
+            // Typed, attributable failure — header corruption and the like.
+            assert!(
+                matches!(
+                    &e,
+                    RecoverError::Storage(PersistError::Corrupt { .. })
+                        | RecoverError::Storage(PersistError::Io { .. })
+                ),
+                "{what}: recovery error must be typed storage corruption, got {e}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(scratch).ok();
+}
+
+#[test]
+fn wal_truncated_at_every_offset_recovers_or_fails_typed() {
+    let _serial = serialize();
+    let (dir, golden_rows) = golden_dir("trunc-golden");
+    let bytes = std::fs::read(dir.join("wal.bin")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        bytes.len() > wal::WAL_MAGIC.len(),
+        "golden wal is non-trivial"
+    );
+    let scratch = tmp_dir("trunc");
+    for cut in 0..bytes.len() {
+        check_mutant(
+            &scratch,
+            &bytes[..cut],
+            golden_rows,
+            &format!("truncate at {cut}/{}", bytes.len()),
+        );
+    }
+    // The unmutilated log recovers everything, proving the corpus actually
+    // exercises shorter prefixes against a full baseline.
+    check_mutant(&scratch, &bytes, golden_rows, "full log");
+}
+
+#[test]
+fn wal_bitflip_at_every_offset_recovers_or_fails_typed() {
+    let _serial = serialize();
+    let (dir, golden_rows) = golden_dir("flip-golden");
+    let bytes = std::fs::read(dir.join("wal.bin")).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+    let scratch = tmp_dir("flip");
+    for i in 0..bytes.len() {
+        let mut mutant = bytes.clone();
+        mutant[i] ^= 0x40;
+        check_mutant(
+            &scratch,
+            &mutant,
+            golden_rows,
+            &format!("flip byte {i}/{}", bytes.len()),
+        );
+    }
+}
+
+/// Flipping any byte of a snapshot must yield a typed corruption error
+/// from [`snapshot::read_snapshot`] — never a panic, never a half-decoded
+/// state — and recovery on top of it must refuse with the same typed error
+/// rather than silently starting fresh over live data.
+#[test]
+fn snapshot_corruption_at_every_offset_is_typed() {
+    let _serial = serialize();
+    let dir = tmp_dir("snap-golden");
+    {
+        let mut s = DurableSession::open(&dir).unwrap();
+        s.run_script(
+            "create table t (k int not null, v int not null);
+             insert into t values (1, 10), (2, 20);
+             create summary table st as (select k, sum(v) as sv, count(*) as c from t group by k);",
+        )
+        .unwrap();
+        s.snapshot_now().unwrap();
+    }
+    let snap_path = dir.join(snapshot::SNAP_FILE);
+    let bytes = std::fs::read(&snap_path).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+
+    let scratch = tmp_dir("snap");
+    let mut flips_rejected = 0usize;
+    for i in 0..bytes.len() {
+        let mut mutant = bytes.clone();
+        mutant[i] ^= 0x01;
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(scratch.join(snapshot::SNAP_FILE), &mutant).unwrap();
+        match snapshot::read_snapshot(&scratch) {
+            Ok(_) => {}
+            Err(PersistError::Corrupt { .. }) => flips_rejected += 1,
+            Err(e) => panic!("flip byte {i}: expected Corrupt, got {e}"),
+        }
+        // Recovery over the corrupt snapshot refuses with the same typed
+        // error instead of quietly dropping persisted state.
+        match DurableSession::open(&scratch) {
+            Err(RecoverError::Storage(PersistError::Corrupt { .. })) => {}
+            other => panic!(
+                "flip byte {i}: open over corrupt snapshot must fail typed, got {:?}",
+                other.map(|_| "Ok(session)")
+            ),
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+    // Every single-byte flip lands inside magic, checksummed payload, or
+    // the checksum itself; none may slip through.
+    assert_eq!(flips_rejected, bytes.len());
+
+    // Truncations too: every shorter prefix is typed corruption (a missing
+    // file, by contrast, is a legitimate fresh start — Ok(None)).
+    for cut in 0..bytes.len() {
+        std::fs::create_dir_all(&scratch).unwrap();
+        std::fs::write(scratch.join(snapshot::SNAP_FILE), &bytes[..cut]).unwrap();
+        match snapshot::read_snapshot(&scratch) {
+            Err(PersistError::Corrupt { .. }) => {}
+            other => panic!("truncate at {cut}: expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+    assert!(matches!(snapshot::read_snapshot(&scratch), Ok(None)));
+}
