@@ -3,9 +3,10 @@
 //! over a scale-factor sweep of the generated star schema, plus the
 //! base-plan vs AST-rewritten-plan gap under the new executor.
 //!
-//! Emits `BENCH_exec.json` at the repository root and aborts loudly if the
-//! columnar path is not at least 3× faster than the serial interpreter on
-//! the large scan at the biggest scale — the tentpole's acceptance bar.
+//! Emits `BENCH_exec.json` at the repository root and aborts loudly if any
+//! case's columnar-over-serial speedup at the biggest scale falls under
+//! its per-case floor (see [`CASES`]) — regression bars for every executor
+//! layer, not just the headline scan.
 //!
 //! Plain `harness = false` benchmark (no external benchmark framework —
 //! the workspace builds offline); accepts `--quick` for CI smoke runs.
@@ -16,27 +17,37 @@ use sumtab::engine::{execute_serial, execute_with, ExecOptions, DEFAULT_MORSEL_S
 use sumtab::QgmGraph;
 use sumtab_bench::{median_time, prepare};
 
-/// (name, SQL) pairs exercising each executor layer: the fused columnar
-/// scan, hash join + partitioned aggregation, grouping sets, and top-k.
-const CASES: &[(&str, &str)] = &[
+/// (name, SQL, floor) triples exercising each executor layer: the fused
+/// columnar scan, hash join + partitioned aggregation, grouping sets, and
+/// top-k. The floor is the minimum parallel-over-serial speedup tolerated
+/// at the biggest scale — set well under steady-state measurements
+/// (large_scan ~3.5×, join_group_by ~0.9–1.0× — join build dominates and
+/// parallelism roughly breaks even, the floor only catches it going badly
+/// backwards — grouping_sets ~1.7×, top_k ~6–8×) so a real regression
+/// trips it, not scheduler jitter.
+const CASES: &[(&str, &str, f64)] = &[
     (
         "large_scan",
         "select tid, qty * price * (1 - disc) as amt from trans \
          where qty >= 2 and disc < 0.1",
+        3.0,
     ),
     (
         "join_group_by",
         "select country, year(date) as y, sum(qty * price) as rev, count(*) as cnt \
          from trans, loc where flid = lid group by country, year(date)",
+        0.7,
     ),
     (
         "grouping_sets",
         "select flid, fpgid, sum(qty) as q, count(*) as c from trans \
          group by grouping sets ((flid, fpgid), (flid), ())",
+        1.3,
     ),
     (
         "top_k",
         "select tid, price from trans order by price desc, tid limit 10",
+        3.0,
     ),
 ];
 
@@ -68,7 +79,7 @@ fn main() {
     };
 
     let mut scale_records = Vec::new();
-    let mut largest_scan_speedup = 0.0f64;
+    let mut biggest_scale_speedups: Vec<(&str, f64, f64)> = Vec::new();
     for &scale in scales {
         let fx = prepare(scale);
         println!("scale {scale}:");
@@ -77,7 +88,7 @@ fn main() {
             "case", "serial", "parallel", "speedup"
         );
         let mut case_records = Vec::new();
-        for (name, sql) in CASES {
+        for (name, sql, floor) in CASES {
             let g = graph(sql, &fx.catalog);
             // Results must agree before timing means anything.
             assert_eq!(
@@ -93,8 +104,8 @@ fn main() {
             });
             let speedup = serial.as_secs_f64() / parallel.as_secs_f64().max(f64::EPSILON);
             println!("  {name:<16} {serial:>10.3?} {parallel:>10.3?} {speedup:>8.2}x");
-            if *name == "large_scan" {
-                largest_scan_speedup = speedup;
+            if scale == *scales.last().unwrap() {
+                biggest_scale_speedups.push((name, speedup, *floor));
             }
             case_records.push(format!(
                 "{{\"case\": \"{name}\", \"serial_ns\": {}, \"parallel_ns\": {}, \
@@ -147,9 +158,13 @@ fn main() {
     std::fs::write(&out, json).unwrap();
     println!("wrote {}", out.display());
 
-    assert!(
-        largest_scan_speedup >= 3.0,
-        "columnar executor must be >= 3x the serial interpreter on the large \
-         scan at the biggest scale; measured {largest_scan_speedup:.2}x"
-    );
+    // Per-case floors at the biggest scale: a single blanket bar on one
+    // case let the others regress unnoticed.
+    for (name, speedup, floor) in &biggest_scale_speedups {
+        assert!(
+            speedup >= floor,
+            "{name}: columnar executor must be >= {floor:.1}x the serial \
+             interpreter at the biggest scale; measured {speedup:.2}x"
+        );
+    }
 }

@@ -1,0 +1,127 @@
+//! Result-cache benchmark: repeated identical queries through a
+//! [`sumtab::SummarySession`], cold (result cache disabled) vs warm
+//! (cached). The acceptance bar is a >= 10x win on the repeat path; the
+//! bench also proves the cache is *correctly invalidated* — an append to a
+//! base table bumps its epoch, after which the cached result must not be
+//! served.
+//!
+//! Emits `BENCH_result_cache.json` at the repository root. Plain
+//! `harness = false` benchmark; accepts `--quick` for CI smoke runs.
+
+// Benches run over fixed inputs; unwrap/expect failures should abort loudly.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sumtab::catalog::SummaryTableDef;
+use sumtab::engine::backing_table_schema;
+use sumtab::{Date, RegisteredAst, SummarySession, Value};
+use sumtab_bench::{median_time, prepare};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scale = if quick { 10_000 } else { 50_000 };
+    let reps = if quick { 5 } else { 15 };
+    let fx = prepare(scale);
+
+    // Promote the fixture's materialized ASTs into catalog-registered
+    // summary tables so `with_data` re-registers them for rewriting.
+    let mut catalog = fx.catalog;
+    let mut defs = Vec::new();
+    for case in &fx.cases {
+        let ast = RegisteredAst::from_sql(&case.ast_name, case.case.ast, &catalog).unwrap();
+        let backing = backing_table_schema(&case.ast_name, &ast.graph, &catalog).unwrap();
+        defs.push((
+            SummaryTableDef {
+                name: case.ast_name.clone(),
+                query_sql: case.case.ast.to_string(),
+            },
+            backing,
+        ));
+    }
+    for (def, backing) in defs {
+        catalog.add_summary_table(def, backing).unwrap();
+    }
+
+    // The heaviest figure (largest AST backing table — Figure 5's shape):
+    // its cold execution does real work whichever way the router sends it.
+    let heavy = fx
+        .cases
+        .iter()
+        .filter(|c| c.rewritten.is_some())
+        .max_by_key(|c| c.ast_rows)
+        .unwrap();
+    let sql = heavy.case.query;
+
+    let mut session = SummarySession::with_data(catalog, fx.db);
+    let routing = session.plan_detail(sql).unwrap().routing.label().to_string();
+
+    // Cold: result cache off; every repetition plans (cached pair) and
+    // executes.
+    session.set_result_cache_capacity(0);
+    session.query(sql).unwrap();
+    let cold = median_time(reps, || {
+        session.query(sql).unwrap();
+    });
+
+    // Warm: result cache on; one populating run, then every repetition is
+    // a cache hit.
+    session.set_result_cache_capacity(16);
+    session.query(sql).unwrap();
+    let warm = median_time(reps, || {
+        session.query(sql).unwrap();
+    });
+    let speedup = cold.as_secs_f64() / warm.as_secs_f64().max(f64::EPSILON);
+    let hits = session.result_cache_stats().hits;
+    assert!(hits >= reps as u64, "warm runs must be cache hits");
+
+    // Epoch invalidation: appending to the fact table bumps its epoch;
+    // the cached result's snapshot no longer validates, so the next
+    // identical query must re-execute, not serve stale rows.
+    let hits_before = session.result_cache_stats().hits;
+    session
+        .append(
+            "trans",
+            vec![vec![
+                Value::Int(scale as i64 + 1_000_000),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Int(1),
+                Value::Date(Date::new(2000, 1, 1).unwrap()),
+                Value::Int(1),
+                Value::Double(1.0),
+                Value::Double(0.0),
+            ]],
+        )
+        .unwrap();
+    session.query(sql).unwrap();
+    let invalidated = session.result_cache_stats().hits == hits_before;
+    assert!(
+        invalidated,
+        "a base-table append must invalidate the cached result"
+    );
+    // ... and the re-executed result is re-cached at the new epochs.
+    session.query(sql).unwrap();
+    assert_eq!(session.result_cache_stats().hits, hits_before + 1);
+
+    println!(
+        "{:<10} routing={routing:<10} cold {cold:>10.3?}  warm {warm:>10.3?}  {speedup:>8.1}x",
+        heavy.case.id
+    );
+    assert!(
+        speedup >= 10.0,
+        "repeated identical queries must be >= 10x faster with the result \
+         cache; measured {speedup:.2}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"result_cache\",\n  \"quick\": {quick},\n  \
+         \"figure\": \"{}\",\n  \"routing\": \"{routing}\",\n  \
+         \"cold_ns\": {},\n  \"warm_ns\": {},\n  \"speedup\": {speedup:.2},\n  \
+         \"epoch_invalidation\": {invalidated}\n}}\n",
+        heavy.case.id,
+        cold.as_nanos(),
+        warm.as_nanos(),
+    );
+    let out =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_result_cache.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+}

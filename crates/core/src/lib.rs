@@ -44,6 +44,7 @@
 
 pub mod baseline;
 pub mod context;
+pub mod cost;
 pub mod derive;
 pub mod equiv;
 pub mod patterns;

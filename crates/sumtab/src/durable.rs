@@ -307,6 +307,24 @@ impl DurableSession {
         self.inner.plan_generation()
     }
 
+    /// Configure the wrapped session's result-cache capacity.
+    ///
+    /// Routing, feedback, and result-cache state are *derived* — none of it
+    /// is WAL-logged. Recovery replays registrations, which bumps the plan
+    /// generation and so invalidates any pre-crash routing decisions and
+    /// cached results; the cost model re-derives the same routes from the
+    /// recovered catalog, and the feedback loop re-learns from live
+    /// executions.
+    pub fn set_result_cache_capacity(&mut self, n: usize) {
+        self.inner.set_result_cache_capacity(n);
+    }
+
+    /// Configure the wrapped session's routing policy (not WAL-logged;
+    /// reapply after reopening if a non-default policy is wanted).
+    pub fn set_router_options(&mut self, opts: crate::RouterOptions) {
+        self.inner.set_router_options(opts);
+    }
+
     /// Run a script durably: each statement is applied in memory, then its
     /// logical records are appended to the WAL before the next statement
     /// runs. A failed statement surfaces as an error with nothing logged

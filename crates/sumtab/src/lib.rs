@@ -64,8 +64,10 @@ pub use durable::{DurabilityMode, DurableOptions, DurableSession, RecoverError, 
 
 pub use sumtab_catalog::{Catalog, Date, SqlType, Value};
 pub use sumtab_engine::{
-    format_table, sort_rows, CacheStats, Database, PlanCache, Row, Session, SumtabError,
+    format_table, sort_rows, CacheStats, Database, FeedbackEntry, PlanCache, RouteChoice, Row,
+    Session, SumtabError,
 };
+pub use sumtab_matcher::cost;
 pub use sumtab_matcher::{
     baseline::baseline_matches, AstDefError, CandidateOutcome, MatchError, RegisteredAst, Rewrite,
     Rewriter,
@@ -73,8 +75,10 @@ pub use sumtab_matcher::{
 pub use sumtab_qgm::{build_query, graph_fingerprint, render_graph_sql, QgmGraph};
 
 use std::collections::BTreeMap;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 use sumtab_engine::session::StatementResult;
+use sumtab_matcher::cost::{PlanCost, RoutePolicy};
 use sumtab_parser::{parse_query, parse_statements, Statement};
 
 /// The result of a transparently-rewritten query.
@@ -92,6 +96,15 @@ pub struct QueryResult {
     /// re-answered from base tables: a description of the failure. `None`
     /// means no degradation happened (the plan that was chosen also ran).
     pub fallback: Option<String>,
+    /// When the router *deliberately* declined or overrode a viable
+    /// rewrite — the cost model kept the base plan, or runtime feedback
+    /// re-routed the query — the reason is reported here. `None` for the
+    /// normal paths (no match, or the rewrite was chosen and ran).
+    ///
+    /// This is intentionally distinct from [`QueryResult::fallback`]:
+    /// a cost-based base-plan choice is the router working as designed,
+    /// not a degradation, and must not pollute failure telemetry.
+    pub routed: Option<String>,
 }
 
 /// A registered AST plus the base-table epochs captured when its contents
@@ -180,8 +193,98 @@ pub struct AppendReport {
     pub refreshed: Vec<String>,
 }
 
+/// How the cost-based router disposed of one query's rewrite candidates.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RouteDecision {
+    /// No registered AST matched; the base plan is the only plan.
+    NoMatch,
+    /// A rewrite matched and the cost model chose it.
+    Rewrite,
+    /// A rewrite matched but the cost model estimated the base plan
+    /// cheaper — the losing rewrite was rejected *before* execution.
+    Base {
+        /// Estimated total rows processed by the base plan.
+        base_cost: f64,
+        /// Estimated total rows processed by the rejected rewrite.
+        rewrite_cost: f64,
+        /// The ASTs the rejected rewrite would have read.
+        rejected: Vec<String>,
+    },
+    /// Runtime feedback overrode the cost estimate for this query — either
+    /// both plans have been measured and the measured-faster one differs
+    /// from the estimate, or the estimated plan overran its estimate badly
+    /// enough that the unmeasured alternative is being probed.
+    ReRouted {
+        /// The plan that actually runs.
+        to: RouteChoice,
+        /// Why the estimate was overridden.
+        reason: String,
+    },
+}
+
+impl RouteDecision {
+    /// A stable one-word tag (`none` / `rewrite` / `base` / `re-routed`)
+    /// for benches and telemetry.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteDecision::NoMatch => "none",
+            RouteDecision::Rewrite => "rewrite",
+            RouteDecision::Base { .. } => "base",
+            RouteDecision::ReRouted { .. } => "re-routed",
+        }
+    }
+
+    /// The reason string surfaced through [`QueryResult::routed`]: `Some`
+    /// only when the router declined or overrode a viable rewrite.
+    pub fn describe(&self) -> Option<String> {
+        match self {
+            RouteDecision::NoMatch | RouteDecision::Rewrite => None,
+            RouteDecision::Base {
+                base_cost,
+                rewrite_cost,
+                rejected,
+            } => Some(format!(
+                "cost routing kept the base plan: rewrite via {} estimated \
+                 {rewrite_cost:.0} rows processed vs base {base_cost:.0}",
+                rejected.join(", ")
+            )),
+            RouteDecision::ReRouted { to, reason } => Some(format!(
+                "re-routed by runtime feedback to the {} plan: {reason}",
+                match to {
+                    RouteChoice::Base => "base",
+                    RouteChoice::Rewrite => "rewritten",
+                }
+            )),
+        }
+    }
+}
+
+/// Tunables for the cost-based router and its feedback loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouterOptions {
+    /// The static cost policy (rewrite penalty, small-plan gate).
+    pub policy: RoutePolicy,
+    /// When the chosen plan's observed latency exceeds its calibrated
+    /// estimate by this factor — and the alternative plan has never been
+    /// measured — the next identical query probes the alternative, after
+    /// which the measured-faster plan wins outright. `0.0` probes after
+    /// every calibrated execution (useful in tests); larger values trust
+    /// the estimates more.
+    pub reroute_threshold: f64,
+}
+
+impl Default for RouterOptions {
+    fn default() -> RouterOptions {
+        RouterOptions {
+            policy: RoutePolicy::default(),
+            reroute_threshold: 4.0,
+        }
+    }
+}
+
 /// The outcome of planning one query: the final (possibly rewritten) graph,
-/// the ASTs it uses, and the ASTs that were considered but skipped.
+/// the ASTs it uses, the ASTs that were considered but skipped, and the
+/// router's disposition of the rewrite candidates.
 #[derive(Debug, Clone)]
 pub struct PlanDetail {
     /// The graph that would execute.
@@ -190,6 +293,60 @@ pub struct PlanDetail {
     pub used: Vec<String>,
     /// ASTs skipped for staleness or matcher errors, with reasons.
     pub skipped: Vec<SkippedAst>,
+    /// What the cost-based router decided.
+    pub routing: RouteDecision,
+}
+
+/// Both alternatives the router chooses between for one fingerprint, with
+/// their cost estimates — the unit the session plan cache stores. Caching
+/// the *pair* (rather than the chosen plan) is what lets a feedback
+/// re-route flip a cached entry without re-running the matcher, and what
+/// makes a cost-*rejected* match cheap on repetition: an F5-shaped query
+/// hits this entry and re-serves the base plan with zero navigator runs.
+#[derive(Debug, Clone)]
+struct RoutedPlan {
+    /// The un-rewritten plan.
+    base: QgmGraph,
+    /// Estimated cost of the base plan.
+    base_cost: PlanCost,
+    /// The best rewrite, when any AST matched.
+    rewrite: Option<RewriteAlt>,
+    /// ASTs skipped for staleness or matcher errors.
+    skipped: Vec<SkippedAst>,
+}
+
+/// A viable rewritten alternative.
+#[derive(Debug, Clone)]
+struct RewriteAlt {
+    /// The fully (iteratively) rewritten graph.
+    graph: QgmGraph,
+    /// ASTs the rewrite reads, in application order.
+    used: Vec<String>,
+    /// Estimated cost of the rewritten plan.
+    cost: PlanCost,
+}
+
+/// What `query` needs to close the feedback loop after execution.
+#[derive(Clone)]
+struct FeedbackCtx {
+    /// The plan fingerprint.
+    fp: String,
+    /// The choice that ran.
+    choice: RouteChoice,
+    /// The chosen plan's estimated cost (rows processed).
+    est_total: f64,
+}
+
+/// A fully routed plan: the detail to execute, plus the cache/feedback
+/// bookkeeping `query` needs afterwards.
+struct Routed {
+    detail: PlanDetail,
+    /// Fingerprint + epoch snapshot; `None` under fault injection (both
+    /// the plan cache and the result cache are bypassed).
+    key: Option<(String, BTreeMap<String, u64>)>,
+    /// Present only when a rewrite alternative exists (feedback on a
+    /// no-choice plan is meaningless).
+    feedback: Option<FeedbackCtx>,
 }
 
 /// Record each base table the graph scans at its current epoch.
@@ -220,15 +377,20 @@ fn ast_def_err(sql: &str, e: AstDefError) -> SumtabError {
     }
 }
 
-/// Plans a session keeps cached; small — a `PlanDetail` is one graph plus
+/// Plans a session keeps cached; small — a `RoutedPlan` is two graphs plus
 /// a few strings — and bounded, so a long-lived session cannot grow without
 /// limit on a stream of distinct queries.
 const PLAN_CACHE_CAPACITY: usize = 256;
 
-/// Lock the plan cache, recovering from poisoning (the cache holds no
+/// Default result-cache capacity. Results can be arbitrarily wide (a
+/// cached entry clones its rows on every hit), so the default is small;
+/// [`SummarySession::set_result_cache_capacity`] resizes, `0` disables.
+const RESULT_CACHE_CAPACITY: usize = 16;
+
+/// Lock a session cache, recovering from poisoning (the caches hold no
 /// invariants a panicking reader could break — entries are validated on
 /// every lookup anyway).
-fn lock_cache(m: &Mutex<PlanCache<PlanDetail>>) -> MutexGuard<'_, PlanCache<PlanDetail>> {
+fn lock_cache<V>(m: &Mutex<PlanCache<V>>) -> MutexGuard<'_, PlanCache<V>> {
     match m.lock() {
         Ok(g) => g,
         Err(poisoned) => poisoned.into_inner(),
@@ -249,9 +411,23 @@ pub struct SummarySession {
     pub session: Session,
     asts: Vec<AstState>,
     registration_failures: Vec<(String, String)>,
-    /// Fingerprint → `PlanDetail`, validated per lookup by epoch snapshot
-    /// and [`SummarySession::plan_generation`].
-    plan_cache: Mutex<PlanCache<PlanDetail>>,
+    /// Fingerprint → routed plan pair (base + best rewrite, with costs),
+    /// validated per lookup by epoch snapshot and
+    /// [`SummarySession::plan_generation`]. Also carries the routing
+    /// feedback sidecar (generation-validated only).
+    plan_cache: Mutex<PlanCache<Arc<RoutedPlan>>>,
+    /// Fingerprint → complete [`QueryResult`], validated by the *same*
+    /// epoch snapshot and generation as the plan cache: any mutation of a
+    /// table the plan can depend on invalidates the cached result.
+    result_cache: Mutex<PlanCache<QueryResult>>,
+    /// `0` disables result caching entirely.
+    result_cache_capacity: usize,
+    /// Cost-router tunables.
+    router: RouterOptions,
+    /// Observed nanoseconds per estimated cost unit (EMA across executed
+    /// queries) — the bridge between the cost model's "rows processed" and
+    /// wall-clock time that the feedback threshold compares against.
+    cost_calibration: Option<f64>,
     /// Bumped by every event that can change planning outcomes without
     /// touching table data: AST registration, `CREATE TABLE`, and
     /// `ALTER TABLE .. ADD FOREIGN KEY` (a new RI constraint can make a
@@ -266,6 +442,10 @@ impl Default for SummarySession {
             asts: Vec::new(),
             registration_failures: Vec::new(),
             plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
+            result_cache: Mutex::new(PlanCache::new(RESULT_CACHE_CAPACITY)),
+            result_cache_capacity: RESULT_CACHE_CAPACITY,
+            router: RouterOptions::default(),
+            cost_calibration: None,
             ast_generation: 0,
         }
     }
@@ -317,8 +497,7 @@ impl SummarySession {
             },
             asts,
             registration_failures,
-            plan_cache: Mutex::new(PlanCache::new(PLAN_CACHE_CAPACITY)),
-            ast_generation: 0,
+            ..SummarySession::default()
         }
     }
 
@@ -388,6 +567,38 @@ impl SummarySession {
     /// Cumulative plan-cache statistics for this session.
     pub fn plan_cache_stats(&self) -> CacheStats {
         lock_cache(&self.plan_cache).stats()
+    }
+
+    /// Cumulative result-cache statistics for this session.
+    pub fn result_cache_stats(&self) -> CacheStats {
+        lock_cache(&self.result_cache).stats()
+    }
+
+    /// Resize the result cache (dropping its contents); `0` disables
+    /// result caching. Results are validated like plans — same fingerprint,
+    /// same epoch snapshot, same generation — so a cached result can never
+    /// survive a mutation of any table its plan depends on, and fault
+    /// injection bypasses the cache entirely.
+    pub fn set_result_cache_capacity(&mut self, n: usize) {
+        self.result_cache_capacity = n;
+        *lock_cache(&self.result_cache) = PlanCache::new(n.max(1));
+    }
+
+    /// The configured result-cache capacity (`0` = disabled).
+    pub fn result_cache_capacity(&self) -> usize {
+        self.result_cache_capacity
+    }
+
+    /// Replace the router tunables (cost policy + feedback threshold).
+    /// Takes effect on the next planning decision — cached plan *pairs*
+    /// stay valid because the decision is re-derived on every lookup.
+    pub fn set_router_options(&mut self, opts: RouterOptions) {
+        self.router = opts;
+    }
+
+    /// The router tunables in effect.
+    pub fn router_options(&self) -> RouterOptions {
+        self.router
     }
 
     /// Is `table` read by any registered AST?
@@ -522,8 +733,9 @@ impl SummarySession {
         snap
     }
 
-    /// Plan a query, reporting which ASTs were used and which were skipped
-    /// (stale snapshot, or the matcher erred on them) and why.
+    /// Plan a query, reporting which ASTs were used, which were skipped
+    /// (stale snapshot, or the matcher erred on them) and why, and how the
+    /// cost-based router disposed of the candidates.
     ///
     /// Both skip classes degrade gracefully: a stale or matcher-erroring
     /// AST is simply not used — planning continues with the remaining ASTs
@@ -533,32 +745,96 @@ impl SummarySession {
     ///
     /// 1. **Plan cache** — a query with the same canonical fingerprint
     ///    ([`graph_fingerprint`]) planned at the same table epochs and
-    ///    generation returns its cached [`PlanDetail`] without any match
-    ///    attempt. Fault injection ([`failpoint::any_armed`]) bypasses the
-    ///    cache entirely so injected outcomes are never stored or served.
+    ///    generation returns its cached plan *pair* without any match
+    ///    attempt — including when the cached decision was "use the base
+    ///    plan": a cost-rejected match is not re-derived and re-rejected.
+    ///    Fault injection ([`failpoint::any_armed`]) bypasses the cache
+    ///    entirely so injected outcomes are never stored or served.
     /// 2. **Signature filter** — surviving cache misses run each candidate
     ///    through [`Rewriter::rewrite_candidates`], which rejects
     ///    provably-unmatchable ASTs by signature and fans the rest out
     ///    across threads, with deterministic result order.
+    ///
+    /// The routing decision itself is *derived on every call* from the
+    /// cached pair, current [`RouterOptions`], and any runtime feedback —
+    /// so a feedback re-route flips a cached entry in place.
     pub fn plan_detail(&self, sql: &str) -> Result<PlanDetail, SumtabError> {
+        self.route(sql).map(|r| r.detail)
+    }
+
+    /// Plan + route a query; the internal entry point shared by
+    /// [`SummarySession::plan_detail`] and [`SummarySession::query`].
+    fn route(&self, sql: &str) -> Result<Routed, SumtabError> {
         let q = parse_query(sql).map_err(|e| SumtabError::parse(sql, e))?;
-        let mut graph =
+        let base_graph =
             build_query(&q, &self.session.catalog).map_err(|e| SumtabError::plan(sql, e))?;
 
-        let cache_key = if failpoint::any_armed() {
+        let key = if failpoint::any_armed() {
             None
         } else {
-            let fp = graph_fingerprint(&graph);
-            let snap = self.plan_epoch_snapshot(&graph);
-            if let Some(detail) =
-                lock_cache(&self.plan_cache).lookup(&fp, &snap, self.ast_generation)
-            {
-                return Ok(detail.clone());
-            }
+            let fp = graph_fingerprint(&base_graph);
+            let snap = self.plan_epoch_snapshot(&base_graph);
             Some((fp, snap))
         };
+        let routed: Arc<RoutedPlan> = match &key {
+            Some((fp, snap)) => {
+                let cached = lock_cache(&self.plan_cache)
+                    .lookup(fp, snap, self.ast_generation)
+                    .cloned();
+                match cached {
+                    Some(r) => r,
+                    None => {
+                        let r = Arc::new(self.compute_routed_plan(base_graph));
+                        lock_cache(&self.plan_cache).store(
+                            fp.clone(),
+                            snap.clone(),
+                            self.ast_generation,
+                            Arc::clone(&r),
+                        );
+                        r
+                    }
+                }
+            }
+            None => Arc::new(self.compute_routed_plan(base_graph)),
+        };
 
+        let (choice, routing) = self.decide(&routed, key.as_ref().map(|(fp, _)| fp.as_str()));
+        let feedback = match (&routed.rewrite, &key) {
+            (Some(alt), Some((fp, _))) => Some(FeedbackCtx {
+                fp: fp.clone(),
+                choice,
+                est_total: match choice {
+                    RouteChoice::Base => routed.base_cost.total,
+                    RouteChoice::Rewrite => alt.cost.total,
+                },
+            }),
+            _ => None,
+        };
+        let detail = match (choice, &routed.rewrite) {
+            (RouteChoice::Rewrite, Some(alt)) => PlanDetail {
+                graph: alt.graph.clone(),
+                used: alt.used.clone(),
+                skipped: routed.skipped.clone(),
+                routing,
+            },
+            _ => PlanDetail {
+                graph: routed.base.clone(),
+                used: Vec::new(),
+                skipped: routed.skipped.clone(),
+                routing,
+            },
+        };
+        Ok(Routed {
+            detail,
+            key,
+            feedback,
+        })
+    }
+
+    /// Run the matcher and cost both alternatives (the cache-miss path).
+    fn compute_routed_plan(&self, base_graph: QgmGraph) -> RoutedPlan {
         let rewriter = Rewriter::new(&self.session.catalog);
+        let row_count = |t: &str| self.session.db.row_count(t);
         let mut used = Vec::new();
         let mut skipped = Vec::new();
 
@@ -575,6 +851,7 @@ impl SummarySession {
             }
         }
 
+        let mut graph = base_graph.clone();
         loop {
             let mut errored: Vec<usize> = Vec::new();
             let mut eligible: Vec<usize> = Vec::new();
@@ -592,15 +869,18 @@ impl SummarySession {
                 }
             }
             let refs: Vec<&RegisteredAst> = eligible.iter().map(|&i| &candidates[i].ast).collect();
-            let mut best: Option<(usize, Rewrite, usize)> = None;
+            // §7 multi-AST choice: among the matching candidates, take the
+            // one whose rewritten graph the cost model estimates cheapest
+            // (previously: fewest backing rows — a scan-only proxy).
+            let mut best: Option<(usize, Rewrite, f64)> = None;
             let outcomes = rewriter.rewrite_candidates(&graph, &refs);
             for (k, outcome) in outcomes.into_iter().enumerate() {
                 let i = eligible[k];
                 match outcome {
                     CandidateOutcome::Match(rw) => {
-                        let rows = self.session.db.row_count(&rw.ast_name);
-                        if best.as_ref().is_none_or(|(_, _, r)| rows < *r) {
-                            best = Some((i, *rw, rows));
+                        let c = cost::estimate(&rw.graph, &row_count).total;
+                        if best.as_ref().is_none_or(|(_, _, b)| c < *b) {
+                            best = Some((i, *rw, c));
                         }
                     }
                     CandidateOutcome::Filtered | CandidateOutcome::NoMatch => {}
@@ -625,15 +905,112 @@ impl SummarySession {
                 candidates.remove(i);
             }
         }
-        let detail = PlanDetail {
-            graph,
-            used,
-            skipped,
+
+        let base_cost = cost::estimate(&base_graph, &row_count);
+        let rewrite = if used.is_empty() {
+            None
+        } else {
+            let c = cost::estimate(&graph, &row_count);
+            Some(RewriteAlt {
+                graph,
+                used,
+                cost: c,
+            })
         };
-        if let Some((fp, snap)) = cache_key {
-            lock_cache(&self.plan_cache).store(fp, snap, self.ast_generation, detail.clone());
+        RoutedPlan {
+            base: base_graph,
+            base_cost,
+            rewrite,
+            skipped,
         }
-        Ok(detail)
+    }
+
+    /// Derive the routing decision for a plan pair: cost estimate first,
+    /// overridden by runtime feedback (measurements outrank estimates; a
+    /// pending probe outranks an untrusted estimate).
+    fn decide(&self, routed: &RoutedPlan, fp: Option<&str>) -> (RouteChoice, RouteDecision) {
+        let Some(alt) = &routed.rewrite else {
+            return (RouteChoice::Base, RouteDecision::NoMatch);
+        };
+        let est = if cost::rewrite_wins(&routed.base_cost, &alt.cost, &self.router.policy) {
+            RouteChoice::Rewrite
+        } else {
+            RouteChoice::Base
+        };
+        let mut decided = est;
+        let mut fb_reason = None;
+        if let Some(fp) = fp {
+            let mut cache = lock_cache(&self.plan_cache);
+            if let Some(fb) = cache.feedback(fp, self.ast_generation) {
+                if let Some(best) = fb.measured_best() {
+                    if best != est {
+                        let b = fb.observed(RouteChoice::Base).unwrap_or(0.0);
+                        let r = fb.observed(RouteChoice::Rewrite).unwrap_or(0.0);
+                        fb_reason = Some(format!(
+                            "measured base {:.0}µs vs rewrite {:.0}µs",
+                            b / 1e3,
+                            r / 1e3
+                        ));
+                    }
+                    decided = best;
+                } else if let Some(forced) = fb.forced() {
+                    if forced != est {
+                        fb_reason = Some(
+                            "probing the unmeasured alternative after the chosen plan \
+                             overran its calibrated estimate"
+                                .to_string(),
+                        );
+                    }
+                    decided = forced;
+                }
+            }
+            if decided != est {
+                cache.count_reroute();
+            }
+        }
+        let routing = if decided != est {
+            RouteDecision::ReRouted {
+                to: decided,
+                reason: fb_reason.unwrap_or_default(),
+            }
+        } else if decided == RouteChoice::Base {
+            RouteDecision::Base {
+                base_cost: routed.base_cost.total,
+                rewrite_cost: alt.cost.total,
+                rejected: alt.used.clone(),
+            }
+        } else {
+            RouteDecision::Rewrite
+        };
+        (decided, routing)
+    }
+
+    /// Close the feedback loop after a successful execution: fold the
+    /// observed latency into the entry's per-choice moving average, keep
+    /// the session's ns-per-cost-unit calibration current, and — when the
+    /// chosen plan badly overran its calibrated estimate and the
+    /// alternative has never been measured — arm a probe so the next
+    /// identical query measures the other plan.
+    fn record_observation(&mut self, fb: &FeedbackCtx, observed_ns: f64) {
+        let prior = self.cost_calibration;
+        let sample = observed_ns / fb.est_total.max(1.0);
+        self.cost_calibration = Some(match prior {
+            Some(c) => c * 0.7 + sample * 0.3,
+            None => sample,
+        });
+        let mut cache = lock_cache(&self.plan_cache);
+        cache.observe_latency(&fb.fp, self.ast_generation, fb.choice, observed_ns);
+        let other_measured = cache
+            .feedback(&fb.fp, self.ast_generation)
+            .is_some_and(|e| e.observed(fb.choice.other()).is_some());
+        if !other_measured {
+            if let Some(calibration) = prior {
+                let estimated_ns = fb.est_total.max(1.0) * calibration;
+                if observed_ns > estimated_ns * self.router.reroute_threshold {
+                    cache.force_route(&fb.fp, self.ast_generation, fb.choice.other());
+                }
+            }
+        }
     }
 
     /// Execute a query with transparent rewriting.
@@ -646,7 +1023,21 @@ impl SummarySession {
     /// un-rewritten path itself still surface as `Err` — there is nothing
     /// left to fall back to.
     pub fn query(&mut self, sql: &str) -> Result<QueryResult, SumtabError> {
-        let detail = self.plan_detail(sql)?;
+        let routed = self.route(sql)?;
+        // Result cache: an identical query at identical table epochs and
+        // AST generation replays the stored result without executing.
+        // Fault injection already forced `routed.key` to `None`, so
+        // injected outcomes are never stored or served.
+        if self.result_cache_capacity > 0 {
+            if let Some((fp, snap)) = &routed.key {
+                if let Some(hit) =
+                    lock_cache(&self.result_cache).lookup(fp, snap, self.ast_generation)
+                {
+                    return Ok(hit.clone());
+                }
+            }
+        }
+        let detail = &routed.detail;
         let header: Vec<String> = detail
             .graph
             .boxed(detail.graph.root)
@@ -654,6 +1045,7 @@ impl SummarySession {
             .iter()
             .map(|c| c.name.clone())
             .collect();
+        let started = Instant::now();
         let exec = if !detail.used.is_empty() && failpoint::triggered("execute-rewritten") {
             Err(sumtab_engine::ExecError::Injected(
                 "execute-rewritten".to_string(),
@@ -662,13 +1054,31 @@ impl SummarySession {
             sumtab_engine::execute_with(&detail.graph, &self.session.db, &self.session.exec)
         };
         match exec {
-            Ok(rows) => Ok(QueryResult {
-                header,
-                rows,
-                used_ast: detail.used.first().cloned(),
-                executed_sql: render_graph_sql(&detail.graph),
-                fallback: None,
-            }),
+            Ok(rows) => {
+                let elapsed_ns = started.elapsed().as_nanos() as f64;
+                if let Some(fb) = routed.feedback.clone() {
+                    self.record_observation(&fb, elapsed_ns);
+                }
+                let result = QueryResult {
+                    header,
+                    rows,
+                    used_ast: detail.used.first().cloned(),
+                    executed_sql: render_graph_sql(&detail.graph),
+                    fallback: None,
+                    routed: detail.routing.describe(),
+                };
+                if self.result_cache_capacity > 0 {
+                    if let Some((fp, snap)) = routed.key {
+                        lock_cache(&self.result_cache).store(
+                            fp,
+                            snap,
+                            self.ast_generation,
+                            result.clone(),
+                        );
+                    }
+                }
+                Ok(result)
+            }
             Err(cause) if !detail.used.is_empty() => {
                 let (header, rows) = self.session.query(sql)?;
                 Ok(QueryResult {
@@ -681,6 +1091,7 @@ impl SummarySession {
                          fell back to the base plan",
                         detail.used.join(", ")
                     )),
+                    routed: None,
                 })
             }
             Err(cause) => Err(SumtabError::exec(sql, cause)),
@@ -696,6 +1107,7 @@ impl SummarySession {
             used_ast: None,
             executed_sql: sql.to_string(),
             fallback: None,
+            routed: None,
         })
     }
 
@@ -704,10 +1116,15 @@ impl SummarySession {
     pub fn explain(&self, sql: &str) -> Result<String, SumtabError> {
         let detail = self.plan_detail(sql)?;
         let mut out = String::new();
-        if detail.used.is_empty() {
-            out.push_str("-- no summary table applicable\n");
-        } else {
+        if !detail.used.is_empty() {
             out.push_str(&format!("-- answered from: {}\n", detail.used.join(", ")));
+        } else if detail.routing.describe().is_none() {
+            // Truly no usable rewrite. When the router *declined* one, the
+            // routing line below tells the fuller story instead.
+            out.push_str("-- no summary table applicable\n");
+        }
+        if let Some(why) = detail.routing.describe() {
+            out.push_str(&format!("-- routing: {why}\n"));
         }
         for s in &detail.skipped {
             out.push_str(&format!("-- skipped {}: {}\n", s.ast, s.reason));
