@@ -51,7 +51,12 @@ fn main() {
     let sql = heavy.case.query;
 
     let mut session = SummarySession::with_data(catalog, fx.db);
-    let routing = session.plan_detail(sql).unwrap().routing.label().to_string();
+    let routing = session
+        .plan_detail(sql)
+        .unwrap()
+        .routing
+        .label()
+        .to_string();
 
     // Cold: result cache off; every repetition plans (cached pair) and
     // executes.

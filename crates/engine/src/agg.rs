@@ -1,0 +1,688 @@
+//! Hash aggregation for the QGM executor: accumulator semantics shared by
+//! both execution paths, plus the parallel group folds.
+//!
+//! Three folds produce identical entries for one cuboid:
+//!
+//! * [`grouped_serial`] — the row-at-a-time reference used by the serial
+//!   oracle (and by the parallel path on tiny inputs).
+//! * [`grouped_partitioned`] — key-hash-partitioned parallelism over
+//!   materialized rows: each worker owns the groups whose key hash lands in
+//!   its partition and folds their rows **in global row order** (float
+//!   addition is non-associative, so merging per-morsel partials would
+//!   drift from the serial result in the low bits). Partition scatter is
+//!   itself morsel-parallel; group lookup is hash-first so the fold never
+//!   clones a key `Vec<Value>` except on first occurrence.
+//! * [`grouped_columnar`] — the fused scan→aggregate path: no input rows
+//!   exist at all. Group keys are encoded straight off typed column slices
+//!   (dictionary codes for strings, `to_bits` for doubles) into flat `u64`
+//!   words, and accumulators fold [`Cell`] views via [`Acc::update_cell`]
+//!   without materializing a single `Value` until a group first occurs.
+//!
+//! All three emit entries in first-occurrence order of the group key, which
+//! is the executor's deterministic output order.
+
+use crate::db::{null_bit, ColSlice, ColumnVec, ColumnarTable, Row};
+use crate::exec::{par_map, par_map_vec, row_workers};
+use crate::program::{Cell, Program, Scratch};
+use std::collections::BTreeSet;
+use std::hash::{Hash, Hasher};
+use sumtab_catalog::fx::{FxHashMap, FxHasher};
+use sumtab_catalog::{Date, Value};
+use sumtab_qgm::{AggCall, AggFunc, BoxId, QgmGraph, ScalarExpr};
+
+use crate::exec::ExecError;
+
+// ---------------------------------------------------------------------------
+// Accumulators
+// ---------------------------------------------------------------------------
+
+/// A running aggregate accumulator.
+pub(crate) enum Acc {
+    CountStar(i64),
+    Count(i64),
+    Sum {
+        int: i64,
+        fl: f64,
+        any_float: bool,
+        seen: bool,
+    },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    /// DISTINCT values in a `BTreeSet` so finishing folds them in the
+    /// deterministic `Value` total order — SUM(DISTINCT double) must not
+    /// depend on hash iteration order.
+    Distinct(BTreeSet<Value>, AggFunc),
+}
+
+impl Acc {
+    pub(crate) fn new(call: &AggCall) -> Acc {
+        if call.distinct {
+            return Acc::Distinct(BTreeSet::new(), call.func);
+        }
+        match call.func {
+            AggFunc::Count if call.arg.is_none() => Acc::CountStar(0),
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Sum => Acc::Sum {
+                int: 0,
+                fl: 0.0,
+                any_float: false,
+                seen: false,
+            },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            // AVG is normalized to SUM/COUNT during QGM build; exec_group_by
+            // rejects graphs carrying a raw AVG before any Acc is built, so
+            // this arm is never reached with a meaningful call.
+            AggFunc::Avg => Acc::Count(0),
+        }
+    }
+
+    /// Fold one row's argument given as an owned [`Value`] reference.
+    pub(crate) fn update(&mut self, arg: Option<&Value>) {
+        self.update_cell(arg.map(Cell::of));
+    }
+
+    /// Fold one row's argument given as a borrowed [`Cell`] — the
+    /// vectorized-aggregation entry point: SUM/COUNT/MIN/MAX fold typed
+    /// column cells with no `Value` allocation (MIN/MAX clone only when the
+    /// extremum actually changes). Semantics are exactly [`Acc::update`]'s
+    /// (which delegates here): `None` means "no argument" (COUNT(*)),
+    /// `Some(Cell::Null)` is a NULL argument.
+    #[inline]
+    pub(crate) fn update_cell(&mut self, arg: Option<Cell<'_>>) {
+        match self {
+            Acc::CountStar(n) => *n += 1,
+            Acc::Count(n) => {
+                if arg.is_some_and(|c| !c.is_null()) {
+                    *n += 1;
+                }
+            }
+            Acc::Sum {
+                int,
+                fl,
+                any_float,
+                seen,
+            } => match arg {
+                Some(Cell::Int(i)) => {
+                    *int = int.wrapping_add(i);
+                    *fl += i as f64;
+                    *seen = true;
+                }
+                Some(Cell::Double(d)) => {
+                    *fl += d;
+                    *any_float = true;
+                    *seen = true;
+                }
+                _ => {}
+            },
+            Acc::Min(cur) => {
+                if let Some(c) = arg {
+                    if !c.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|m| c.grouping_cmp(m) == std::cmp::Ordering::Less)
+                    {
+                        *cur = Some(c.into_value());
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(c) = arg {
+                    if !c.is_null()
+                        && cur
+                            .as_ref()
+                            .is_none_or(|m| c.grouping_cmp(m) == std::cmp::Ordering::Greater)
+                    {
+                        *cur = Some(c.into_value());
+                    }
+                }
+            }
+            Acc::Distinct(set, _) => {
+                if let Some(c) = arg {
+                    if !c.is_null() {
+                        set.insert(c.into_value());
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn finish(self) -> Value {
+        match self {
+            Acc::CountStar(n) | Acc::Count(n) => Value::Int(n),
+            Acc::Sum {
+                int,
+                fl,
+                any_float,
+                seen,
+            } => {
+                if !seen {
+                    Value::Null
+                } else if any_float {
+                    Value::Double(fl)
+                } else {
+                    Value::Int(int)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Distinct(set, func) => match func {
+                AggFunc::Count => Value::Int(set.len() as i64),
+                AggFunc::Sum => {
+                    let mut acc = Acc::Sum {
+                        int: 0,
+                        fl: 0.0,
+                        any_float: false,
+                        seen: false,
+                    };
+                    for v in &set {
+                        acc.update(Some(v));
+                    }
+                    acc.finish()
+                }
+                AggFunc::Min => set.iter().min().cloned().unwrap_or(Value::Null),
+                AggFunc::Max => set.iter().max().cloned().unwrap_or(Value::Null),
+                // Unreachable after exec_group_by's up-front AVG rejection.
+                AggFunc::Avg => Value::Null,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared aggregation plan
+// ---------------------------------------------------------------------------
+
+/// Outputs reference grouping items or carry aggregates, in any order.
+pub(crate) enum OutPlan {
+    Item(usize),
+    Agg(usize),
+}
+
+/// The shared aggregation plan for a GROUP BY box.
+pub(crate) struct GroupPlan {
+    pub(crate) item_ords: Vec<usize>,
+    pub(crate) agg_calls: Vec<AggCall>,
+    pub(crate) out_plan: Vec<OutPlan>,
+}
+
+pub(crate) fn plan_group_by(g: &QgmGraph, b: BoxId) -> Result<GroupPlan, ExecError> {
+    let bx = g.boxed(b);
+    let gb = bx
+        .as_group_by()
+        .ok_or_else(|| ExecError::malformed(b, "exec_group_by on a non-GROUP-BY box"))?;
+    let item_ords: Vec<usize> = gb.items.iter().map(|c| c.ordinal).collect();
+    let mut agg_calls: Vec<AggCall> = Vec::new();
+    let mut out_plan: Vec<OutPlan> = Vec::with_capacity(bx.outputs.len());
+    for oc in &bx.outputs {
+        match &oc.expr {
+            ScalarExpr::Col(c) => {
+                let i = gb.items.iter().position(|it| it == c).ok_or_else(|| {
+                    ExecError::malformed(b, "group-by output must reference a grouping item")
+                })?;
+                out_plan.push(OutPlan::Item(i));
+            }
+            ScalarExpr::Agg(a) => {
+                // AVG must have been normalized to SUM/COUNT by the builder;
+                // reject it here (before any accumulator exists) so `Acc`
+                // never observes it.
+                if a.func == AggFunc::Avg {
+                    return Err(ExecError::malformed(
+                        b,
+                        "raw AVG aggregate (not normalized to SUM/COUNT)",
+                    ));
+                }
+                agg_calls.push(*a);
+                out_plan.push(OutPlan::Agg(agg_calls.len() - 1));
+            }
+            other => {
+                return Err(ExecError::malformed(
+                    b,
+                    format!("group-by output must be item or aggregate, got {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(GroupPlan {
+        item_ords,
+        agg_calls,
+        out_plan,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Row-input folds
+// ---------------------------------------------------------------------------
+
+/// One group's state while folding: first-occurrence tag, key, accumulators.
+type PartEntry = (u32, Vec<Value>, Vec<Acc>);
+
+/// Hash-aggregate one cuboid serially; entries come out in first-occurrence
+/// order of their group key.
+pub(crate) fn grouped_serial(
+    input: &[Row],
+    set: &[usize],
+    plan: &GroupPlan,
+) -> Vec<(Vec<Value>, Vec<Acc>)> {
+    let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    let mut entries: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
+    for row in input {
+        let key: Vec<Value> = set
+            .iter()
+            .map(|&i| row[plan.item_ords[i]].clone())
+            .collect();
+        let idx = match index.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = entries.len();
+                index.insert(key.clone(), i);
+                entries.push((key, plan.agg_calls.iter().map(Acc::new).collect()));
+                i
+            }
+        };
+        for (acc, call) in entries[idx].1.iter_mut().zip(&plan.agg_calls) {
+            acc.update(call.arg.map(|c| &row[c.ordinal]));
+        }
+    }
+    entries
+}
+
+/// Hash-aggregate one cuboid with key-hash-partitioned parallelism over
+/// materialized rows. Phase 1 hashes keys and scatters row indices into
+/// per-morsel partition buckets (morsel-parallel); phase 2 transposes the
+/// buckets partition-major with `Vec` moves only; phase 3 gives each worker
+/// whole partitions to fold — a partition owns every row of its groups, in
+/// global row order, so float accumulation matches the serial fold exactly.
+/// Group lookup inside a partition is hash-first (the phase-1 hash rides
+/// along with the row index): candidate entries are confirmed element-wise,
+/// and a key `Vec<Value>` is only cloned when a group first occurs. Phase 4
+/// merges partitions by first-occurrence row index — the serial entry order.
+pub(crate) fn grouped_partitioned(
+    input: &[Row],
+    set: &[usize],
+    plan: &GroupPlan,
+    workers: usize,
+    morsel: usize,
+) -> Vec<(Vec<Value>, Vec<Acc>)> {
+    let nparts = workers.max(1).next_power_of_two();
+    let mask = (nparts - 1) as u64;
+
+    // Phase 1: hash + scatter, morsel-parallel.
+    let scattered: Vec<Vec<Vec<(u32, u64)>>> = par_map(workers, morsel, input.len(), |_, range| {
+        let mut parts: Vec<Vec<(u32, u64)>> = vec![Vec::new(); nparts];
+        for i in range {
+            let mut h = FxHasher::default();
+            for &s in set {
+                input[i][plan.item_ords[s]].hash(&mut h);
+            }
+            let h = h.finish();
+            parts[(h & mask) as usize].push((i as u32, h));
+        }
+        parts
+    });
+
+    // Phase 2: transpose morsel-major → partition-major. Chunks stay in
+    // morsel order, so each partition sees its rows in global row order.
+    let mut by_part: Vec<Vec<Vec<(u32, u64)>>> = (0..nparts).map(|_| Vec::new()).collect();
+    for morsel_parts in scattered {
+        for (p, chunk) in morsel_parts.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                by_part[p].push(chunk);
+            }
+        }
+    }
+
+    // Phase 3: one partition per worker.
+    let parts: Vec<Vec<PartEntry>> = par_map_vec(workers, by_part, |_, chunks| {
+        let mut out: Vec<PartEntry> = Vec::new();
+        let mut index: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for chunk in chunks {
+            for (ri, h) in chunk {
+                let row = &input[ri as usize];
+                let found = index.get(&h).and_then(|cands| {
+                    cands.iter().copied().find(|&e| {
+                        let key = &out[e as usize].1;
+                        set.iter()
+                            .enumerate()
+                            .all(|(k, &s)| row[plan.item_ords[s]] == key[k])
+                    })
+                });
+                let idx = match found {
+                    Some(e) => e as usize,
+                    None => {
+                        let e = out.len();
+                        let key: Vec<Value> = set
+                            .iter()
+                            .map(|&s| row[plan.item_ords[s]].clone())
+                            .collect();
+                        out.push((ri, key, plan.agg_calls.iter().map(Acc::new).collect()));
+                        index.entry(h).or_default().push(e as u32);
+                        e
+                    }
+                };
+                for (acc, call) in out[idx].2.iter_mut().zip(&plan.agg_calls) {
+                    acc.update(call.arg.map(|c| &row[c.ordinal]));
+                }
+            }
+        }
+        out
+    });
+
+    // Phase 4: merge partitions into global first-occurrence order.
+    let mut all: Vec<PartEntry> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.0);
+    all.into_iter().map(|(_, k, a)| (k, a)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Columnar (fused scan→aggregate) fold
+// ---------------------------------------------------------------------------
+
+/// An aggregate argument read without materializing input rows: a bare
+/// column (typed cells straight off the column vector) or a compiled
+/// program over the scan's columns.
+pub(crate) enum ArgSrc<'c> {
+    Col(&'c ColumnVec),
+    Prog(&'c Program),
+}
+
+/// A group-key encoding kernel over one typed column slice: encodes row `i`
+/// as a `(null flag, bits)` pair of `u64` words that is **injective with
+/// respect to `Value` grouping equality within the column** — doubles via
+/// `to_bits` (grouping equality on doubles is total-order, i.e. bit,
+/// equality), strings via their dictionary code, dates via the day number.
+/// Mixed storage has no such encoding; callers must fall back to the
+/// row-materializing path for it.
+enum KeyEnc<'c> {
+    Int(&'c [i64], Option<&'c [u64]>),
+    F64(&'c [f64], Option<&'c [u64]>),
+    Bool(&'c [bool], Option<&'c [u64]>),
+    Date(&'c [Date], Option<&'c [u64]>),
+    Str(&'c [u32], Option<&'c [u64]>),
+}
+
+impl<'c> KeyEnc<'c> {
+    /// The encoder for a column, or `None` for Mixed storage.
+    fn of(cv: &'c ColumnVec) -> Option<KeyEnc<'c>> {
+        let nulls = cv.null_words();
+        match cv.slice() {
+            ColSlice::Int(d) => Some(KeyEnc::Int(d, nulls)),
+            ColSlice::Double(d) => Some(KeyEnc::F64(d, nulls)),
+            ColSlice::Bool(d) => Some(KeyEnc::Bool(d, nulls)),
+            ColSlice::Date(d) => Some(KeyEnc::Date(d, nulls)),
+            ColSlice::Str { codes, .. } => Some(KeyEnc::Str(codes, nulls)),
+            ColSlice::Mixed(_) => None,
+        }
+    }
+
+    #[inline]
+    fn push(&self, i: usize, buf: &mut Vec<u64>) {
+        let (flag, bits) = match self {
+            KeyEnc::Int(d, n) => (!null_bit(*n, i), d[i] as u64),
+            KeyEnc::F64(d, n) => (!null_bit(*n, i), d[i].to_bits()),
+            KeyEnc::Bool(d, n) => (!null_bit(*n, i), d[i] as u64),
+            KeyEnc::Date(d, n) => (!null_bit(*n, i), d[i].to_day_number() as u64),
+            KeyEnc::Str(codes, n) => (!null_bit(*n, i), codes[i] as u64),
+        };
+        buf.push(flag as u64);
+        buf.push(if flag { bits } else { 0 });
+    }
+}
+
+/// Hash-aggregate one cuboid directly over a columnar scan: `filtered`
+/// holds the surviving row indices in scan order, `key_cols[s]` the table
+/// column backing grouping item `s`, and `args[j]` the source of aggregate
+/// `j`'s argument. Requires every grouping column of `set` to be typed
+/// (non-Mixed); returns `None` otherwise so the caller can fall back to
+/// the row-materializing path.
+///
+/// Same partition discipline as [`grouped_partitioned`] — whole groups per
+/// worker, rows in global (scan) order, first-occurrence merge — but keys
+/// live as flat `u64` encodings until a group first occurs, and
+/// accumulators fold typed [`Cell`]s via [`Acc::update_cell`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn grouped_columnar(
+    t: &ColumnarTable,
+    filtered: &[u32],
+    set: &[usize],
+    key_cols: &[usize],
+    args: &[Option<ArgSrc<'_>>],
+    plan: &GroupPlan,
+    workers: usize,
+    morsel: usize,
+) -> Option<Vec<(Vec<Value>, Vec<Acc>)>> {
+    // Grand total (empty grouping set): exactly one group, so the scatter /
+    // partition / hash machinery is pure overhead — and the single group's
+    // accumulators must fold in global scan order anyway (float addition is
+    // non-associative), which only a serial pass guarantees.
+    if set.is_empty() {
+        if filtered.is_empty() {
+            return Some(Vec::new());
+        }
+        let mut accs: Vec<Acc> = plan.agg_calls.iter().map(Acc::new).collect();
+        let mut scratch = Scratch::new();
+        for &r in filtered {
+            let row = r as usize;
+            let col = |c: u32| t.cell(row, c as usize);
+            for (acc, arg) in accs.iter_mut().zip(args) {
+                match arg {
+                    None => acc.update_cell(None),
+                    Some(ArgSrc::Col(cv)) => acc.update_cell(Some(cv.cell(row))),
+                    Some(ArgSrc::Prog(p)) => {
+                        acc.update_cell(Some(p.eval_with(&col, &mut scratch)));
+                    }
+                }
+            }
+        }
+        return Some(vec![(Vec::new(), accs)]);
+    }
+
+    let encs: Vec<KeyEnc> = set
+        .iter()
+        .map(|&s| KeyEnc::of(&t.columns()[key_cols[s]]))
+        .collect::<Option<Vec<_>>>()?;
+
+    let w = row_workers(workers, filtered.len());
+    let nparts = w.next_power_of_two();
+    let mask = (nparts - 1) as u64;
+
+    let encode = |row: usize, buf: &mut Vec<u64>| {
+        buf.clear();
+        for e in &encs {
+            e.push(row, buf);
+        }
+    };
+
+    // Phase 1: encode + hash + scatter, morsel-parallel over the filtered
+    // index list (whose order is the global row order).
+    let scattered: Vec<Vec<Vec<u32>>> = par_map(w, morsel, filtered.len(), |_, range| {
+        let mut parts: Vec<Vec<u32>> = vec![Vec::new(); nparts];
+        let mut buf: Vec<u64> = Vec::with_capacity(encs.len() * 2);
+        for fi in range {
+            encode(filtered[fi] as usize, &mut buf);
+            let mut h = FxHasher::default();
+            buf.hash(&mut h);
+            parts[(h.finish() & mask) as usize].push(fi as u32);
+        }
+        parts
+    });
+
+    // Phase 2: transpose morsel-major → partition-major.
+    let mut by_part: Vec<Vec<Vec<u32>>> = (0..nparts).map(|_| Vec::new()).collect();
+    for morsel_parts in scattered {
+        for (p, chunk) in morsel_parts.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                by_part[p].push(chunk);
+            }
+        }
+    }
+
+    // Phase 3: one partition per worker; encoded-key group lookup, typed
+    // cell accumulation.
+    let parts: Vec<Vec<PartEntry>> = par_map_vec(w, by_part, |_, chunks| {
+        let mut out: Vec<PartEntry> = Vec::new();
+        let mut index: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        let mut buf: Vec<u64> = Vec::with_capacity(encs.len() * 2);
+        let mut scratch = Scratch::new();
+        for chunk in chunks {
+            for fi in chunk {
+                let row = filtered[fi as usize] as usize;
+                encode(row, &mut buf);
+                let idx = match index.get(buf.as_slice()) {
+                    Some(&e) => e as usize,
+                    None => {
+                        let e = out.len();
+                        index.insert(buf.clone(), e as u32);
+                        let key: Vec<Value> = set
+                            .iter()
+                            .map(|&s| t.columns()[key_cols[s]].value(row))
+                            .collect();
+                        out.push((fi, key, plan.agg_calls.iter().map(Acc::new).collect()));
+                        e
+                    }
+                };
+                let col = |c: u32| t.cell(row, c as usize);
+                for (acc, arg) in out[idx].2.iter_mut().zip(args) {
+                    match arg {
+                        None => acc.update_cell(None),
+                        Some(ArgSrc::Col(cv)) => acc.update_cell(Some(cv.cell(row))),
+                        Some(ArgSrc::Prog(p)) => {
+                            acc.update_cell(Some(p.eval_with(&col, &mut scratch)));
+                        }
+                    }
+                }
+            }
+        }
+        out
+    });
+
+    // Phase 4: merge partitions into global first-occurrence order.
+    let mut all: Vec<PartEntry> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|e| e.0);
+    Some(all.into_iter().map(|(_, k, a)| (k, a)).collect())
+}
+
+/// Render finished group entries through the output plan.
+pub(crate) fn emit_group_rows(
+    entries: Vec<(Vec<Value>, Vec<Acc>)>,
+    set: &[usize],
+    plan: &GroupPlan,
+    out: &mut Vec<Row>,
+) {
+    for (key, accs) in entries {
+        let finished: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
+        let row = plan
+            .out_plan
+            .iter()
+            .map(|p| match p {
+                OutPlan::Item(i) => match set.iter().position(|&s| s == *i) {
+                    Some(k) => key[k].clone(),
+                    None => Value::Null,
+                },
+                OutPlan::Agg(k) => finished[*k].clone(),
+            })
+            .collect();
+        out.push(row);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests assert on fixed inputs
+mod tests {
+    use super::*;
+
+    /// `Cell::grouping_cmp` must agree with `Value::cmp` for every pair of
+    /// sample values — MIN/MAX folded through cells must pick exactly the
+    /// extrema the serial `Value` fold picks.
+    #[test]
+    fn cell_grouping_cmp_matches_value_cmp() {
+        let samples = vec![
+            Value::Null,
+            Value::Bool(false),
+            Value::Bool(true),
+            Value::Int(-3),
+            Value::Int(0),
+            Value::Int(3),
+            Value::Double(-0.0),
+            Value::Double(0.0),
+            Value::Double(2.5),
+            Value::Double(3.0),
+            Value::Double(f64::NAN),
+            Value::from("a"),
+            Value::from("b"),
+            Value::Date(Date::parse("1990-01-03").unwrap()),
+            Value::Date(Date::parse("1991-10-20").unwrap()),
+        ];
+        for a in &samples {
+            for b in &samples {
+                assert_eq!(
+                    Cell::of(a).grouping_cmp(b),
+                    a.cmp(b),
+                    "grouping_cmp({a:?}, {b:?})"
+                );
+            }
+        }
+    }
+
+    /// `update_cell` over typed cells must produce the same finished values
+    /// as `update` over the equivalent owned values.
+    #[test]
+    fn update_cell_matches_update() {
+        use sumtab_qgm::{ColRef, GraphId, QuantId};
+        let arg = Some(ColRef {
+            qid: QuantId {
+                graph: GraphId(0),
+                idx: 0,
+            },
+            ordinal: 0,
+        });
+        let calls = [
+            AggCall {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            },
+            AggCall {
+                func: AggFunc::Count,
+                arg,
+                distinct: false,
+            },
+            AggCall {
+                func: AggFunc::Sum,
+                arg,
+                distinct: false,
+            },
+            AggCall {
+                func: AggFunc::Min,
+                arg,
+                distinct: false,
+            },
+            AggCall {
+                func: AggFunc::Max,
+                arg,
+                distinct: false,
+            },
+            AggCall {
+                func: AggFunc::Sum,
+                arg,
+                distinct: true,
+            },
+        ];
+        let stream = vec![
+            Value::Int(2),
+            Value::Double(0.5),
+            Value::Null,
+            Value::Int(-7),
+            Value::Double(0.5),
+            Value::from("x"),
+        ];
+        for call in &calls {
+            let mut via_value = Acc::new(call);
+            let mut via_cell = Acc::new(call);
+            for v in &stream {
+                via_value.update(call.arg.map(|_| v));
+                via_cell.update_cell(call.arg.map(|_| Cell::of(v)));
+            }
+            assert_eq!(via_value.finish(), via_cell.finish());
+        }
+    }
+}

@@ -64,14 +64,22 @@ pub enum ColSlice<'a> {
     Mixed(&'a [Value]),
 }
 
+/// Test bit `i` of an optional null bitmap (64 rows per word, bit set =
+/// NULL) — the shared probe for vectorized predicate kernels and group-key
+/// encoders working off [`ColumnVec::null_words`] slices.
+#[inline]
+pub(crate) fn null_bit(nulls: Option<&[u64]>, i: usize) -> bool {
+    match nulls {
+        Some(words) => words[i / 64] & (1 << (i % 64)) != 0,
+        None => false,
+    }
+}
+
 impl ColumnVec {
     /// Is row `i` NULL?
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
-        match &self.nulls {
-            Some(words) => words[i / 64] & (1 << (i % 64)) != 0,
-            None => false,
-        }
+        null_bit(self.nulls.as_deref(), i)
     }
 
     /// Borrowing view of row `i`.

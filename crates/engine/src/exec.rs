@@ -21,19 +21,21 @@
 //! (equivalent to the serial stable sort + truncate, tie-broken by original
 //! row index).
 
+use crate::agg::{
+    emit_group_rows, grouped_columnar, grouped_partitioned, grouped_serial, plan_group_by, Acc,
+    ArgSrc, GroupPlan,
+};
 use crate::db::{ColSlice, ColumnarTable, Database, Row};
 use crate::eval::{eval_expr, truth, Env};
 use crate::program::{compare, Cell, Program, Resolved, Scratch};
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 use std::sync::Arc;
 use sumtab_catalog::fx::{FxHashMap, FxHasher};
 use sumtab_catalog::{Date, Value};
-use sumtab_qgm::{
-    AggCall, AggFunc, BinOp, BoxId, BoxKind, ColRef, QgmGraph, QuantId, QuantKind, ScalarExpr,
-};
+use sumtab_qgm::{BinOp, BoxId, BoxKind, ColRef, QgmGraph, QuantId, QuantKind, ScalarExpr};
 
 /// Execution errors.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,7 +61,7 @@ pub enum ExecError {
 }
 
 impl ExecError {
-    fn malformed(b: BoxId, detail: impl Into<String>) -> ExecError {
+    pub(crate) fn malformed(b: BoxId, detail: impl Into<String>) -> ExecError {
         ExecError::MalformedGraph {
             box_id: b.0,
             detail: detail.into(),
@@ -93,10 +95,19 @@ pub const DEFAULT_MORSEL_SIZE: usize = 4096;
 
 /// Default worker count: available parallelism, capped at 8.
 pub fn default_pool_size() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8)
+    hw_parallelism().min(8)
+}
+
+/// Cached `available_parallelism()`: the number of workers that can make
+/// progress simultaneously. Queried once — the executor consults it on
+/// every query, and the value cannot change meaningfully mid-process.
+fn hw_parallelism() -> usize {
+    static HW: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Tuning knobs for the parallel columnar executor.
@@ -135,10 +146,16 @@ pub fn execute_with(
         // The executor state (memo + shared table cache) must drop before
         // the root `Rc` is unwrapped, or a memo-shared root would force a
         // deep clone of the whole result set.
+        //
+        // `pool_size` is a maximum degree of parallelism, not a mandate:
+        // fan-out is clamped to the hardware parallelism actually present,
+        // because extra threads on a saturated machine only add scheduling
+        // handoffs. Worker count never affects results (the slot-merge
+        // discipline is order-deterministic), so this is pure tuning.
         let mut ex = ParExec {
             g,
             db,
-            workers: opts.pool_size.max(1),
+            workers: opts.pool_size.clamp(1, hw_parallelism()),
             morsel: opts.morsel_size.max(1),
             memo: HashMap::new(),
             tables: HashMap::new(),
@@ -268,18 +285,34 @@ fn sift_down<T>(h: &mut [T], cmp: &impl Fn(&T, &T) -> Ordering) {
 // Morsel scheduling
 // ---------------------------------------------------------------------------
 
+/// Below this many rows per worker, fanning out costs more than it saves:
+/// [`row_workers`] shrinks the pool so tiny inputs take the serial path
+/// outright instead of paying thread-spawn cost to idle at the join.
+pub(crate) const MIN_PAR_ROWS: usize = 256;
+
+/// The adaptive worker count for a row-granular stage over `n` rows: never
+/// more than one worker per [`MIN_PAR_ROWS`] rows, never zero. `1` means
+/// the stage runs inline on the calling thread.
+#[inline]
+pub(crate) fn row_workers(workers: usize, n: usize) -> usize {
+    workers.min(n / MIN_PAR_ROWS).max(1)
+}
+
 /// Run `f` over contiguous fixed-size morsels of `0..n`, fanned across
 /// `workers` scoped threads, and return the per-morsel results **in morsel
 /// order** — the slot-merge discipline that keeps every downstream
 /// concatenation deterministic regardless of scheduling.
-fn par_map<T, F>(workers: usize, morsel: usize, n: usize, f: F) -> Vec<T>
+pub(crate) fn par_map<T, F>(workers: usize, morsel: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize, std::ops::Range<usize>) -> T + Sync,
 {
     let morsel = morsel.max(1);
     let nm = n.div_ceil(morsel);
-    if workers <= 1 || nm <= 1 {
+    // Never spawn more workers than there are morsels: the surplus would
+    // only idle at the scope join.
+    let workers = workers.min(nm);
+    if workers <= 1 {
         return (0..nm)
             .map(|m| f(m, m * morsel..((m + 1) * morsel).min(n)))
             .collect();
@@ -304,6 +337,60 @@ where
         if let Some((_, chunk)) = first {
             for (m, slot) in chunk.iter_mut().enumerate() {
                 *slot = Some(f(m, m * morsel..((m + 1) * morsel).min(n)));
+            }
+        }
+    });
+    slots.into_iter().flatten().collect()
+}
+
+/// Consuming parallel map: each item of `items` is **moved** into `f`
+/// (which `par_map`'s shared-reference closures cannot do), results come
+/// back in item order. This is how partition-major work — private hash
+/// partitions, bucketed group folds — is handed to one worker per
+/// partition without cloning the partition's data.
+pub(crate) fn par_map_vec<T, U, F>(workers: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| f(i, t))
+            .collect();
+    }
+    let per = n.div_ceil(workers);
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let mut item_chunks: Vec<Vec<T>> = Vec::new();
+        let mut it = items.into_iter();
+        loop {
+            let chunk: Vec<T> = it.by_ref().take(per).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            item_chunks.push(chunk);
+        }
+        let mut slot_chunks = slots.chunks_mut(per);
+        let mut chunks = item_chunks.into_iter();
+        // The calling thread takes the first chunk itself.
+        let first = chunks.next().zip(slot_chunks.next());
+        for (w, (chunk, slot_chunk)) in (1..).zip(chunks.zip(slot_chunks)) {
+            let f = &f;
+            s.spawn(move || {
+                for (j, (item, slot)) in chunk.into_iter().zip(slot_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(w * per + j, item));
+                }
+            });
+        }
+        if let Some((chunk, slot_chunk)) = first {
+            for (j, (item, slot)) in chunk.into_iter().zip(slot_chunk.iter_mut()).enumerate() {
+                *slot = Some(f(j, item));
             }
         }
     });
@@ -484,6 +571,14 @@ impl Child {
         match self {
             Child::Col(t) => Source::Col(t),
             Child::Rows(r) => Source::Rows(r.as_slice()),
+        }
+    }
+
+    /// The columnar table behind this child, if it is a base-table scan.
+    fn columnar(&self) -> Option<&ColumnarTable> {
+        match self {
+            Child::Col(t) => Some(t),
+            Child::Rows(_) => None,
         }
     }
 }
@@ -675,6 +770,355 @@ fn build_kernel<'c>(prog: &Program, t: &'c ColumnarTable) -> Option<Kernel<'c>> 
     }
 }
 
+/// Lower single-quantifier predicates into typed kernels where the input is
+/// columnar; the rest stay on the program interpreter as residuals.
+fn lower_singles<'c>(
+    singles: &'c [Program],
+    col: Option<&'c ColumnarTable>,
+) -> (Vec<Kernel<'c>>, Vec<&'c Program>) {
+    let mut kernels: Vec<Kernel> = Vec::new();
+    let mut resid: Vec<&Program> = Vec::new();
+    for p in singles {
+        match col.and_then(|t| build_kernel(p, t)) {
+            Some(k) => kernels.push(k),
+            None => resid.push(p),
+        }
+    }
+    (kernels, resid)
+}
+
+/// Morsel-parallel prefilter: the indices of `src` rows that pass every
+/// kernel and residual predicate, in scan order.
+fn filter_indices(
+    workers: usize,
+    morsel: usize,
+    src: Source<'_>,
+    kernels: &[Kernel<'_>],
+    resid: &[&Program],
+) -> Vec<u32> {
+    let n = src.len();
+    if kernels.is_empty() && resid.is_empty() {
+        return (0..n as u32).collect();
+    }
+    par_map(row_workers(workers, n), morsel, n, |_, range| {
+        let mut scratch = Scratch::new();
+        let mut keep: Vec<u32> = Vec::new();
+        'rows: for i in range {
+            for k in kernels {
+                if !k.passes(i) {
+                    continue 'rows;
+                }
+            }
+            let col = |c: u32| src.cell(i, c as usize);
+            for p in resid {
+                if p.eval_truth(&col, &mut scratch) != Some(true) {
+                    continue 'rows;
+                }
+            }
+            keep.push(i as u32);
+        }
+        keep
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned hash-join build
+// ---------------------------------------------------------------------------
+
+/// The partition-selection hash of a join key (independent of the
+/// per-partition map's own hashing).
+#[inline]
+fn hash_key(key: &[Value]) -> u64 {
+    let mut h = FxHasher::default();
+    for v in key {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A partitioned (radix-style) hash-join build: partition `h & mask` owns
+/// every build row whose key hashes to it, so workers build private maps
+/// with no cross-worker contention and no single-threaded merge into a
+/// shared table. Probes hash the key once to select the partition. Each
+/// key's match list preserves build scan order, exactly like the serial
+/// single-map build.
+struct JoinTable {
+    mask: u64,
+    parts: Vec<FxHashMap<Vec<Value>, Vec<u32>>>,
+}
+
+/// One morsel's `(key, row)` pairs destined for one partition.
+type KeyedChunk = Vec<(Vec<Value>, u32)>;
+
+impl JoinTable {
+    #[inline]
+    fn get(&self, key: &[Value]) -> Option<&Vec<u32>> {
+        self.parts[(hash_key(key) & self.mask) as usize].get(key)
+    }
+}
+
+/// Build a [`JoinTable`] over the filtered rows of `src`, keyed by the
+/// child-side equi-join programs. Phase 1 evaluates keys and scatters
+/// `(key, row)` pairs into per-morsel partition buckets (NULL keys never
+/// join and are dropped, as in the serial build); phase 2 transposes the
+/// buckets partition-major with `Vec` moves only, keeping chunks in morsel
+/// order; phase 3 folds whole partitions into private maps, one worker
+/// each — draining chunks in morsel order preserves scan order per key.
+fn build_join_table(
+    workers: usize,
+    morsel: usize,
+    src: Source<'_>,
+    filtered: &[u32],
+    key_progs: &[Program],
+) -> JoinTable {
+    let w = row_workers(workers, filtered.len());
+    let nparts = w.next_power_of_two();
+    let mask = (nparts - 1) as u64;
+
+    let scattered: Vec<Vec<KeyedChunk>> = par_map(w, morsel, filtered.len(), |_, range| {
+        let mut scratch = Scratch::new();
+        let mut parts: Vec<KeyedChunk> = vec![Vec::new(); nparts];
+        'rows: for fi in range {
+            let row = filtered[fi] as usize;
+            let col = |c: u32| src.cell(row, c as usize);
+            let mut key = Vec::with_capacity(key_progs.len());
+            for p in key_progs {
+                let v = p.eval_value(&col, &mut scratch);
+                if v.is_null() {
+                    continue 'rows; // NULL never joins
+                }
+                key.push(v);
+            }
+            parts[(hash_key(&key) & mask) as usize].push((key, filtered[fi]));
+        }
+        parts
+    });
+
+    let mut by_part: Vec<Vec<KeyedChunk>> = (0..nparts).map(|_| Vec::new()).collect();
+    for morsel_parts in scattered {
+        for (p, chunk) in morsel_parts.into_iter().enumerate() {
+            if !chunk.is_empty() {
+                by_part[p].push(chunk);
+            }
+        }
+    }
+
+    let parts = par_map_vec(w, by_part, |_, chunks| {
+        let mut m: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
+        for chunk in chunks {
+            for (key, row) in chunk {
+                m.entry(key).or_default().push(row);
+            }
+        }
+        m
+    });
+    JoinTable { mask, parts }
+}
+
+// ---------------------------------------------------------------------------
+// Fused multi-level join pipeline
+// ---------------------------------------------------------------------------
+
+/// One level of a fused left-deep join: the driver level (index 0) has no
+/// probe/build programs; every deeper level is entered through a hash
+/// lookup. `probe` programs are compiled against global tuple slots of the
+/// levels bound so far, `build` programs against the child's own ordinals,
+/// `resid` holds the predicates that become fully bound at this level
+/// (global slots).
+struct FusedLevel {
+    child_box: BoxId,
+    child_width: usize,
+    singles: Vec<Program>,
+    probe: Vec<Program>,
+    build: Vec<Program>,
+    resid: Vec<Program>,
+}
+
+/// A fully planned fused join pipeline: per-level programs plus the global
+/// slot layout (`offsets`/`width`) the outputs compile against.
+struct FusedPlan {
+    levels: Vec<FusedLevel>,
+    offsets: FxHashMap<u32, usize>,
+    width: usize,
+}
+
+/// Plan a fused join pipeline for a multi-quantifier SELECT, replicating
+/// the materializing path's join-order and predicate-placement decisions
+/// exactly (same pick rule, same done-marking order) so the row stream —
+/// and therefore every downstream fold — is identical. Returns `None` when
+/// any non-driver level has no equi-join conjunct (cross products keep the
+/// materializing path, which handles them without combinatorial recursion
+/// cost per driver row).
+fn plan_fused(
+    g: &QgmGraph,
+    b: BoxId,
+    predicates: &[ScalarExpr],
+    foreach: &[QuantId],
+    scalars: &FxHashMap<u32, Value>,
+    pred_refs: &[HashSet<u32>],
+    pred_done_in: &[bool],
+) -> Result<Option<FusedPlan>, ExecError> {
+    let mut pred_done = pred_done_in.to_vec();
+    let mut offsets: FxHashMap<u32, usize> = FxHashMap::default();
+    let mut width = 0usize;
+    let mut remaining: Vec<QuantId> = foreach.to_vec();
+    let mut levels: Vec<FusedLevel> = Vec::new();
+
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|q| {
+                !offsets.is_empty()
+                    && predicates.iter().enumerate().any(|(i, p)| {
+                        !pred_done[i] && is_equi_join(p, &offsets, q.idx, &pred_refs[i])
+                    })
+            })
+            .unwrap_or(0);
+        let q = remaining.remove(pick);
+        let child_box = g.input_of(q);
+        let child_width = g.boxed(child_box).outputs.len();
+
+        let mut singles: Vec<Program> = Vec::new();
+        for (i, refs) in pred_refs.iter().enumerate() {
+            if !pred_done[i] && refs.len() == 1 && refs.contains(&q.idx) {
+                pred_done[i] = true;
+                singles.push(compile_local(
+                    &predicates[i],
+                    b,
+                    q.idx,
+                    scalars,
+                    child_width,
+                )?);
+            }
+        }
+        let mut probe: Vec<Program> = Vec::new();
+        let mut build: Vec<Program> = Vec::new();
+        for (i, p) in predicates.iter().enumerate() {
+            if pred_done[i] {
+                continue;
+            }
+            if let Some((bs, qs)) = split_equi_join(p, &offsets, q.idx, &pred_refs[i]) {
+                pred_done[i] = true;
+                probe.push(compile_bound(&bs, b, &offsets, scalars, width)?);
+                build.push(compile_local(&qs, b, q.idx, scalars, child_width)?);
+            }
+        }
+        if !levels.is_empty() && build.is_empty() {
+            return Ok(None);
+        }
+        offsets.insert(q.idx, width);
+        width += child_width;
+
+        let mut resid: Vec<Program> = Vec::new();
+        let bound: HashSet<u32> = offsets.keys().copied().collect();
+        for (i, p) in predicates.iter().enumerate() {
+            if pred_done[i] || !pred_refs[i].is_subset(&bound) {
+                continue;
+            }
+            pred_done[i] = true;
+            resid.push(compile_bound(p, b, &offsets, scalars, width)?);
+        }
+        levels.push(FusedLevel {
+            child_box,
+            child_width,
+            singles,
+            probe,
+            build,
+            resid,
+        });
+    }
+    debug_assert!(pred_done.iter().all(|&d| d), "all predicates placed");
+    Ok(Some(FusedPlan {
+        levels,
+        offsets,
+        width,
+    }))
+}
+
+/// Depth-first walk of the fused join levels for one driver row: evaluate
+/// the level's probe key over the bound prefix, iterate matches in build
+/// (scan) order — the serial left-deep enumeration order — filter with the
+/// predicates that became fully bound at this level, and emit one output
+/// row per full match. No intermediate tuple is ever materialized; the
+/// bound prefix lives as per-level row cursors (`cur`).
+#[allow(clippy::too_many_arguments)]
+fn fused_walk<'c>(
+    lvl: usize,
+    levels: &'c [FusedLevel],
+    sources: &[Source<'c>],
+    tables: &[JoinTable],
+    slot_map: &[(u32, u32)],
+    cur: &[std::cell::Cell<u32>],
+    scratch: &mut Scratch<'c>,
+    out_progs: &'c [Program],
+    out_cols: &[Option<(u32, u32)>],
+    out: &mut Vec<Row>,
+) {
+    let col = |slot: u32| {
+        let (lv, ord) = slot_map[slot as usize];
+        sources[lv as usize].cell(cur[lv as usize].get() as usize, ord as usize)
+    };
+    if lvl == levels.len() {
+        let mut row = Vec::with_capacity(out_progs.len());
+        for (p, fast) in out_progs.iter().zip(out_cols) {
+            row.push(match fast {
+                Some((lv, ord)) => sources[*lv as usize]
+                    .cell(cur[*lv as usize].get() as usize, *ord as usize)
+                    .into_value(),
+                None => p.eval_value(&col, scratch),
+            });
+        }
+        out.push(row);
+        return;
+    }
+    let level = &levels[lvl];
+    let mut key: Vec<Value> = Vec::with_capacity(level.probe.len());
+    for p in &level.probe {
+        let v = p.eval_value(&col, scratch);
+        if v.is_null() {
+            return; // NULL never joins
+        }
+        key.push(v);
+    }
+    let Some(matches) = tables[lvl - 1].get(&key) else {
+        return;
+    };
+    'matches: for &m in matches {
+        cur[lvl].set(m);
+        for p in &level.resid {
+            if p.eval_truth(&col, scratch) != Some(true) {
+                continue 'matches;
+            }
+        }
+        fused_walk(
+            lvl + 1,
+            levels,
+            sources,
+            tables,
+            slot_map,
+            cur,
+            scratch,
+            out_progs,
+            out_cols,
+            out,
+        );
+    }
+}
+
+/// A fusable scan: a SELECT box that is a pure single-table columnar scan
+/// (one foreach quantifier over a base table, plus any scalar subqueries),
+/// described by compiled programs instead of materialized rows so a
+/// consumer can stream it.
+pub(crate) struct ScanPlan {
+    pub(crate) table: Arc<ColumnarTable>,
+    pub(crate) out_progs: Vec<Program>,
+    pub(crate) singles: Vec<Program>,
+    pub(crate) const_false: bool,
+}
+
 // ---------------------------------------------------------------------------
 // The morsel-parallel columnar executor
 // ---------------------------------------------------------------------------
@@ -779,8 +1223,26 @@ impl ParExec<'_> {
             }
         }
 
-        // 3. Left-deep join over morsels. `offsets` maps bound quantifier →
-        // start offset in the concatenated tuple.
+        // 3. Multi-quantifier joins: try the fused pipeline first — driver
+        // morsels stream through per-level hash lookups straight into
+        // output rows, with no intermediate tuple materialization.
+        if foreach.len() >= 2 {
+            if let Some(plan) = plan_fused(
+                self.g,
+                b,
+                &sel.predicates,
+                &foreach,
+                &scalars,
+                &pred_refs,
+                &pred_done,
+            )? {
+                return self.exec_fused(b, &plan, &scalars);
+            }
+        }
+
+        // 4. Materializing left-deep join (single scans and cross products).
+        // `offsets` maps bound quantifier → start offset in the
+        // concatenated tuple.
         let mut offsets: FxHashMap<u32, usize> = FxHashMap::default();
         let mut tuples: Vec<Row> = vec![Vec::new()];
         let mut width = 0usize;
@@ -821,17 +1283,7 @@ impl ParExec<'_> {
             }
             // Lower what we can to typed vectorized kernels (columnar scans
             // only); the rest stays on the program interpreter.
-            let mut kernels: Vec<Kernel> = Vec::new();
-            let mut resid: Vec<&Program> = Vec::new();
-            for p in &singles {
-                match child {
-                    Child::Col(ref t) => match build_kernel(p, t) {
-                        Some(k) => kernels.push(k),
-                        None => resid.push(p),
-                    },
-                    Child::Rows(_) => resid.push(p),
-                }
-            }
+            let (kernels, resid) = lower_singles(&singles, child.columnar());
 
             // Equi-join conjuncts usable for hashing, split and compiled:
             // bound side against the current tuple, child side against `q`.
@@ -863,7 +1315,7 @@ impl ParExec<'_> {
                 // Bare-column outputs copy straight from the source; only
                 // computed outputs run the interpreter.
                 let out_cols: Vec<Option<u32>> = out_progs.iter().map(Program::as_col).collect();
-                let parts = par_map(self.workers, self.morsel, n, |_, range| {
+                let parts = par_map(row_workers(self.workers, n), self.morsel, n, |_, range| {
                     let mut scratch = Scratch::new();
                     let mut out: Vec<Row> = Vec::with_capacity(range.len());
                     'rows: for i in range {
@@ -894,64 +1346,15 @@ impl ParExec<'_> {
 
             // Prefilter: indices of child rows passing the single-quant
             // predicates, in scan order.
-            let filtered: Vec<u32> = if singles.is_empty() {
-                (0..n as u32).collect()
-            } else {
-                par_map(self.workers, self.morsel, n, |_, range| {
-                    let mut scratch = Scratch::new();
-                    let mut keep: Vec<u32> = Vec::new();
-                    'rows: for i in range {
-                        for k in &kernels {
-                            if !k.passes(i) {
-                                continue 'rows;
-                            }
-                        }
-                        let col = |c: u32| src.cell(i, c as usize);
-                        for p in &resid {
-                            if p.eval_truth(&col, &mut scratch) != Some(true) {
-                                continue 'rows;
-                            }
-                        }
-                        keep.push(i as u32);
-                    }
-                    keep
-                })
-                .into_iter()
-                .flatten()
-                .collect()
-            };
+            let filtered = filter_indices(self.workers, self.morsel, src, &kernels, &resid);
 
             let next: Vec<Row> = if !hash_child.is_empty() && !offsets.is_empty() {
-                // Hash join. Build is morsel-parallel: per-morsel (key, row)
-                // runs merged in morsel order, so each key's match list
-                // preserves scan order exactly as the serial build does.
-                let built: Vec<Vec<(Vec<Value>, u32)>> =
-                    par_map(self.workers, self.morsel, filtered.len(), |_, range| {
-                        let mut scratch = Scratch::new();
-                        let mut part: Vec<(Vec<Value>, u32)> = Vec::new();
-                        'rows: for fi in range {
-                            let row = filtered[fi] as usize;
-                            let col = |c: u32| src.cell(row, c as usize);
-                            let mut key = Vec::with_capacity(hash_child.len());
-                            for p in &hash_child {
-                                let v = p.eval_value(&col, &mut scratch);
-                                if v.is_null() {
-                                    continue 'rows; // NULL never joins
-                                }
-                                key.push(v);
-                            }
-                            part.push((key, filtered[fi]));
-                        }
-                        part
-                    });
-                let mut table: FxHashMap<Vec<Value>, Vec<u32>> = FxHashMap::default();
-                for part in built {
-                    for (key, row) in part {
-                        table.entry(key).or_default().push(row);
-                    }
-                }
+                // Hash join against a partitioned build.
+                let table =
+                    build_join_table(self.workers, self.morsel, src, &filtered, &hash_child);
                 // Probe is morsel-parallel over the bound tuples.
-                par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+                let pw = row_workers(self.workers, tuples.len());
+                par_map(pw, self.morsel, tuples.len(), |_, range| {
                     let mut scratch = Scratch::new();
                     let mut out: Vec<Row> = Vec::new();
                     'probe: for ti in range {
@@ -981,7 +1384,8 @@ impl ParExec<'_> {
                 .collect()
             } else {
                 // Cross product (remaining predicates applied below).
-                par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+                let pw = row_workers(self.workers, tuples.len());
+                par_map(pw, self.morsel, tuples.len(), |_, range| {
                     let mut out: Vec<Row> = Vec::new();
                     for ti in range {
                         let t = &tuples[ti];
@@ -1010,35 +1414,34 @@ impl ParExec<'_> {
                 }
                 pred_done[i] = true;
                 let prog = compile_bound(p, b, &offsets, &scalars, width)?;
-                let keep: Vec<bool> =
-                    par_map(self.workers, self.morsel, tuples.len(), |_, range| {
-                        let mut scratch = Scratch::new();
-                        range
-                            .map(|ti| {
-                                let t = &tuples[ti];
-                                prog.eval_truth(
-                                    &|off: u32| Cell::of(&t[off as usize]),
-                                    &mut scratch,
-                                ) == Some(true)
-                            })
-                            .collect::<Vec<bool>>()
-                    })
-                    .into_iter()
-                    .flatten()
-                    .collect();
+                let pw = row_workers(self.workers, tuples.len());
+                let keep: Vec<bool> = par_map(pw, self.morsel, tuples.len(), |_, range| {
+                    let mut scratch = Scratch::new();
+                    range
+                        .map(|ti| {
+                            let t = &tuples[ti];
+                            prog.eval_truth(&|off: u32| Cell::of(&t[off as usize]), &mut scratch)
+                                == Some(true)
+                        })
+                        .collect::<Vec<bool>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
                 let mut it = keep.into_iter();
                 tuples.retain(|_| it.next().unwrap_or(false));
             }
         }
         debug_assert!(pred_done.iter().all(|&d| d), "all predicates applied");
 
-        // 4. Project the outputs, morsel-parallel.
+        // 5. Project the outputs, morsel-parallel.
         let out_progs = bx
             .outputs
             .iter()
             .map(|oc| compile_bound(&oc.expr, b, &offsets, &scalars, width))
             .collect::<Result<Vec<Program>, ExecError>>()?;
-        let parts = par_map(self.workers, self.morsel, tuples.len(), |_, range| {
+        let pw = row_workers(self.workers, tuples.len());
+        let parts = par_map(pw, self.morsel, tuples.len(), |_, range| {
             let mut scratch = Scratch::new();
             let mut out: Vec<Row> = Vec::with_capacity(range.len());
             for ti in range {
@@ -1056,6 +1459,237 @@ impl ParExec<'_> {
         Ok(parts.into_iter().flatten().collect())
     }
 
+    /// Execute a planned fused join pipeline: build one partitioned hash
+    /// table per non-driver level, then stream driver morsels depth-first
+    /// through the levels straight into output rows.
+    fn exec_fused(
+        &mut self,
+        b: BoxId,
+        plan: &FusedPlan,
+        scalars: &FxHashMap<u32, Value>,
+    ) -> Result<Vec<Row>, ExecError> {
+        let bx = self.g.boxed(b);
+        let out_progs = bx
+            .outputs
+            .iter()
+            .map(|oc| compile_bound(&oc.expr, b, &plan.offsets, scalars, plan.width))
+            .collect::<Result<Vec<Program>, ExecError>>()?;
+        // Global tuple slot → (level, child ordinal); levels were assigned
+        // offsets in order, so the map is a simple concatenation.
+        let mut slot_map: Vec<(u32, u32)> = Vec::with_capacity(plan.width);
+        for (lvl, level) in plan.levels.iter().enumerate() {
+            for ord in 0..level.child_width {
+                slot_map.push((lvl as u32, ord as u32));
+            }
+        }
+        // Bare-column outputs copy straight from the backing source.
+        let out_cols: Vec<Option<(u32, u32)>> = out_progs
+            .iter()
+            .map(|p| p.as_col().map(|s| slot_map[s as usize]))
+            .collect();
+
+        let children = plan
+            .levels
+            .iter()
+            .map(|l| self.child_of(l.child_box))
+            .collect::<Result<Vec<Child>, ExecError>>()?;
+        let sources: Vec<Source> = children.iter().map(Child::source).collect();
+
+        // Build one partitioned hash table per non-driver level.
+        let mut tables: Vec<JoinTable> = Vec::new();
+        for (li, lvl) in plan.levels.iter().enumerate().skip(1) {
+            let (kernels, resid) = lower_singles(&lvl.singles, children[li].columnar());
+            let filtered = filter_indices(self.workers, self.morsel, sources[li], &kernels, &resid);
+            tables.push(build_join_table(
+                self.workers,
+                self.morsel,
+                sources[li],
+                &filtered,
+                &lvl.build,
+            ));
+        }
+
+        // Stream the driver: filter → walk the join levels → emit, all in
+        // one morsel pass.
+        let src0 = sources[0];
+        let n = src0.len();
+        let (kernels0, resid0) = lower_singles(&plan.levels[0].singles, children[0].columnar());
+        let levels = &plan.levels;
+        let slot_map = &slot_map;
+        let w = row_workers(self.workers, n);
+        let parts = par_map(w, self.morsel, n, |_, range| {
+            let mut scratch = Scratch::new();
+            let cur: Vec<std::cell::Cell<u32>> =
+                (0..levels.len()).map(|_| std::cell::Cell::new(0)).collect();
+            let mut out: Vec<Row> = Vec::new();
+            'rows: for i in range {
+                for k in &kernels0 {
+                    if !k.passes(i) {
+                        continue 'rows;
+                    }
+                }
+                {
+                    let col = |c: u32| src0.cell(i, c as usize);
+                    for p in &resid0 {
+                        if p.eval_truth(&col, &mut scratch) != Some(true) {
+                            continue 'rows;
+                        }
+                    }
+                }
+                cur[0].set(i as u32);
+                // Driver-level residuals (rare: predicates over the driver
+                // alone that were not single-quantifier shaped).
+                {
+                    let col = |slot: u32| {
+                        let (lv, ord) = slot_map[slot as usize];
+                        sources[lv as usize].cell(cur[lv as usize].get() as usize, ord as usize)
+                    };
+                    for p in &levels[0].resid {
+                        if p.eval_truth(&col, &mut scratch) != Some(true) {
+                            continue 'rows;
+                        }
+                    }
+                }
+                fused_walk(
+                    1,
+                    levels,
+                    &sources,
+                    &tables,
+                    slot_map,
+                    &cur,
+                    &mut scratch,
+                    &out_progs,
+                    &out_cols,
+                    &mut out,
+                );
+            }
+            out
+        });
+        Ok(parts.into_iter().flatten().collect())
+    }
+
+    /// Describe box `b` as a fusable single-table scan, if it is one.
+    fn scan_plan(&mut self, b: BoxId) -> Result<Option<ScanPlan>, ExecError> {
+        let bx = self.g.boxed(b);
+        let Some(sel) = bx.as_select() else {
+            return Ok(None);
+        };
+        let mut scalars: FxHashMap<u32, Value> = FxHashMap::default();
+        let mut foreach: Vec<QuantId> = Vec::new();
+        for &q in &bx.quants {
+            match self.g.quant(q).kind {
+                QuantKind::Scalar => {
+                    let rows = self.rows_of(self.g.input_of(q))?;
+                    let v = match rows.len() {
+                        0 => Value::Null,
+                        1 => rows[0][0].clone(),
+                        n => return Err(ExecError::ScalarSubqueryCardinality(n)),
+                    };
+                    scalars.insert(q.idx, v);
+                }
+                QuantKind::Foreach => foreach.push(q),
+            }
+        }
+        if foreach.len() != 1 {
+            return Ok(None);
+        }
+        let q = foreach[0];
+        let child_box = self.g.input_of(q);
+        let Child::Col(table) = self.child_of(child_box)? else {
+            return Ok(None);
+        };
+        let child_width = self.g.boxed(child_box).outputs.len();
+
+        let quant_set: HashSet<u32> = [q.idx].into_iter().collect();
+        let pred_refs = pred_quant_refs(&sel.predicates, &quant_set);
+        let no_offsets: FxHashMap<u32, usize> = FxHashMap::default();
+        let mut const_false = false;
+        let mut singles: Vec<Program> = Vec::new();
+        for (i, p) in sel.predicates.iter().enumerate() {
+            if pred_refs[i].is_empty() {
+                let prog = compile_bound(p, b, &no_offsets, &scalars, 0)?;
+                let mut scratch = Scratch::new();
+                if prog.eval_truth(&|_| Cell::Null, &mut scratch) != Some(true) {
+                    const_false = true;
+                }
+            } else {
+                singles.push(compile_local(p, b, q.idx, &scalars, child_width)?);
+            }
+        }
+        let out_progs = bx
+            .outputs
+            .iter()
+            .map(|oc| compile_local(&oc.expr, b, q.idx, &scalars, child_width))
+            .collect::<Result<Vec<Program>, ExecError>>()?;
+        Ok(Some(ScanPlan {
+            table,
+            out_progs,
+            singles,
+            const_false,
+        }))
+    }
+
+    /// Fused scan→aggregate over a columnar base table: grouping keys must
+    /// be bare typed columns of the scan; aggregate arguments read typed
+    /// cells (bare columns) or run their compiled program per row. Returns
+    /// `None` when the shape doesn't qualify, leaving the materializing
+    /// path to handle it.
+    fn group_by_scan(
+        &self,
+        sets: &[Vec<usize>],
+        plan: &GroupPlan,
+        sp: &ScanPlan,
+    ) -> Option<Vec<Row>> {
+        let t: &ColumnarTable = &sp.table;
+        let mut key_cols: Vec<usize> = Vec::with_capacity(plan.item_ords.len());
+        for &ord in &plan.item_ords {
+            let slot = sp.out_progs.get(ord)?.as_col()? as usize;
+            if slot >= t.width() || matches!(t.columns()[slot].slice(), ColSlice::Mixed(_)) {
+                return None;
+            }
+            key_cols.push(slot);
+        }
+        let mut args: Vec<Option<ArgSrc>> = Vec::with_capacity(plan.agg_calls.len());
+        for call in &plan.agg_calls {
+            args.push(match call.arg {
+                None => None,
+                Some(cr) => {
+                    let p = sp.out_progs.get(cr.ordinal)?;
+                    Some(match p.as_col() {
+                        Some(s) if (s as usize) < t.width() => {
+                            ArgSrc::Col(&t.columns()[s as usize])
+                        }
+                        _ => ArgSrc::Prog(p),
+                    })
+                }
+            });
+        }
+        let filtered: Vec<u32> = if sp.const_false {
+            Vec::new()
+        } else {
+            let (kernels, resid) = lower_singles(&sp.singles, Some(t));
+            filter_indices(self.workers, self.morsel, Source::Col(t), &kernels, &resid)
+        };
+        let mut out: Vec<Row> = Vec::new();
+        for set in sets {
+            let mut entries = grouped_columnar(
+                t,
+                &filtered,
+                set,
+                &key_cols,
+                &args,
+                plan,
+                self.workers,
+                self.morsel,
+            )?;
+            if entries.is_empty() && set.is_empty() {
+                entries.push((Vec::new(), plan.agg_calls.iter().map(Acc::new).collect()));
+            }
+            emit_group_rows(entries, set, plan, &mut out);
+        }
+        Some(out)
+    }
+
     fn exec_group_by(&mut self, b: BoxId) -> Result<Vec<Row>, ExecError> {
         let bx = self.g.boxed(b);
         let gb = bx
@@ -1065,15 +1699,30 @@ impl ParExec<'_> {
             .quants
             .first()
             .ok_or_else(|| ExecError::malformed(b, "group-by box has no input quantifier"))?;
-        let input = self.rows_of(self.g.input_of(child_q))?;
+        let input_box = self.g.input_of(child_q);
         let plan = plan_group_by(self.g, b)?;
 
+        // Fused scan→aggregate: when the input is a pure single-table scan
+        // consumed only by this box, aggregate straight off the columnar
+        // snapshot — no input row is ever materialized. All grouping
+        // columns must be typed (checked in `group_by_scan`); otherwise
+        // fall through to the materializing path.
+        if self.g.consumer_count(input_box) == 1 {
+            if let Some(sp) = self.scan_plan(input_box)? {
+                if let Some(rows) = self.group_by_scan(&gb.sets, &plan, &sp) {
+                    return Ok(rows);
+                }
+            }
+        }
+
+        let input = self.rows_of(input_box)?;
         let mut out: Vec<Row> = Vec::new();
         // One aggregation pass per cuboid (Section 5: a cube query is the
         // union of its cuboids, NULL-padding the grouped-out columns).
         for set in &gb.sets {
-            let mut entries = if self.workers > 1 && !set.is_empty() && input.len() > self.morsel {
-                grouped_partitioned(&input, set, &plan, self.workers, self.morsel)
+            let w = row_workers(self.workers, input.len());
+            let mut entries = if w > 1 && !set.is_empty() {
+                grouped_partitioned(&input, set, &plan, w, self.morsel)
             } else {
                 grouped_serial(&input, set, &plan)
             };
@@ -1379,323 +2028,6 @@ impl SerialExec<'_> {
             emit_group_rows(entries, set, &plan, &mut out);
         }
         Ok(out)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Aggregation
-// ---------------------------------------------------------------------------
-
-/// A running aggregate accumulator.
-enum Acc {
-    CountStar(i64),
-    Count(i64),
-    Sum {
-        int: i64,
-        fl: f64,
-        any_float: bool,
-        seen: bool,
-    },
-    Min(Option<Value>),
-    Max(Option<Value>),
-    /// DISTINCT values in a `BTreeSet` so finishing folds them in the
-    /// deterministic `Value` total order — SUM(DISTINCT double) must not
-    /// depend on hash iteration order.
-    Distinct(BTreeSet<Value>, AggFunc),
-}
-
-impl Acc {
-    fn new(call: &AggCall) -> Acc {
-        if call.distinct {
-            return Acc::Distinct(BTreeSet::new(), call.func);
-        }
-        match call.func {
-            AggFunc::Count if call.arg.is_none() => Acc::CountStar(0),
-            AggFunc::Count => Acc::Count(0),
-            AggFunc::Sum => Acc::Sum {
-                int: 0,
-                fl: 0.0,
-                any_float: false,
-                seen: false,
-            },
-            AggFunc::Min => Acc::Min(None),
-            AggFunc::Max => Acc::Max(None),
-            // AVG is normalized to SUM/COUNT during QGM build; exec_group_by
-            // rejects graphs carrying a raw AVG before any Acc is built, so
-            // this arm is never reached with a meaningful call.
-            AggFunc::Avg => Acc::Count(0),
-        }
-    }
-
-    fn update(&mut self, arg: Option<&Value>) {
-        match self {
-            Acc::CountStar(n) => *n += 1,
-            Acc::Count(n) => {
-                if arg.is_some_and(|v| !v.is_null()) {
-                    *n += 1;
-                }
-            }
-            Acc::Sum {
-                int,
-                fl,
-                any_float,
-                seen,
-            } => match arg {
-                Some(Value::Int(i)) => {
-                    *int = int.wrapping_add(*i);
-                    *fl += *i as f64;
-                    *seen = true;
-                }
-                Some(Value::Double(d)) => {
-                    *fl += d;
-                    *any_float = true;
-                    *seen = true;
-                }
-                _ => {}
-            },
-            Acc::Min(cur) => {
-                if let Some(v) = arg {
-                    if !v.is_null() && cur.as_ref().is_none_or(|c| v < c) {
-                        *cur = Some(v.clone());
-                    }
-                }
-            }
-            Acc::Max(cur) => {
-                if let Some(v) = arg {
-                    if !v.is_null() && cur.as_ref().is_none_or(|c| v > c) {
-                        *cur = Some(v.clone());
-                    }
-                }
-            }
-            Acc::Distinct(set, _) => {
-                if let Some(v) = arg {
-                    if !v.is_null() {
-                        set.insert(v.clone());
-                    }
-                }
-            }
-        }
-    }
-
-    fn finish(self) -> Value {
-        match self {
-            Acc::CountStar(n) | Acc::Count(n) => Value::Int(n),
-            Acc::Sum {
-                int,
-                fl,
-                any_float,
-                seen,
-            } => {
-                if !seen {
-                    Value::Null
-                } else if any_float {
-                    Value::Double(fl)
-                } else {
-                    Value::Int(int)
-                }
-            }
-            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
-            Acc::Distinct(set, func) => match func {
-                AggFunc::Count => Value::Int(set.len() as i64),
-                AggFunc::Sum => {
-                    let mut acc = Acc::Sum {
-                        int: 0,
-                        fl: 0.0,
-                        any_float: false,
-                        seen: false,
-                    };
-                    for v in &set {
-                        acc.update(Some(v));
-                    }
-                    acc.finish()
-                }
-                AggFunc::Min => set.iter().min().cloned().unwrap_or(Value::Null),
-                AggFunc::Max => set.iter().max().cloned().unwrap_or(Value::Null),
-                // Unreachable after exec_group_by's up-front AVG rejection.
-                AggFunc::Avg => Value::Null,
-            },
-        }
-    }
-}
-
-/// Outputs reference grouping items or carry aggregates, in any order.
-enum OutPlan {
-    Item(usize),
-    Agg(usize),
-}
-
-/// The shared aggregation plan for a GROUP BY box.
-struct GroupPlan {
-    item_ords: Vec<usize>,
-    agg_calls: Vec<AggCall>,
-    out_plan: Vec<OutPlan>,
-}
-
-fn plan_group_by(g: &QgmGraph, b: BoxId) -> Result<GroupPlan, ExecError> {
-    let bx = g.boxed(b);
-    let gb = bx
-        .as_group_by()
-        .ok_or_else(|| ExecError::malformed(b, "exec_group_by on a non-GROUP-BY box"))?;
-    let item_ords: Vec<usize> = gb.items.iter().map(|c| c.ordinal).collect();
-    let mut agg_calls: Vec<AggCall> = Vec::new();
-    let mut out_plan: Vec<OutPlan> = Vec::with_capacity(bx.outputs.len());
-    for oc in &bx.outputs {
-        match &oc.expr {
-            ScalarExpr::Col(c) => {
-                let i = gb.items.iter().position(|it| it == c).ok_or_else(|| {
-                    ExecError::malformed(b, "group-by output must reference a grouping item")
-                })?;
-                out_plan.push(OutPlan::Item(i));
-            }
-            ScalarExpr::Agg(a) => {
-                // AVG must have been normalized to SUM/COUNT by the builder;
-                // reject it here (before any accumulator exists) so `Acc`
-                // never observes it.
-                if a.func == AggFunc::Avg {
-                    return Err(ExecError::malformed(
-                        b,
-                        "raw AVG aggregate (not normalized to SUM/COUNT)",
-                    ));
-                }
-                agg_calls.push(*a);
-                out_plan.push(OutPlan::Agg(agg_calls.len() - 1));
-            }
-            other => {
-                return Err(ExecError::malformed(
-                    b,
-                    format!("group-by output must be item or aggregate, got {other:?}"),
-                ))
-            }
-        }
-    }
-    Ok(GroupPlan {
-        item_ords,
-        agg_calls,
-        out_plan,
-    })
-}
-
-/// Hash-aggregate one cuboid serially; entries come out in first-occurrence
-/// order of their group key.
-fn grouped_serial(input: &[Row], set: &[usize], plan: &GroupPlan) -> Vec<(Vec<Value>, Vec<Acc>)> {
-    let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-    let mut entries: Vec<(Vec<Value>, Vec<Acc>)> = Vec::new();
-    for row in input {
-        let key: Vec<Value> = set
-            .iter()
-            .map(|&i| row[plan.item_ords[i]].clone())
-            .collect();
-        let idx = match index.get(&key) {
-            Some(&i) => i,
-            None => {
-                let i = entries.len();
-                index.insert(key.clone(), i);
-                entries.push((key, plan.agg_calls.iter().map(Acc::new).collect()));
-                i
-            }
-        };
-        for (acc, call) in entries[idx].1.iter_mut().zip(&plan.agg_calls) {
-            acc.update(call.arg.map(|c| &row[c.ordinal]));
-        }
-    }
-    entries
-}
-
-/// Hash-aggregate one cuboid with key-partitioned parallelism. Each worker
-/// owns the groups whose key hash lands in its partition and folds their
-/// rows **in global row order** — float addition is non-associative, so
-/// merging per-morsel partials would drift from the serial result in the
-/// low bits. Partitions are merged by first-occurrence row index, giving
-/// exactly the serial entry order.
-fn grouped_partitioned(
-    input: &[Row],
-    set: &[usize],
-    plan: &GroupPlan,
-    workers: usize,
-    morsel: usize,
-) -> Vec<(Vec<Value>, Vec<Acc>)> {
-    // Phase 1 (morsel-parallel): hash each row's group key in place — no
-    // key materialization, just the partition hash.
-    let hashes: Vec<u64> = par_map(workers, morsel, input.len(), |_, range| {
-        range
-            .map(|i| {
-                let mut h = FxHasher::default();
-                for &s in set {
-                    input[i][plan.item_ords[s]].hash(&mut h);
-                }
-                h.finish()
-            })
-            .collect::<Vec<_>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-
-    // Phase 2 (single serial pass): bucket row indices by partition. Rows
-    // stay in global order within each bucket.
-    let nparts = workers;
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); nparts];
-    for (i, h) in hashes.iter().enumerate() {
-        buckets[(h % nparts as u64) as usize].push(i as u32);
-    }
-
-    // Phase 3 (one partition per worker): fold owned groups in row order.
-    // Each entry is (first-occurrence row index, group key, accumulators).
-    type PartEntry = (u32, Vec<Value>, Vec<Acc>);
-    let parts: Vec<Vec<PartEntry>> = par_map(workers, 1, nparts, |_, range| {
-        let mut out: Vec<PartEntry> = Vec::new();
-        for w in range {
-            let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-            for &ri in &buckets[w] {
-                let row = &input[ri as usize];
-                let key: Vec<Value> = set
-                    .iter()
-                    .map(|&s| row[plan.item_ords[s]].clone())
-                    .collect();
-                let idx = match index.get(&key) {
-                    Some(&x) => x,
-                    None => {
-                        let x = out.len();
-                        index.insert(key.clone(), x);
-                        out.push((ri, key, plan.agg_calls.iter().map(Acc::new).collect()));
-                        x
-                    }
-                };
-                for (acc, call) in out[idx].2.iter_mut().zip(&plan.agg_calls) {
-                    acc.update(call.arg.map(|c| &row[c.ordinal]));
-                }
-            }
-        }
-        out
-    });
-
-    // Phase 4: merge partitions into global first-occurrence order.
-    let mut all: Vec<PartEntry> = parts.into_iter().flatten().collect();
-    all.sort_by_key(|e| e.0);
-    all.into_iter().map(|(_, k, a)| (k, a)).collect()
-}
-
-/// Render finished group entries through the output plan.
-fn emit_group_rows(
-    entries: Vec<(Vec<Value>, Vec<Acc>)>,
-    set: &[usize],
-    plan: &GroupPlan,
-    out: &mut Vec<Row>,
-) {
-    for (key, accs) in entries {
-        let finished: Vec<Value> = accs.into_iter().map(Acc::finish).collect();
-        let row = plan
-            .out_plan
-            .iter()
-            .map(|p| match p {
-                OutPlan::Item(i) => match set.iter().position(|&s| s == *i) {
-                    Some(k) => key[k].clone(),
-                    None => Value::Null,
-                },
-                OutPlan::Agg(k) => finished[*k].clone(),
-            })
-            .collect();
-        out.push(row);
     }
 }
 

@@ -22,6 +22,7 @@
 
 #![forbid(unsafe_code)]
 
+mod agg;
 pub mod csv;
 pub mod db;
 pub mod error;

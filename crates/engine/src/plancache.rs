@@ -347,10 +347,17 @@ mod tests {
         let e = c.feedback("q", 7).unwrap();
         assert_eq!(e.observed(RouteChoice::Rewrite), Some(1000.0));
         assert_eq!(e.observed(RouteChoice::Base), None);
-        assert_eq!(e.measured_best(), None, "one-sided measurement decides nothing");
+        assert_eq!(
+            e.measured_best(),
+            None,
+            "one-sided measurement decides nothing"
+        );
         // A generation bump drops it.
         assert!(c.feedback("q", 8).is_none());
-        assert!(c.feedback("q", 7).is_none(), "dropped on discovery, not hidden");
+        assert!(
+            c.feedback("q", 7).is_none(),
+            "dropped on discovery, not hidden"
+        );
     }
 
     #[test]

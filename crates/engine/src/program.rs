@@ -87,12 +87,58 @@ impl<'a> Cell<'a> {
         }
     }
 
+    /// Compare against an owned [`Value`] under the **grouping total
+    /// order** — exactly `Value::cmp` semantics (NULLs equal and smallest,
+    /// doubles by total order, mixed numerics through the widened double,
+    /// cross-type by type rank) without converting the cell to a `Value`.
+    /// MIN/MAX accumulators fold typed column cells through this; the
+    /// differential tests hold it to the serial `Value` fold.
+    pub(crate) fn grouping_cmp(&self, v: &Value) -> Ordering {
+        match (self, v) {
+            (Cell::Null, Value::Null) => Ordering::Equal,
+            (Cell::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Cell::Int(a), Value::Int(b)) => a.cmp(b),
+            (Cell::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Cell::Int(a), Value::Double(b)) => (*a as f64).total_cmp(b),
+            (Cell::Double(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Cell::Date(a), Value::Date(b)) => a.cmp(b),
+            _ => match (self.as_str(), v) {
+                (Some(a), Value::Str(b)) => a.cmp(b.as_str()),
+                _ => self.type_rank().cmp(&value_type_rank(v)),
+            },
+        }
+    }
+
+    /// Mirror of `Value::type_rank` for the cross-type arm of
+    /// [`Cell::grouping_cmp`].
+    fn type_rank(&self) -> u8 {
+        match self {
+            Cell::Null => 0,
+            Cell::Bool(_) => 1,
+            Cell::Int(_) | Cell::Double(_) => 2,
+            Cell::Str(_) | Cell::StrOwned(_) => 3,
+            Cell::Date(_) => 4,
+        }
+    }
+
     fn as_f64(&self) -> Option<f64> {
         match self {
             Cell::Int(i) => Some(*i as f64),
             Cell::Double(d) => Some(*d),
             _ => None,
         }
+    }
+}
+
+/// Mirror of the private `Value::type_rank` (see `sumtab-catalog`), for the
+/// cross-type arm of [`Cell::grouping_cmp`].
+fn value_type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) | Value::Double(_) => 2,
+        Value::Str(_) => 3,
+        Value::Date(_) => 4,
     }
 }
 

@@ -14,7 +14,7 @@ use sumtab::engine::{execute_serial, execute_with, Database, ExecOptions};
 use sumtab::{build_query, Catalog, Value};
 
 const POOLS: [usize; 4] = [1, 2, 4, 8];
-const MORSELS: [usize; 3] = [1, 7, 1024];
+const MORSELS: [usize; 3] = [1, 7, 4096];
 
 /// The datagen star schema plus two bespoke nullable tables: `nl`/`nr`
 /// carry NULL join keys and duplicated doubles so DISTINCT aggregation and
@@ -78,6 +78,95 @@ fn fixture() -> (Catalog, Database) {
         .collect();
     db.insert(&catalog, "nl", nl).unwrap();
     db.insert(&catalog, "nr", nr).unwrap();
+
+    // Adversarial join/aggregate shapes for the partitioned executor:
+    // `hot` skews 90% of its join keys onto one value and carries a
+    // high-cardinality `uniq` column (every row its own group); `hotdim`
+    // and `dim2` are small build sides for multi-level fused joins;
+    // `emptyt` is an always-empty build side; `nullj` is NULL-dense (80%
+    // NULL join keys). Sizes sit above the executor's serial-fallback
+    // floor so the partitioned paths actually run.
+    catalog
+        .add_table(Table::new(
+            "hot",
+            vec![
+                Column::new("k", SqlType::Int),
+                Column::new("j", SqlType::Int),
+                Column::new("uniq", SqlType::Int),
+                Column::new("v", SqlType::Double),
+            ],
+        ))
+        .unwrap();
+    catalog
+        .add_table(Table::new(
+            "hotdim",
+            vec![
+                Column::new("k", SqlType::Int),
+                Column::new("name", SqlType::Varchar),
+            ],
+        ))
+        .unwrap();
+    catalog
+        .add_table(Table::new(
+            "dim2",
+            vec![
+                Column::new("j", SqlType::Int),
+                Column::new("w", SqlType::Int),
+            ],
+        ))
+        .unwrap();
+    catalog
+        .add_table(Table::new(
+            "emptyt",
+            vec![
+                Column::new("k", SqlType::Int),
+                Column::new("v", SqlType::Int),
+            ],
+        ))
+        .unwrap();
+    catalog
+        .add_table(Table::new(
+            "nullj",
+            vec![
+                Column::nullable("k", SqlType::Int),
+                Column::new("v", SqlType::Int),
+            ],
+        ))
+        .unwrap();
+    let hot: Vec<Vec<Value>> = (0..4000)
+        .map(|i: i64| {
+            let k = if i % 10 < 9 { 7 } else { i % 97 };
+            vec![
+                Value::Int(k),
+                Value::Int(i % 11),
+                Value::Int(i),
+                Value::Double((i % 13) as f64 * 0.5),
+            ]
+        })
+        .collect();
+    let hotdim: Vec<Vec<Value>> = (0..50)
+        .map(|k: i64| vec![Value::Int(k), Value::Str(format!("n{}", k % 5))])
+        .collect();
+    let dim2: Vec<Vec<Value>> = (0..11)
+        .map(|j: i64| vec![Value::Int(j), Value::Int(j * 10)])
+        .collect();
+    let nullj: Vec<Vec<Value>> = (0..3000)
+        .map(|i: i64| {
+            vec![
+                if i % 5 < 4 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 40)
+                },
+                Value::Int(i),
+            ]
+        })
+        .collect();
+    db.insert(&catalog, "hot", hot).unwrap();
+    db.insert(&catalog, "hotdim", hotdim).unwrap();
+    db.insert(&catalog, "dim2", dim2).unwrap();
+    db.insert(&catalog, "emptyt", Vec::new()).unwrap();
+    db.insert(&catalog, "nullj", nullj).unwrap();
     (catalog, db)
 }
 
@@ -162,6 +251,42 @@ fn star_schema_joins_match_serial() {
          from trans, pgroup where fpgid = pgid group by pgname, year(date)",
         "select country, pgname, sum(qty) as q from trans, loc, pgroup \
          where flid = lid and fpgid = pgid group by country, pgname",
+    ];
+    for sql in queries {
+        assert_equivalent(sql, &catalog, &db);
+    }
+}
+
+/// Adversarial shapes for the partitioned join build and the fused
+/// scan→aggregate path: one hot join key owning 90% of the probe rows,
+/// high-cardinality grouping (every row its own group), empty build sides,
+/// and NULL-dense join columns.
+#[test]
+fn adversarial_join_and_aggregate_shapes_match_serial() {
+    let (catalog, db) = fixture();
+    let queries = [
+        // Heavily skewed join: the hot key's match list lands in one
+        // partition, and its per-key order must still be build scan order.
+        "select hot.uniq, hotdim.name from hot, hotdim where hot.k = hotdim.k",
+        "select hotdim.name, sum(hot.v) as s, count(*) as c \
+         from hot, hotdim where hot.k = hotdim.k group by hotdim.name",
+        // Three-way fused join + group-by over both dimensions.
+        "select hotdim.name, dim2.w, sum(hot.v) as s from hot, hotdim, dim2 \
+         where hot.k = hotdim.k and hot.j = dim2.j group by hotdim.name, dim2.w",
+        // High-cardinality group keys: every row is its own group.
+        "select uniq, sum(v) as s, min(v) as lo from hot group by uniq",
+        "select uniq, k, count(*) as c from hot group by uniq, k",
+        // Empty build side (both join orders) and a grand total over an
+        // empty join result.
+        "select hot.uniq, emptyt.v from hot, emptyt where hot.k = emptyt.k",
+        "select emptyt.v, hot.uniq from emptyt, hot where emptyt.k = hot.k",
+        "select count(*) as c, sum(hot.v) as s from hot, emptyt where hot.k = emptyt.k",
+        // NULL-dense join columns: 80% of probe-side keys are NULL.
+        "select nullj.v, hotdim.name from nullj, hotdim where nullj.k = hotdim.k",
+        "select nullj.k, min(nullj.v) as lo, max(nullj.v) as hi \
+         from nullj, hotdim where nullj.k = hotdim.k group by nullj.k",
+        // NULL keys on the build side too (nl has every-third-key NULL).
+        "select hot.uniq from hot, nl where hot.k = nl.k and hot.uniq < 50",
     ];
     for sql in queries {
         assert_equivalent(sql, &catalog, &db);

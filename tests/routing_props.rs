@@ -153,7 +153,9 @@ fn feedback_reroutes_preserve_results() {
     });
     let mut expected = Vec::new();
     for case in FIGURES.iter().filter(|c| c.matches) {
-        expected.push(sumtab::sort_rows(s.query_no_rewrite(case.query).unwrap().rows));
+        expected.push(sumtab::sort_rows(
+            s.query_no_rewrite(case.query).unwrap().rows,
+        ));
     }
     // Pass 1 calibrates, pass 2 arms a probe, pass 3 runs re-routed, pass
     // 4 settles on the measured-faster plan.
@@ -178,7 +180,11 @@ fn feedback_reroutes_preserve_results() {
     for (case, expect) in FIGURES.iter().filter(|c| c.matches).zip(&expected) {
         let r = s.query(case.query).unwrap();
         assert_eq!(r.used_ast, None, "{}: stale AST must not be used", case.id);
-        assert!(rows_approx_eq(&sumtab::sort_rows(r.rows), expect), "{}", case.id);
+        assert!(
+            rows_approx_eq(&sumtab::sort_rows(r.rows), expect),
+            "{}",
+            case.id
+        );
     }
 }
 
@@ -300,7 +306,10 @@ fn result_cache_hits_and_is_epoch_invalidated() {
     let hits3 = s.result_cache_stats().hits;
     let fifth = s.query(q).unwrap();
     assert_eq!(s.result_cache_stats().hits, hits3, "stale generation hit");
-    assert_eq!(sumtab::sort_rows(fifth.rows), sumtab::sort_rows(fourth.rows));
+    assert_eq!(
+        sumtab::sort_rows(fifth.rows),
+        sumtab::sort_rows(fourth.rows)
+    );
 
     // Capacity 0 disables caching entirely.
     s.set_result_cache_capacity(0);
