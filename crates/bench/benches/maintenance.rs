@@ -1,0 +1,146 @@
+//! Incremental maintenance vs full refresh: the cost of keeping a summary
+//! table fresh under single-statement DELETEs and UPDATEs, as a function of
+//! base-table size.
+//!
+//! The counting-delta path aggregates only the delta rows and patches the
+//! affected groups in place; the refresh path re-aggregates the whole base
+//! table. The sweep shows the incremental path staying (near-)flat while
+//! refresh scales with base cardinality — the argument for the
+//! maintainability analyzer doing its static work at registration time.
+//!
+//! Emits `BENCH_maintenance.json` at the repository root and aborts loudly
+//! if incremental maintenance fails to beat full refresh at the largest
+//! base size, or if the maintained summary ever diverges from a
+//! recomputation. Plain `harness = false` benchmark; accepts `--quick`.
+
+// Bench fixtures run over fixed inputs; a failed setup step should abort
+// the run loudly, so panicking unwraps are intended here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use sumtab::qgm::MaintStrategy;
+use sumtab::{failpoint, sort_rows, SummarySession, Value};
+use sumtab_bench::median_time;
+
+const GROUPS: u64 = 16;
+
+/// A session with `n` fact rows and one counting-delta summary.
+fn build(n: usize) -> SummarySession {
+    let mut s = SummarySession::new();
+    s.run_script("create table f (id int not null, k int not null, v int not null);")
+        .unwrap();
+    // Bulk-load in chunks to keep statement sizes bounded.
+    let mut vals = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        vals.push(format!("({i}, {}, {})", i % GROUPS, (i * 7) % 100));
+    }
+    for chunk in vals.chunks(512) {
+        s.run_script(&format!("insert into f values {}", chunk.join(", ")))
+            .unwrap();
+    }
+    s.run_script(
+        "create summary table st as (select k, sum(v) as sv, count(*) as c from f group by k);",
+    )
+    .unwrap();
+    let m = s.maintainability("st").unwrap();
+    assert_eq!(
+        m.strategy_for("f"),
+        MaintStrategy::CountingDelta,
+        "the bench summary must be counting-delta certified"
+    );
+    s
+}
+
+fn ground_truth(s: &mut SummarySession) -> Vec<Vec<Value>> {
+    sort_rows(
+        s.query_no_rewrite("select k, sum(v) as sv, count(*) as c from f group by k")
+            .unwrap()
+            .rows,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 7 };
+    let sizes: &[usize] = if quick { &[512, 2048] } else { &[1024, 8192, 32768] };
+    println!(
+        "{:>8} {:>14} {:>14} {:>14} {:>14} {:>9}",
+        "rows", "del_incr", "del_refresh", "upd_incr", "upd_refresh", "ratio"
+    );
+    let mut records = Vec::new();
+    let mut last_ratio = 0.0f64;
+    for &n in sizes {
+        // Incremental DELETE: one row out of `n`, counting-delta merge.
+        // Each rep deletes a distinct id so the statement always hits.
+        let mut s = build(n);
+        let mut next = 0u64;
+        let delete_incr = median_time(reps, || {
+            s.run_script(&format!("delete from f where id = {next}"))
+                .unwrap();
+            next += 1;
+        });
+        // The maintained summary must still answer exactly.
+        let expected = ground_truth(&mut s);
+        let got = s
+            .query("select k, sum(v) as sv, count(*) as c from f group by k")
+            .unwrap();
+        assert_eq!(got.used_ast.as_deref(), Some("st"), "summary went stale");
+        assert_eq!(sort_rows(got.rows), expected, "maintained summary diverged");
+
+        // The same DELETE statement with the incremental path fault-forced
+        // onto a full refresh: everything else (WHERE resolution, base
+        // mutation) is identical, so the difference is purely
+        // maintenance-by-delta vs maintenance-by-recompute.
+        let delete_refresh = median_time(reps, || {
+            failpoint::arm_times("maintain", 1);
+            s.run_script(&format!("delete from f where id = {next}"))
+                .unwrap();
+            next += 1;
+        });
+        failpoint::disarm_all();
+
+        // Incremental UPDATE: delete + insert of signed deltas. Target ids
+        // from the middle of the table so every rep hits a live row.
+        let mut upd = n as u64 / 2;
+        let update_incr = median_time(reps, || {
+            s.run_script(&format!("update f set v = 3 where id = {upd}"))
+                .unwrap();
+            upd += 1;
+        });
+        let update_refresh = median_time(reps, || {
+            failpoint::arm_times("maintain", 1);
+            s.run_script(&format!("update f set v = 5 where id = {upd}"))
+                .unwrap();
+            upd += 1;
+        });
+        failpoint::disarm_all();
+
+        let ratio = (delete_refresh.as_secs_f64() + update_refresh.as_secs_f64())
+            / (delete_incr.as_secs_f64() + update_incr.as_secs_f64()).max(f64::EPSILON);
+        last_ratio = ratio;
+        println!(
+            "{:>8} {:>12.3?} {:>12.3?} {:>12.3?} {:>12.3?} {:>8.1}x",
+            n, delete_incr, delete_refresh, update_incr, update_refresh, ratio
+        );
+        records.push(format!(
+            "{{\"rows\": {n}, \"delete_incremental_ns\": {}, \"delete_refresh_ns\": {}, \
+             \"update_incremental_ns\": {}, \"update_refresh_ns\": {}, \
+             \"refresh_over_incremental\": {ratio:.2}}}",
+            delete_incr.as_nanos(),
+            delete_refresh.as_nanos(),
+            update_incr.as_nanos(),
+            update_refresh.as_nanos(),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"maintenance\",\n  \"quick\": {quick},\n  \"sweeps\": [\n    {}\n  ]\n}}\n",
+        records.join(",\n    ")
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_maintenance.json");
+    std::fs::write(&out, json).unwrap();
+    println!("wrote {}", out.display());
+    assert!(
+        last_ratio > 1.0,
+        "incremental maintenance must beat full refresh at {} rows, got {last_ratio:.2}x",
+        sizes[sizes.len() - 1]
+    );
+}

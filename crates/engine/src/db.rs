@@ -355,14 +355,15 @@ impl Database {
         Database::default()
     }
 
-    /// Insert rows after validating them against the catalog schema.
-    /// Integer values are widened to doubles where the schema requires it.
-    pub fn insert(
-        &mut self,
+    /// Validate rows against a table's catalog schema: arity, NULLability,
+    /// and types, widening integer values to doubles where the schema
+    /// requires it. Shared by [`Database::insert`] and
+    /// [`Database::replace_rows`].
+    pub fn validate_rows(
         catalog: &Catalog,
         table: &str,
         rows: Vec<Row>,
-    ) -> Result<usize, DbError> {
+    ) -> Result<Vec<Row>, DbError> {
         let t = catalog
             .table(table)
             .ok_or_else(|| DbError::UnknownTable(table.into()))?;
@@ -402,6 +403,21 @@ impl Database {
             }
             validated.push(row);
         }
+        Ok(validated)
+    }
+
+    /// Insert rows after validating them against the catalog schema.
+    /// Integer values are widened to doubles where the schema requires it.
+    pub fn insert(
+        &mut self,
+        catalog: &Catalog,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<usize, DbError> {
+        let t = catalog
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?;
+        let validated = Database::validate_rows(catalog, table, rows)?;
         let n = validated.len();
         let key = t.name.clone();
         self.tables
@@ -410,6 +426,70 @@ impl Database {
             .extend(validated);
         self.bump(&key);
         Ok(n)
+    }
+
+    /// Remove `victims` from a table as a multiset — each victim row
+    /// cancels exactly one stored copy. Returns the number of rows actually
+    /// removed; the epoch is bumped only when at least one row went away.
+    pub fn remove_rows(&mut self, table: &str, victims: &[Row]) -> usize {
+        let key = table.to_ascii_lowercase();
+        let mut budget: HashMap<&Row, usize> = HashMap::new();
+        for v in victims {
+            *budget.entry(v).or_insert(0) += 1;
+        }
+        let removed = match self.tables.get_mut(&key) {
+            Some(rows) => {
+                let before = rows.len();
+                rows.retain(|r| match budget.get_mut(r) {
+                    Some(n) if *n > 0 => {
+                        *n -= 1;
+                        false
+                    }
+                    _ => true,
+                });
+                before - rows.len()
+            }
+            None => 0,
+        };
+        if removed > 0 {
+            self.bump(&key);
+        }
+        removed
+    }
+
+    /// Replace `old` rows (a multiset) with `new` rows in one mutation:
+    /// validates the replacements, removes the victims, appends the
+    /// validated rows, and bumps the epoch once. Returns the number of rows
+    /// removed. Nothing is mutated when validation fails.
+    pub fn replace_rows(
+        &mut self,
+        catalog: &Catalog,
+        table: &str,
+        old: &[Row],
+        new: Vec<Row>,
+    ) -> Result<usize, DbError> {
+        let t = catalog
+            .table(table)
+            .ok_or_else(|| DbError::UnknownTable(table.into()))?;
+        let validated = Database::validate_rows(catalog, table, new)?;
+        let key = t.name.clone();
+        let mut budget: HashMap<&Row, usize> = HashMap::new();
+        for v in old {
+            *budget.entry(v).or_insert(0) += 1;
+        }
+        let rows = self.tables.entry(key.clone()).or_default();
+        let before = rows.len();
+        rows.retain(|r| match budget.get_mut(r) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                false
+            }
+            _ => true,
+        });
+        let removed = before - rows.len();
+        rows.extend(validated);
+        self.bump(&key);
+        Ok(removed)
     }
 
     /// Replace a table's rows wholesale (no validation; caller guarantees

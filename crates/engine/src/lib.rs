@@ -44,7 +44,7 @@ pub use exec::{
 pub use materialize::{backing_table_schema, materialize, materialize_with};
 pub use plancache::{CacheStats, FeedbackEntry, PlanCache, RouteChoice};
 pub use program::{Cell, Program, Resolved, Scratch};
-pub use session::Session;
+pub use session::{matched_rows, update_deltas, Session};
 
 /// Sort rows with the deterministic `Value` total order; useful for
 /// order-insensitive result comparison in tests and tools.

@@ -10,7 +10,9 @@ use crate::error::SumtabError;
 use crate::exec::{execute_with, ExecOptions};
 use crate::materialize::materialize_with;
 use sumtab_catalog::{Catalog, Column, SummaryTableDef, Table, Value};
-use sumtab_parser::{parse_statements, render::render_query, Statement};
+use sumtab_parser::{
+    parse_statements, render::render_query, Expr, Query, SelectItem, Statement, TableRef,
+};
 use sumtab_qgm::build_query;
 
 /// Result of running one statement.
@@ -127,6 +129,45 @@ impl Session {
                 let n = self.db.insert(&self.catalog, table, values).map_err(err)?;
                 Ok(StatementResult::Count(n))
             }
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let victims = matched_rows(
+                    &self.catalog,
+                    &self.db,
+                    &self.exec,
+                    table,
+                    where_clause.as_ref(),
+                )?;
+                if victims.is_empty() {
+                    return Ok(StatementResult::Count(0));
+                }
+                let n = self.db.remove_rows(table, &victims);
+                Ok(StatementResult::Count(n))
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let (old, new) = update_deltas(
+                    &self.catalog,
+                    &self.db,
+                    &self.exec,
+                    table,
+                    sets,
+                    where_clause.as_ref(),
+                )?;
+                if old.is_empty() {
+                    return Ok(StatementResult::Count(0));
+                }
+                let n = self
+                    .db
+                    .replace_rows(&self.catalog, table, &old, new)
+                    .map_err(err)?;
+                Ok(StatementResult::Count(n))
+            }
         }
     }
 
@@ -140,6 +181,105 @@ impl Session {
             }),
         }
     }
+}
+
+/// The multiset of rows in `table` matched by `where_clause`, computed by
+/// executing `SELECT * FROM table [WHERE ..]` through the query pipeline so
+/// the predicate gets full three-valued-logic semantics (partitioning the
+/// table with `NOT p` would misclassify NULL verdicts). Public so front ends
+/// that route DELETEs through summary maintenance evaluate the predicate
+/// exactly once against a consistent snapshot.
+pub fn matched_rows(
+    catalog: &Catalog,
+    db: &Database,
+    exec: &ExecOptions,
+    table: &str,
+    where_clause: Option<&Expr>,
+) -> Result<Vec<Row>, SumtabError> {
+    let q = Query {
+        distinct: false,
+        select: vec![SelectItem::Wildcard],
+        from: vec![TableRef::Named {
+            name: table.to_string(),
+            alias: None,
+        }],
+        where_clause: where_clause.cloned(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+    let g = build_query(&q, catalog).map_err(err)?;
+    execute_with(&g, db, exec).map_err(err)
+}
+
+/// The `(old rows, new rows)` delta of an UPDATE, computed in one pass:
+/// `SELECT *, set-expr.. FROM table [WHERE ..]` yields each matched row
+/// alongside its replacement values (SET expressions read the old row), so
+/// the mapping is well-defined even for duplicate rows. Replacement rows are
+/// validated against the schema by the caller's apply step.
+pub fn update_deltas(
+    catalog: &Catalog,
+    db: &Database,
+    exec: &ExecOptions,
+    table: &str,
+    sets: &[(String, Expr)],
+    where_clause: Option<&Expr>,
+) -> Result<(Vec<Row>, Vec<Row>), SumtabError> {
+    let t = catalog
+        .table(table)
+        .ok_or_else(|| SumtabError::Unsupported {
+            detail: format!("UPDATE target `{table}` is not a known table"),
+        })?;
+    let ncols = t.columns.len();
+    let mut ords = Vec::with_capacity(sets.len());
+    for (name, _) in sets {
+        let i = t
+            .column_index(name)
+            .ok_or_else(|| SumtabError::Unsupported {
+                detail: format!("UPDATE {table}: unknown column `{name}`"),
+            })?;
+        if ords.contains(&i) {
+            return Err(SumtabError::Unsupported {
+                detail: format!("UPDATE {table}: column `{name}` assigned twice"),
+            });
+        }
+        ords.push(i);
+    }
+    let mut select = vec![SelectItem::Wildcard];
+    for (i, (_, e)) in sets.iter().enumerate() {
+        select.push(SelectItem::Expr {
+            expr: e.clone(),
+            alias: Some(format!("__set{i}")),
+        });
+    }
+    let q = Query {
+        distinct: false,
+        select,
+        from: vec![TableRef::Named {
+            name: table.to_string(),
+            alias: None,
+        }],
+        where_clause: where_clause.cloned(),
+        group_by: Vec::new(),
+        having: None,
+        order_by: Vec::new(),
+        limit: None,
+    };
+    let g = build_query(&q, catalog).map_err(err)?;
+    let rows = execute_with(&g, db, exec).map_err(err)?;
+    let mut old = Vec::with_capacity(rows.len());
+    let mut new = Vec::with_capacity(rows.len());
+    for mut r in rows {
+        let extras = r.split_off(ncols);
+        let mut n = r.clone();
+        for (slot, v) in ords.iter().zip(extras) {
+            n[*slot] = v;
+        }
+        old.push(r);
+        new.push(n);
+    }
+    Ok((old, new))
 }
 
 /// Convert parsed `INSERT ... VALUES` rows into concrete values. Public so

@@ -206,6 +206,8 @@ impl Parser {
             Token::Keyword(Keyword::CREATE) => self.create(),
             Token::Keyword(Keyword::ALTER) => self.alter(),
             Token::Keyword(Keyword::INSERT) => self.insert(),
+            Token::Keyword(Keyword::DELETE) => self.delete(),
+            Token::Keyword(Keyword::UPDATE) => self.update(),
             other => self.err(format!("expected statement, found `{other}`")),
         }
     }
@@ -330,6 +332,46 @@ impl Parser {
             }
         }
         Ok(Statement::Insert { table, rows })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::DELETE)?;
+        self.expect_kw(Keyword::FROM)?;
+        let table = self.name()?;
+        let where_clause = if self.eat_kw(Keyword::WHERE) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn update(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::UPDATE)?;
+        let table = self.name()?;
+        self.expect_kw(Keyword::SET)?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.name()?;
+            self.expect(&Token::Eq)?;
+            sets.push((col, self.expr()?));
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw(Keyword::WHERE) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     // ------------------------------------------------------------------

@@ -54,6 +54,28 @@ pub fn render_statement(stmt: &Statement) -> String {
                 .collect();
             format!("INSERT INTO {} VALUES {}", table, rows.join(", "))
         }
+        Statement::Delete {
+            table,
+            where_clause,
+        } => match where_clause {
+            Some(p) => format!("DELETE FROM {} WHERE {}", table, render_expr(p)),
+            None => format!("DELETE FROM {table}"),
+        },
+        Statement::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            let assigns: Vec<String> = sets
+                .iter()
+                .map(|(c, e)| format!("{} = {}", c, render_expr(e)))
+                .collect();
+            let mut s = format!("UPDATE {} SET {}", table, assigns.join(", "));
+            if let Some(p) = where_clause {
+                s.push_str(&format!(" WHERE {}", render_expr(p)));
+            }
+            s
+        }
     }
 }
 

@@ -36,6 +36,22 @@ pub enum Statement {
         /// Literal rows.
         rows: Vec<Vec<Expr>>,
     },
+    /// `DELETE FROM table [WHERE predicate]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Row filter; `None` deletes every row.
+        where_clause: Option<Expr>,
+    },
+    /// `UPDATE table SET col = expr, .. [WHERE predicate]`.
+    Update {
+        /// Target table.
+        table: String,
+        /// Assignments in source order; expressions may read the old row.
+        sets: Vec<(String, Expr)>,
+        /// Row filter; `None` updates every row.
+        where_clause: Option<Expr>,
+    },
 }
 
 /// A `CREATE TABLE` statement.

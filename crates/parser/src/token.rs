@@ -99,7 +99,7 @@ keywords! {
     AS, AND, OR, NOT, NULL, IS, IN, BETWEEN, LIKE, CASE, WHEN, THEN, ELSE, END,
     JOIN, INNER, ON, CREATE, TABLE, SUMMARY, PRIMARY, KEY, FOREIGN, REFERENCES,
     ALTER, ADD, INSERT, INTO, VALUES, ROLLUP, CUBE, GROUPING, SETS, TRUE,
-    FALSE, DATE, UNION, ALL,
+    FALSE, DATE, UNION, ALL, DELETE, UPDATE, SET,
 }
 
 impl std::fmt::Display for Token {

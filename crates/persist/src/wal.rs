@@ -108,6 +108,24 @@ pub enum WalRecord {
         /// The table whose epoch advances.
         table: String,
     },
+    /// A delete, logged by row *values* (the live session already resolved
+    /// the `WHERE`): replay removes exactly these rows and re-runs summary
+    /// maintenance through the same counting-delta paths.
+    Delete {
+        /// Target table.
+        table: String,
+        /// The removed rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// An update, logged as positionally-paired pre-/post-image rows.
+    Update {
+        /// Target table.
+        table: String,
+        /// The removed pre-images.
+        old_rows: Vec<Vec<Value>>,
+        /// The inserted post-images.
+        new_rows: Vec<Vec<Value>>,
+    },
 }
 
 fn encode_record(rec: &WalRecord) -> Vec<u8> {
@@ -157,6 +175,21 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             e.u8(7);
             e.str(table);
         }
+        WalRecord::Delete { table, rows } => {
+            e.u8(8);
+            e.str(table);
+            codec::encode_rows(&mut e, rows);
+        }
+        WalRecord::Update {
+            table,
+            old_rows,
+            new_rows,
+        } => {
+            e.u8(9);
+            e.str(table);
+            codec::encode_rows(&mut e, old_rows);
+            codec::encode_rows(&mut e, new_rows);
+        }
     }
     e.buf
 }
@@ -194,6 +227,15 @@ fn decode_record(payload: &[u8]) -> Result<WalRecord, CodecError> {
         },
         6 => WalRecord::Refresh { name: d.str()? },
         7 => WalRecord::EpochBump { table: d.str()? },
+        8 => WalRecord::Delete {
+            table: d.str()?,
+            rows: codec::decode_rows(&mut d)?,
+        },
+        9 => WalRecord::Update {
+            table: d.str()?,
+            old_rows: codec::decode_rows(&mut d)?,
+            new_rows: codec::decode_rows(&mut d)?,
+        },
         other => {
             return Err(CodecError::Invalid {
                 what: "wal record tag",
@@ -541,6 +583,15 @@ mod tests {
             },
             WalRecord::Refresh { name: "st".into() },
             WalRecord::EpochBump { table: "t".into() },
+            WalRecord::Delete {
+                table: "t".into(),
+                rows: vec![vec![Value::Int(1), Value::from("x")]],
+            },
+            WalRecord::Update {
+                table: "t".into(),
+                old_rows: vec![vec![Value::Int(2), Value::from("y")]],
+                new_rows: vec![vec![Value::Int(2), Value::from("z")]],
+            },
             WalRecord::DeregisterAst { name: "st".into() },
         ]
     }
@@ -556,7 +607,7 @@ mod tests {
         let out = scan(&path).unwrap().unwrap();
         assert!(out.torn.is_none());
         assert_eq!(out.valid_len, out.file_len);
-        assert_eq!(out.next_lsn, 7);
+        assert_eq!(out.next_lsn, sample_records().len() as u64 + 1);
         let recs: Vec<WalRecord> = out.records.into_iter().map(|(_, r)| r).collect();
         assert_eq!(recs, sample_records());
         std::fs::remove_dir_all(&dir).ok();
@@ -627,13 +678,14 @@ mod tests {
             wal.append(&rec).unwrap();
         }
         wal.reset().unwrap();
+        let next = sample_records().len() as u64 + 1;
         let lsn = wal
             .append(&WalRecord::Refresh { name: "st".into() })
             .unwrap();
-        assert_eq!(lsn, 7, "LSNs are global, not per-file");
+        assert_eq!(lsn, next, "LSNs are global, not per-file");
         let out = scan(&path).unwrap().unwrap();
         assert_eq!(out.records.len(), 1);
-        assert_eq!(out.records[0].0, 7);
+        assert_eq!(out.records[0].0, next);
         std::fs::remove_dir_all(&dir).ok();
     }
 

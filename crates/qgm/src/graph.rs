@@ -344,19 +344,6 @@ impl QgmGraph {
         new_id
     }
 
-    /// Structural sanity checks; returns a description of the first
-    /// violation found.
-    ///
-    /// Thin compatibility shim over [`crate::verify::verify_structure`]
-    /// (pass 1 of the plan verifier), which callers should use directly for
-    /// the typed [`crate::verify::VerifyError`]. Unlike the historical
-    /// implementation, this now also rejects orphan (unreachable) boxes and
-    /// cyclic graphs.
-    #[deprecated(note = "use `verify::verify_structure` for a typed VerifyError")]
-    pub fn check(&self) -> Result<(), String> {
-        crate::verify::verify_structure(self).map_err(|e| e.to_string())
-    }
-
     /// Structural sanity checks; panics with a description on violation.
     /// Call from tests and after graph surgery; library code should prefer
     /// [`crate::verify::verify_structure`].

@@ -24,6 +24,7 @@ pub mod expr;
 pub mod fingerprint;
 pub mod graph;
 pub mod grouping;
+pub mod maintainability;
 pub mod normalize;
 pub mod render;
 pub mod types;
@@ -40,6 +41,10 @@ pub use graph::{
     Quantifier, SelectBox,
 };
 pub use grouping::canonical_grouping_sets;
+pub use maintainability::{
+    analyze as analyze_maintainability, augment_with_count, ColumnOp, MaintStrategy,
+    MaintainabilityReport, Obstruction, ObstructionKind, HIDDEN_COUNT_NAME,
+};
 pub use render::render_graph_sql;
 pub use types::{infer_output_types, ColMeta};
 pub use verify::{VerifyError, VerifyPass};

@@ -153,7 +153,9 @@ pub fn env_verify_requested() -> bool {
 }
 
 /// Best-effort root-relative path to `b`, e.g. `root/b2/b0(base:trans)`.
-fn box_path(g: &QgmGraph, b: BoxId) -> String {
+/// Shared with the maintainability analyzer so its obstructions locate
+/// boxes the same way verifier errors do.
+pub(crate) fn box_path(g: &QgmGraph, b: BoxId) -> String {
     let label = |id: BoxId| -> String {
         let tag = match g.boxes.get(id.0 as usize).map(|bx| &bx.kind) {
             Some(BoxKind::BaseTable { table }) => format!("base:{table}"),

@@ -453,6 +453,33 @@ impl DurableSession {
                     self.log(WalRecord::Refresh { name });
                 }
             }
+            AppliedOp::Delete {
+                table,
+                rows,
+                refreshed,
+            } => {
+                self.log(WalRecord::Delete { table, rows });
+                // Same convergence contract as Append: the live run may have
+                // degraded to a refresh non-deterministically.
+                for name in refreshed {
+                    self.log(WalRecord::Refresh { name });
+                }
+            }
+            AppliedOp::Update {
+                table,
+                old_rows,
+                new_rows,
+                refreshed,
+            } => {
+                self.log(WalRecord::Update {
+                    table,
+                    old_rows,
+                    new_rows,
+                });
+                for name in refreshed {
+                    self.log(WalRecord::Refresh { name });
+                }
+            }
             AppliedOp::DeregisterAst { name } => self.log(WalRecord::DeregisterAst { name }),
         }
         self.maybe_snapshot();
@@ -719,6 +746,20 @@ fn replay_record(
         }
         WalRecord::EpochBump { table } => {
             inner.session.db.bump_epoch(table);
+        }
+        WalRecord::Delete { table, rows } => {
+            inner
+                .delete_rows(table, rows.clone())
+                .map_err(|e| rerr(format!("delete from `{table}`: {e}")))?;
+        }
+        WalRecord::Update {
+            table,
+            old_rows,
+            new_rows,
+        } => {
+            inner
+                .update_rows(table, old_rows.clone(), new_rows.clone())
+                .map_err(|e| rerr(format!("update `{table}`: {e}")))?;
         }
     }
     Ok(())

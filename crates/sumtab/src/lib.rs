@@ -116,6 +116,24 @@ pub struct AstState {
     pub ast: RegisteredAst,
     /// Base table → [`Database::epoch`] at last (re)materialization.
     pub base_epochs: BTreeMap<String, u64>,
+    /// The registration-time maintainability analysis: per-base-table
+    /// strategy certificates plus the exec graph (definition, possibly
+    /// augmented with a hidden row counter).
+    pub maint: maintain::AstMaintenance,
+}
+
+impl AstState {
+    /// Analyze the definition and snapshot base epochs for a freshly
+    /// (re)registered AST.
+    fn new(ast: RegisteredAst, catalog: &Catalog, db: &Database) -> AstState {
+        let maint = maintain::analyze_ast(&ast.graph, catalog);
+        let base_epochs = snapshot_epochs(db, &ast.graph);
+        AstState {
+            ast,
+            base_epochs,
+            maint,
+        }
+    }
 }
 
 /// Why an AST was passed over during planning.
@@ -178,6 +196,30 @@ pub enum AppliedOp {
         /// The AST's name.
         name: String,
     },
+    /// A delete, with the exact removed rows (resolving the `WHERE` at
+    /// replay time could match different rows; logging values keeps redo
+    /// logical *and* deterministic).
+    Delete {
+        /// Target table.
+        table: String,
+        /// The removed rows.
+        rows: Vec<Row>,
+        /// ASTs whose incremental path degraded to a full refresh (same
+        /// replay contract as [`AppliedOp::Append::refreshed`]).
+        refreshed: Vec<String>,
+    },
+    /// An update, recorded as the removed old rows plus the inserted new
+    /// rows (positionally paired).
+    Update {
+        /// Target table.
+        table: String,
+        /// The pre-image rows.
+        old_rows: Vec<Row>,
+        /// The post-image rows.
+        new_rows: Vec<Row>,
+        /// ASTs whose incremental path degraded to a full refresh.
+        refreshed: Vec<String>,
+    },
 }
 
 /// How an [`SummarySession::append_with_report`] kept each affected summary
@@ -191,6 +233,14 @@ pub struct AppendReport {
     /// *never* had an incremental plan (e.g. HAVING) are not listed: their
     /// full refresh re-runs deterministically on replay.
     pub refreshed: Vec<String>,
+}
+
+/// Which delta primitive an incremental maintenance step runs. An update is
+/// the composition: delete the pre-images, then append the post-images.
+enum DeltaApply<'a> {
+    Append(&'a [Row]),
+    Delete(&'a [Row]),
+    Update { old: &'a [Row], new: &'a [Row] },
 }
 
 /// How the cost-based router disposed of one query's rewrite candidates.
@@ -295,6 +345,23 @@ pub struct PlanDetail {
     pub skipped: Vec<SkippedAst>,
     /// What the cost-based router decided.
     pub routing: RouteDecision,
+    /// For each AST the plan reads: how it will be kept fresh under
+    /// base-table churn (the registration-time maintainability
+    /// certificates).
+    pub maintenance: Vec<MaintenanceNote>,
+}
+
+/// The maintainability certificate of one AST, surfaced for EXPLAIN and
+/// diagnostics: per base table the strongest certified strategy, plus the
+/// typed obstructions explaining every downgrade from counting-delta.
+#[derive(Debug, Clone)]
+pub struct MaintenanceNote {
+    /// The AST's name.
+    pub ast: String,
+    /// Base table (lower-cased) → certified strategy.
+    pub strategies: Vec<(String, qgm::MaintStrategy)>,
+    /// Rendered obstructions (`reason at path: detail`), in analysis order.
+    pub obstructions: Vec<String>,
 }
 
 /// Both alternatives the router chooses between for one fingerprint, with
@@ -482,10 +549,7 @@ impl SummarySession {
         let mut registration_failures = Vec::new();
         for def in catalog.summary_tables() {
             match RegisteredAst::from_sql(&def.name, &def.query_sql, &catalog) {
-                Ok(ast) => {
-                    let base_epochs = snapshot_epochs(&db, &ast.graph);
-                    asts.push(AstState { ast, base_epochs });
-                }
+                Ok(ast) => asts.push(AstState::new(ast, &catalog, &db)),
                 Err(e) => registration_failures.push((def.name.clone(), e.to_string())),
             }
         }
@@ -518,6 +582,41 @@ impl SummarySession {
         &self.registration_failures
     }
 
+    /// The registration-time maintainability analysis of one AST (`None`
+    /// for unknown names).
+    pub fn maintainability(&self, name: &str) -> Option<&maintain::AstMaintenance> {
+        self.asts
+            .iter()
+            .find(|st| st.ast.name.eq_ignore_ascii_case(name))
+            .map(|st| &st.maint)
+    }
+
+    /// Render an AST's maintainability certificate for EXPLAIN and
+    /// [`PlanDetail::maintenance`].
+    fn maintenance_note(&self, name: &str) -> Option<MaintenanceNote> {
+        let st = self
+            .asts
+            .iter()
+            .find(|st| st.ast.name.eq_ignore_ascii_case(name))?;
+        let strategies = st
+            .maint
+            .reports
+            .iter()
+            .map(|(t, r)| (t.clone(), r.strategy))
+            .collect();
+        let obstructions = st
+            .maint
+            .reports
+            .values()
+            .flat_map(|r| r.obstructions.iter().map(|o| o.to_string()))
+            .collect();
+        Some(MaintenanceNote {
+            ast: st.ast.name.clone(),
+            strategies,
+            obstructions,
+        })
+    }
+
     /// Register the named (already materialized) summary table for
     /// rewriting, snapshotting its base tables' epochs.
     fn register_ast(&mut self, name: &str) -> Result<(), SumtabError> {
@@ -526,8 +625,22 @@ impl SummarySession {
         })?;
         let ast = RegisteredAst::from_sql(&def.name, &def.query_sql, &self.session.catalog)
             .map_err(|e| ast_def_err(&def.query_sql, e))?;
-        let base_epochs = snapshot_epochs(&self.session.db, &ast.graph);
-        self.asts.push(AstState { ast, base_epochs });
+        let st = AstState::new(ast, &self.session.catalog, &self.session.db);
+        // Counting-delta maintenance of a definition that does not project a
+        // row counter needs the hidden one: re-materialize the backing table
+        // through the augmented exec graph (the extra trailing column lives
+        // only in backing rows — the catalog schema, and therefore every
+        // query over the summary, never sees it).
+        if st.maint.hidden_counter {
+            let rows = sumtab_engine::execute_with(
+                &st.maint.exec_graph,
+                &self.session.db,
+                &self.session.exec,
+            )
+            .map_err(|e| SumtabError::exec(format!("materialization of `{name}`"), e))?;
+            self.session.db.put_table(name, rows);
+        }
+        self.asts.push(st);
         self.ast_generation += 1;
         Ok(())
     }
@@ -657,6 +770,62 @@ impl SummarySession {
                     },
                 ))
             }
+            // DELETE/UPDATE always resolve their matched rows here (not in
+            // the engine session): the durability layer logs row *values*,
+            // and summary maintenance needs the pre-images.
+            Statement::Delete {
+                table,
+                where_clause,
+            } => {
+                let victims = sumtab_engine::matched_rows(
+                    &self.session.catalog,
+                    &self.session.db,
+                    &self.session.exec,
+                    table,
+                    where_clause.as_ref(),
+                )?;
+                if victims.is_empty() {
+                    return Ok((StatementResult::Count(0), AppliedOp::None));
+                }
+                let n = victims.len();
+                let report = self.delete_rows(table, victims.clone())?;
+                Ok((
+                    StatementResult::Count(n),
+                    AppliedOp::Delete {
+                        table: table.clone(),
+                        rows: victims,
+                        refreshed: report.refreshed,
+                    },
+                ))
+            }
+            Statement::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
+                let (old_rows, new_rows) = sumtab_engine::update_deltas(
+                    &self.session.catalog,
+                    &self.session.db,
+                    &self.session.exec,
+                    table,
+                    sets,
+                    where_clause.as_ref(),
+                )?;
+                if old_rows.is_empty() {
+                    return Ok((StatementResult::Count(0), AppliedOp::None));
+                }
+                let n = old_rows.len();
+                let report = self.update_rows(table, old_rows.clone(), new_rows.clone())?;
+                Ok((
+                    StatementResult::Count(n),
+                    AppliedOp::Update {
+                        table: table.clone(),
+                        old_rows,
+                        new_rows,
+                        refreshed: report.refreshed,
+                    },
+                ))
+            }
             _ => {
                 let result = self.session.run_statement(stmt)?;
                 let op = match stmt {
@@ -701,6 +870,8 @@ impl SummarySession {
                         table: table.clone(),
                         rows: sumtab_engine::session::literal_rows(rows)?,
                     },
+                    // Handled by the dedicated arms above.
+                    Statement::Delete { .. } | Statement::Update { .. } => AppliedOp::None,
                     Statement::Query(_) => AppliedOp::None,
                 };
                 Ok((result, op))
@@ -816,12 +987,18 @@ impl SummarySession {
                 used: alt.used.clone(),
                 skipped: routed.skipped.clone(),
                 routing,
+                maintenance: alt
+                    .used
+                    .iter()
+                    .filter_map(|n| self.maintenance_note(n))
+                    .collect(),
             },
             _ => PlanDetail {
                 graph: routed.base.clone(),
                 used: Vec::new(),
                 skipped: routed.skipped.clone(),
                 routing,
+                maintenance: Vec::new(),
             },
         };
         Ok(Routed {
@@ -1129,6 +1306,21 @@ impl SummarySession {
         for s in &detail.skipped {
             out.push_str(&format!("-- skipped {}: {}\n", s.ast, s.reason));
         }
+        for note in &detail.maintenance {
+            let strategies: Vec<String> = note
+                .strategies
+                .iter()
+                .map(|(t, s)| format!("{t}={s}"))
+                .collect();
+            out.push_str(&format!(
+                "-- maintenance {}: {}\n",
+                note.ast,
+                strategies.join(", ")
+            ));
+            for o in &note.obstructions {
+                out.push_str(&format!("-- obstruction {}: {o}\n", note.ast));
+            }
+        }
         out.push_str(&render_graph_sql(&detail.graph));
         Ok(out)
     }
@@ -1155,14 +1347,16 @@ impl SummarySession {
         rows: Vec<Row>,
     ) -> Result<AppendReport, SumtabError> {
         let table_lc = table.to_ascii_lowercase();
-        // Plan first, against the pre-append state.
+        // Plan first, against the pre-append state: the registration-time
+        // certificate decides which ASTs can merge the delta. Both
+        // insert-delta and counting-delta certificates support appends.
         let mut incremental = Vec::new();
         let mut full = Vec::new();
         for (i, st) in self.asts.iter().enumerate() {
             if !graph_reads(&st.ast.graph, table) {
                 continue;
             }
-            match maintain::maintenance_plan(&st.ast.graph, &table_lc) {
+            match st.maint.plan_for(&table_lc) {
                 Some(plan) => incremental.push((i, plan)),
                 None => full.push(st.ast.name.clone()),
             }
@@ -1176,54 +1370,18 @@ impl SummarySession {
             .insert(&self.session.catalog, table, rows.clone())?;
         let mut report = AppendReport::default();
         for (i, plan) in incremental {
-            let st = self.asts.get(i).ok_or_else(|| SumtabError::Maintain {
-                ast: table_lc.clone(),
-                detail: "registered AST set changed during append".to_string(),
-            })?;
-            let name = st.ast.name.clone();
-            // Maintenance boundary gate (passes 1–3): a plan that no longer
-            // matches its AST definition degrades to a full refresh below,
-            // exactly like a failed incremental merge.
-            let gate = if sumtab_qgm::verify::runtime_checks_enabled() {
-                maintain::verify_maintenance(&st.ast.graph, &plan, &self.session.catalog)
-            } else {
-                Ok(())
+            let name = match self.asts.get(i) {
+                Some(st) => st.ast.name.clone(),
+                None => continue,
             };
-            let result = if let Err(e) = gate {
-                Err(sumtab_engine::ExecError::Verify(e))
-            } else if failpoint::triggered("maintain") {
-                Err(sumtab_engine::ExecError::Injected("maintain".to_string()))
-            } else {
-                maintain::apply_append(
-                    &st.ast.graph,
-                    &plan,
-                    &name,
-                    &table_lc,
-                    &rows,
-                    &mut self.session.db,
-                )
-            };
-            match result {
-                Ok(()) => {
-                    let epoch = self.session.db.epoch(&table_lc);
-                    if let Some(st) = self.asts.get_mut(i) {
-                        st.base_epochs.insert(table_lc.clone(), epoch);
-                    }
-                    report.maintained.push(name);
-                }
-                Err(cause) => {
-                    // Degrade: recompute from scratch rather than leaving
-                    // the summary stale (and thus skipped by the planner).
-                    self.refresh(&name).map_err(|e| SumtabError::Maintain {
-                        ast: name.clone(),
-                        detail: format!(
-                            "incremental maintenance failed ({cause}) and the \
-                             fallback full refresh also failed: {e}"
-                        ),
-                    })?;
-                    report.refreshed.push(name);
-                }
-            }
+            self.apply_incremental(
+                i,
+                &plan,
+                &name,
+                &table_lc,
+                DeltaApply::Append(&rows),
+                &mut report,
+            )?;
         }
         for name in full {
             self.refresh(&name)?;
@@ -1231,9 +1389,220 @@ impl SummarySession {
         Ok(report)
     }
 
-    /// Refresh one summary table from current base data (full recompute —
-    /// related problem (c) is out of the paper's scope; see DESIGN.md).
-    /// Re-snapshots the base-table epochs, clearing any staleness.
+    /// Remove rows from a base table and maintain every affected summary
+    /// table: counting-delta-certified ASTs subtract signed deltas (dropping
+    /// groups whose hidden or visible row counter reaches zero); everything
+    /// else — including shrink-sensitive `MIN`/`MAX` whose stored extremum
+    /// may have been deleted — recomputes in full.
+    ///
+    /// `victims` must be rows currently present in `table` (as produced by
+    /// [`sumtab_engine::matched_rows`]); the script and WAL-replay paths
+    /// guarantee this.
+    pub fn delete_rows(
+        &mut self,
+        table: &str,
+        victims: Vec<Row>,
+    ) -> Result<AppendReport, SumtabError> {
+        let table_lc = table.to_ascii_lowercase();
+        let mut incremental = Vec::new();
+        let mut full = Vec::new();
+        for (i, st) in self.asts.iter().enumerate() {
+            if !graph_reads(&st.ast.graph, table) {
+                continue;
+            }
+            match st.maint.plan_for(&table_lc) {
+                Some(plan) if plan.strategy == qgm::MaintStrategy::CountingDelta => {
+                    incremental.push((i, plan))
+                }
+                _ => full.push(st.ast.name.clone()),
+            }
+        }
+        // Remove the base rows first; the delta aggregation re-installs the
+        // victims over the post-delete database inside `apply_delete`.
+        self.session.db.remove_rows(table, &victims);
+        let mut report = AppendReport::default();
+        for (i, plan) in incremental {
+            let name = match self.asts.get(i) {
+                Some(st) => st.ast.name.clone(),
+                None => continue,
+            };
+            self.apply_incremental(
+                i,
+                &plan,
+                &name,
+                &table_lc,
+                DeltaApply::Delete(&victims),
+                &mut report,
+            )?;
+        }
+        for name in full {
+            self.refresh(&name)?;
+        }
+        Ok(report)
+    }
+
+    /// Replace rows in a base table (positionally paired pre/post-images)
+    /// and maintain every affected summary table. Incrementally this is
+    /// delete-then-insert of signed deltas, so it needs the same
+    /// counting-delta certificate as [`SummarySession::delete_rows`].
+    pub fn update_rows(
+        &mut self,
+        table: &str,
+        old_rows: Vec<Row>,
+        new_rows: Vec<Row>,
+    ) -> Result<AppendReport, SumtabError> {
+        let table_lc = table.to_ascii_lowercase();
+        let mut incremental = Vec::new();
+        let mut full = Vec::new();
+        for (i, st) in self.asts.iter().enumerate() {
+            if !graph_reads(&st.ast.graph, table) {
+                continue;
+            }
+            match st.maint.plan_for(&table_lc) {
+                Some(plan) if plan.strategy == qgm::MaintStrategy::CountingDelta => {
+                    incremental.push((i, plan))
+                }
+                _ => full.push(st.ast.name.clone()),
+            }
+        }
+        self.session
+            .db
+            .replace_rows(&self.session.catalog, table, &old_rows, new_rows.clone())?;
+        let mut report = AppendReport::default();
+        for (i, plan) in incremental {
+            let name = match self.asts.get(i) {
+                Some(st) => st.ast.name.clone(),
+                None => continue,
+            };
+            self.apply_incremental(
+                i,
+                &plan,
+                &name,
+                &table_lc,
+                DeltaApply::Update {
+                    old: &old_rows,
+                    new: &new_rows,
+                },
+                &mut report,
+            )?;
+        }
+        for name in full {
+            self.refresh(&name)?;
+        }
+        Ok(report)
+    }
+
+    /// Run one incremental maintenance step for AST `i` with full gating:
+    /// the plan verifier (passes 1–3) in front, the `maintain` failpoint,
+    /// the delta apply itself, and — under runtime checks — the
+    /// recompute-equivalence assertion behind. Every failure mode degrades
+    /// to a full refresh (recorded in `report.refreshed`) rather than
+    /// leaving the summary stale or wrong.
+    fn apply_incremental(
+        &mut self,
+        i: usize,
+        plan: &maintain::MaintenancePlan,
+        name: &str,
+        table_lc: &str,
+        apply: DeltaApply<'_>,
+        report: &mut AppendReport,
+    ) -> Result<(), SumtabError> {
+        let gate = if sumtab_qgm::verify::runtime_checks_enabled() {
+            match self.asts.get(i) {
+                Some(st) => {
+                    maintain::verify_maintenance(&st.maint.exec_graph, plan, &self.session.catalog)
+                }
+                None => Ok(()),
+            }
+        } else {
+            Ok(())
+        };
+        let outcome: Result<maintain::DeltaOutcome, String> = if let Err(e) = gate {
+            Err(e.to_string())
+        } else if failpoint::triggered("maintain") {
+            Err("injected fault: maintain".to_string())
+        } else {
+            match self.asts.get(i) {
+                None => Err("registered AST set changed during maintenance".to_string()),
+                Some(st) => {
+                    let g = &st.maint.exec_graph;
+                    let db = &mut self.session.db;
+                    let r = match apply {
+                        DeltaApply::Append(rows) => {
+                            maintain::apply_append(g, plan, name, table_lc, rows, db)
+                        }
+                        DeltaApply::Delete(rows) => {
+                            maintain::apply_delete(g, plan, name, table_lc, rows, db)
+                        }
+                        DeltaApply::Update { old, new } => {
+                            match maintain::apply_delete(g, plan, name, table_lc, old, db) {
+                                Ok(maintain::DeltaOutcome::Applied) => {
+                                    maintain::apply_append(g, plan, name, table_lc, new, db)
+                                }
+                                other => other,
+                            }
+                        }
+                    };
+                    r.map_err(|e| e.to_string())
+                }
+            }
+        };
+        match outcome {
+            Ok(maintain::DeltaOutcome::Applied) => {
+                if sumtab_qgm::verify::runtime_checks_enabled() {
+                    let check = match self.asts.get(i) {
+                        Some(st) => maintain::check_equivalence(
+                            &st.maint.exec_graph,
+                            name,
+                            &self.session.db,
+                        ),
+                        None => Ok(()),
+                    };
+                    if let Err(why) = check {
+                        return self.degrade_to_refresh(
+                            name,
+                            &format!("recompute-equivalence check failed: {why}"),
+                            report,
+                        );
+                    }
+                }
+                let epoch = self.session.db.epoch(table_lc);
+                if let Some(st) = self.asts.get_mut(i) {
+                    st.base_epochs.insert(table_lc.to_string(), epoch);
+                }
+                report.maintained.push(name.to_string());
+                Ok(())
+            }
+            Ok(maintain::DeltaOutcome::NeedsRefresh(why)) => {
+                self.degrade_to_refresh(name, &why, report)
+            }
+            Err(cause) => self.degrade_to_refresh(name, &cause, report),
+        }
+    }
+
+    /// Degrade: recompute from scratch rather than leaving the summary
+    /// stale (and thus skipped by the planner).
+    fn degrade_to_refresh(
+        &mut self,
+        name: &str,
+        cause: &str,
+        report: &mut AppendReport,
+    ) -> Result<(), SumtabError> {
+        self.refresh(name).map_err(|e| SumtabError::Maintain {
+            ast: name.to_string(),
+            detail: format!(
+                "incremental maintenance failed ({cause}) and the \
+                 fallback full refresh also failed: {e}"
+            ),
+        })?;
+        report.refreshed.push(name.to_string());
+        Ok(())
+    }
+
+    /// Refresh one summary table from current base data (full recompute).
+    /// Runs the *exec* graph, so a hidden-counter AST re-materializes with
+    /// its counter column intact. Re-snapshots the base-table epochs,
+    /// clearing any staleness.
     pub fn refresh(&mut self, name: &str) -> Result<(), SumtabError> {
         let idx = self
             .asts
@@ -1244,7 +1613,7 @@ impl SummarySession {
                 detail: "unknown summary table".to_string(),
             })?;
         let rows = sumtab_engine::execute_with(
-            &self.asts[idx].ast.graph,
+            &self.asts[idx].maint.exec_graph,
             &self.session.db,
             &self.session.exec,
         )

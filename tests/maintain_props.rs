@@ -1,0 +1,439 @@
+//! Property tests for incremental summary maintenance and the
+//! maintainability analyzer.
+//!
+//! Two halves:
+//!
+//! 1. **Soundness** — seeded random scripts of mixed INSERT/DELETE/UPDATE
+//!    statements against a mix of summary-table shapes (visible counter,
+//!    hidden counter, MIN/MAX, joined dimension). After every statement the
+//!    session's answer to each probe query must be byte-identical to a
+//!    from-scratch recomputation over the base tables. The recompute-
+//!    equivalence runtime assertion is active throughout (debug builds), so
+//!    any unsound incremental merge degrades loudly to refresh — and any
+//!    *divergence* that survives fails the probe comparison here.
+//!
+//! 2. **Mutation kill** — a suite of non-maintainable definition classes
+//!    (HAVING, grand total, DISTINCT aggregates, scalar subquery, self-join,
+//!    nullable SUM under delete, expression outputs, ...): each must be
+//!    rejected with a *typed* obstruction that names the offending box.
+//!
+//! Seeds are deterministic but overridable via `SUMTAB_MAINTAIN_SEED`.
+
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+use sumtab::qgm::{
+    analyze_maintainability, build_query, MaintStrategy, ObstructionKind,
+};
+use sumtab::{sort_rows, Catalog, Row, SummarySession};
+use sumtab_parser::parse_query;
+
+/// SplitMix64 — tiny, deterministic, good enough for workload shuffling.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+fn base_seed() -> u64 {
+    match std::env::var("SUMTAB_MAINTAIN_SEED") {
+        Ok(s) => {
+            let t = s.trim().trim_start_matches("0x");
+            u64::from_str_radix(t, 16)
+                .or_else(|_| t.parse())
+                .expect("SUMTAB_MAINTAIN_SEED must be a (hex or decimal) u64")
+        }
+        Err(_) => 0x3a1e_2026_0807_0002,
+    }
+}
+
+/// Fact table with a unique id (so deletes/updates can target single rows),
+/// a nullable measure (forces the insert-delta downgrade on SUM(w)), a
+/// dimension join, and summaries covering every maintenance strategy.
+const SETUP: &str = "
+    create table dim (d int not null, grp int not null);
+    create table f (id int not null, d int not null, v int not null, w int);
+    insert into dim values (0, 0), (1, 0), (2, 1), (3, 1);
+    create summary table s_counting as
+      (select d, sum(v) as sv, count(*) as c from f group by d);
+    create summary table s_hidden as
+      (select d, sum(v) as sv from f group by d);
+    create summary table s_extrema as
+      (select d, min(v) as mn, max(v) as mx, count(*) as c from f group by d);
+    create summary table s_nullable as
+      (select d, sum(w) as sw, count(*) as c from f group by d);
+    create summary table s_joined as
+      (select grp, sum(v) as sv, count(*) as c from f, dim where f.d = dim.d group by grp);
+";
+
+const PROBES: &[&str] = &[
+    "select d, sum(v) as sv, count(*) as c from f group by d",
+    "select d, min(v) as mn, max(v) as mx from f group by d",
+    "select d, sum(w) as sw from f group by d",
+    "select grp, sum(v) as sv from f, dim where f.d = dim.d group by grp",
+];
+
+const SUMMARIES: &[&str] = &["s_counting", "s_hidden", "s_extrema", "s_nullable", "s_joined"];
+
+/// Generate one random mutation statement. Ids are dense, so delete/update
+/// targets frequently hit live rows (and sometimes miss — the 0-row paths
+/// must hold too).
+fn gen_stmt(rng: &mut Rng, next_id: &mut i64) -> String {
+    match rng.below(10) {
+        0..=4 => {
+            *next_id += 1;
+            let d = rng.below(4);
+            let v = rng.below(50);
+            let w = if rng.below(4) == 0 {
+                "null".to_string()
+            } else {
+                rng.below(50).to_string()
+            };
+            format!("insert into f values ({next_id}, {d}, {v}, {w})")
+        }
+        5..=6 => {
+            let id = 1 + rng.below((*next_id).max(1) as u64);
+            format!("delete from f where id = {id}")
+        }
+        7 => {
+            // Range delete: multi-row victims in one statement.
+            let v = rng.below(50);
+            format!("delete from f where v < {v}")
+        }
+        8 => {
+            let id = 1 + rng.below((*next_id).max(1) as u64);
+            let v = rng.below(50);
+            format!("update f set v = {v} where id = {id}")
+        }
+        _ => {
+            // Multi-row update touching the grouping column: rows migrate
+            // between groups (delete from one, insert into another).
+            let from = rng.below(4);
+            let to = rng.below(4);
+            format!("update f set d = {to} where d = {from}")
+        }
+    }
+}
+
+/// The ground truth: each probe recomputed from base tables only.
+fn recompute(s: &mut SummarySession, probe: &str) -> Vec<Row> {
+    sort_rows(s.query_no_rewrite(probe).unwrap().rows)
+}
+
+/// What the session answers (transparently rewritten when a summary is
+/// fresh).
+fn answer(s: &mut SummarySession, probe: &str) -> Vec<Row> {
+    sort_rows(s.query(probe).unwrap().rows)
+}
+
+#[test]
+fn random_mixed_scripts_stay_byte_identical_to_recompute() {
+    let base = base_seed();
+    for case in 0..3u64 {
+        let seed = base ^ case.wrapping_mul(0xA076_1D64_78BD_642F);
+        let mut rng = Rng(seed);
+        let mut s = SummarySession::new();
+        s.run_script(SETUP).unwrap();
+        let mut next_id = 0i64;
+        for step in 0..60 {
+            let stmt = gen_stmt(&mut rng, &mut next_id);
+            s.run_script(&stmt).unwrap();
+            for probe in PROBES {
+                let expected = recompute(&mut s, probe);
+                let got = answer(&mut s, probe);
+                assert_eq!(
+                    got, expected,
+                    "seed {seed:#x} step {step}: `{stmt}` diverged on `{probe}`"
+                );
+            }
+        }
+        // Every summary must still be fresh enough to serve its own
+        // definition (maintained or refreshed — never silently stale).
+        for name in SUMMARIES {
+            let def = format!("select * from {name}");
+            assert!(
+                s.query_no_rewrite(&def).is_ok(),
+                "seed {seed:#x}: `{name}` unreadable"
+            );
+        }
+    }
+}
+
+/// Deleting every row of a group must drop the group's row from the
+/// backing table (the hidden/visible counter reaching zero), not leave a
+/// zero-count ghost that a rewritten query would surface.
+#[test]
+fn emptied_groups_vanish_from_summaries() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (k int not null, v int not null);
+         insert into t values (1, 10), (1, 20), (2, 30);
+         create summary table st as (select k, sum(v) as sv from t group by k);",
+    )
+    .unwrap();
+    // `st` does not project a counter: the hidden one must be doing this.
+    let m = s.maintainability("st").unwrap();
+    assert!(m.hidden_counter, "hidden counter expected for SUM-only AST");
+    assert_eq!(m.strategy_for("t"), MaintStrategy::CountingDelta);
+    let r = s.run_script("delete from t where k = 1").unwrap();
+    assert_eq!(format!("{:?}", r[0]), "Count(2)");
+    let q = s.query("select k, sum(v) as sv from t group by k").unwrap();
+    assert_eq!(q.used_ast.as_deref(), Some("st"), "summary must stay fresh");
+    assert_eq!(q.rows, vec![vec![sumtab::Value::Int(2), sumtab::Value::Int(30)]]);
+}
+
+/// The hidden counter column lives in backing rows only — queries over the
+/// summary table itself must never see it.
+#[test]
+fn hidden_counter_is_invisible_to_queries() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (k int not null, v int not null);
+         insert into t values (1, 10), (2, 20);
+         create summary table st as (select k, sum(v) as sv from t group by k);",
+    )
+    .unwrap();
+    let q = s.query_no_rewrite("select k, sv from st").unwrap();
+    assert_eq!(q.header, vec!["k", "sv"]);
+    assert!(q.rows.iter().all(|r| r.len() == 2));
+}
+
+/// A deleted extremum cannot be repaired from a delta: the apply must
+/// detect the shrink and refresh, and the answer must stay exact.
+#[test]
+fn extremum_deletion_refreshes_and_stays_exact() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (k int not null, v int not null);
+         insert into t values (1, 5), (1, 9), (1, 7);
+         create summary table st as
+           (select k, min(v) as mn, max(v) as mx, count(*) as c from t group by k);",
+    )
+    .unwrap();
+    s.run_script("delete from t where v = 9").unwrap();
+    let q = s
+        .query("select k, min(v) as mn, max(v) as mx from t group by k")
+        .unwrap();
+    assert_eq!(q.used_ast.as_deref(), Some("st"));
+    assert_eq!(
+        q.rows,
+        vec![vec![
+            sumtab::Value::Int(1),
+            sumtab::Value::Int(5),
+            sumtab::Value::Int(7),
+        ]]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Mutation-kill suite: each non-maintainable class must be rejected with a
+// typed obstruction naming the offending box.
+// ---------------------------------------------------------------------------
+
+/// Run the analyzer on `sql` (over the paper's sample schema) for `table`
+/// and return `(strategy, obstruction kinds with their box paths)`.
+fn analyze(sql: &str, table: &str) -> (MaintStrategy, Vec<(ObstructionKind, String)>) {
+    let cat = Catalog::credit_card_sample();
+    let g = build_query(&parse_query(sql).unwrap(), &cat).unwrap();
+    let r = analyze_maintainability(&g, table, &cat);
+    let obs = r
+        .obstructions
+        .iter()
+        .map(|o| (o.reason, o.path.clone()))
+        .collect();
+    (r.strategy, obs)
+}
+
+/// Assert `sql` is refresh-only for `table` and that the stated obstruction
+/// kind is reported with a non-empty box path.
+fn assert_killed(sql: &str, table: &str, kind: ObstructionKind) {
+    let (strategy, obs) = analyze(sql, table);
+    assert_eq!(
+        strategy,
+        MaintStrategy::RefreshOnly,
+        "`{sql}` must be refresh-only"
+    );
+    let hit = obs.iter().find(|(k, _)| *k == kind);
+    match hit {
+        Some((_, path)) => assert!(
+            !path.is_empty(),
+            "`{sql}`: obstruction {kind} must name a box path"
+        ),
+        None => panic!("`{sql}`: expected obstruction {kind}, got {obs:?}"),
+    }
+}
+
+#[test]
+fn kill_having_predicate() {
+    assert_killed(
+        "select faid, count(*) as c from trans group by faid having count(*) > 1",
+        "trans",
+        ObstructionKind::PostAggregationPredicate,
+    );
+}
+
+#[test]
+fn kill_grand_total() {
+    assert_killed(
+        "select count(*) as c from trans",
+        "trans",
+        ObstructionKind::GrandTotal,
+    );
+}
+
+#[test]
+fn kill_distinct_aggregate() {
+    assert_killed(
+        "select faid, count(distinct flid) as c from trans group by faid",
+        "trans",
+        ObstructionKind::DistinctAggregate,
+    );
+}
+
+#[test]
+fn kill_scalar_subquery() {
+    assert_killed(
+        "select faid, count(*) as c, (select count(*) from loc) as t \
+         from trans group by faid",
+        "trans",
+        ObstructionKind::ScalarSubquery,
+    );
+}
+
+#[test]
+fn kill_self_join_nonlinearity() {
+    assert_killed(
+        "select t1.faid as f, count(*) as c from trans as t1, trans as t2 \
+         where t1.faid = t2.faid group by t1.faid",
+        "trans",
+        ObstructionKind::NonLinear,
+    );
+}
+
+#[test]
+fn kill_table_not_read() {
+    assert_killed(
+        "select faid, count(*) as c from trans group by faid",
+        "acct",
+        ObstructionKind::TableNotRead,
+    );
+}
+
+#[test]
+fn kill_no_aggregation_root() {
+    assert_killed(
+        "select tid, qty from trans",
+        "trans",
+        ObstructionKind::NoAggregationRoot,
+    );
+}
+
+#[test]
+fn kill_average_not_lowered() {
+    // `avg` reaching the analyzer un-lowered (no SUM/COUNT decomposition)
+    // cannot be merged; build keeps it as an Avg aggregate.
+    let (strategy, obs) = analyze(
+        "select faid, avg(qty) as a from trans group by faid",
+        "trans",
+    );
+    if strategy != MaintStrategy::RefreshOnly {
+        // The builder lowers AVG into SUM/COUNT — then it must be fully
+        // counting-maintainable instead.
+        assert_eq!(strategy, MaintStrategy::CountingDelta);
+    } else {
+        assert!(
+            obs.iter().any(|(k, _)| matches!(
+                k,
+                ObstructionKind::UnloweredAverage | ObstructionKind::NonMaintainableExpression
+            )),
+            "avg rejection must be typed, got {obs:?}"
+        );
+    }
+}
+
+#[test]
+fn kill_expression_output() {
+    // A root output that is not a bare column of the group-by box (e.g. an
+    // arithmetic expression over aggregates) cannot be delta-merged.
+    let (strategy, obs) = analyze(
+        "select faid, sum(qty) + count(*) as blend from trans group by faid",
+        "trans",
+    );
+    assert_eq!(strategy, MaintStrategy::RefreshOnly);
+    assert!(
+        obs.iter()
+            .any(|(k, _)| *k == ObstructionKind::NonMaintainableExpression),
+        "expression output must be typed, got {obs:?}"
+    );
+}
+
+#[test]
+fn downgrade_nullable_sum_to_insert_delta() {
+    // Over a schema where the SUM argument is nullable, deletes cannot
+    // reproduce SUM=NULL from stored - delta: the strategy must downgrade
+    // to insert-delta with a typed explanation.
+    let mut s = SummarySession::new();
+    s.run_script("create table n (k int not null, v int);").unwrap();
+    let cat = &s.session.catalog;
+    let g = build_query(
+        &parse_query("select k, sum(v) as sv, count(*) as c from n group by k").unwrap(),
+        cat,
+    )
+    .unwrap();
+    let r = analyze_maintainability(&g, "n", cat);
+    assert_eq!(r.strategy, MaintStrategy::InsertDelta);
+    assert!(
+        r.obstructions
+            .iter()
+            .any(|o| o.reason == ObstructionKind::NullableSumUnderDelete),
+        "nullable SUM downgrade must be typed, got {:?}",
+        r.obstructions
+    );
+}
+
+#[test]
+fn advisory_shrink_sensitive_extrema_stay_counting() {
+    // MIN/MAX do not downgrade the strategy — they are handled at apply
+    // time — but the certificate must flag them.
+    let (strategy, obs) = analyze(
+        "select faid, min(price) as mn, count(*) as c from trans group by faid",
+        "trans",
+    );
+    assert_eq!(strategy, MaintStrategy::CountingDelta);
+    assert!(
+        obs.iter()
+            .any(|(k, _)| *k == ObstructionKind::ShrinkSensitiveExtremum),
+        "shrink-sensitive extremum must be flagged, got {obs:?}"
+    );
+}
+
+#[test]
+fn explain_surfaces_strategy_and_obstructions() {
+    let mut s = SummarySession::new();
+    s.run_script(
+        "create table t (k int not null, v int);
+         insert into t values (1, 10);
+         create summary table st as
+           (select k, sum(v) as sv, count(*) as c from t group by k);",
+    )
+    .unwrap();
+    let plan = s
+        .explain("select k, sum(v) as sv from t group by k")
+        .unwrap();
+    assert!(
+        plan.contains("-- maintenance st: t=insert-delta"),
+        "{plan}"
+    );
+    assert!(
+        plan.contains("nullable-sum-under-delete"),
+        "obstruction must be surfaced: {plan}"
+    );
+}

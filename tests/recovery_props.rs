@@ -1,6 +1,6 @@
 //! Property tests for crash recovery: random workload scripts (inserts
-//! with unique ids, refreshes, invalidations, AST register/deregister)
-//! killed at random points — cleanly and at every IO fail point — must
+//! with unique ids, id-targeted deletes and updates, refreshes,
+//! invalidations, AST register/deregister) killed at random points — cleanly and at every IO fail point — must
 //! recover to byte-identical results against an uninterrupted run of the
 //! same script. Double recovery must be idempotent.
 //!
@@ -95,6 +95,17 @@ enum Op {
         id: i64,
         v: i64,
     },
+    /// Remove the row with this `id` (no-op if never inserted or already
+    /// deleted) — exercises the counting-delta WAL record and replay path.
+    Delete {
+        id: i64,
+    },
+    /// Rewrite the row with this `id` to a new `v` (no-op if absent) —
+    /// exercises the update (delete + insert of signed deltas) WAL record.
+    Update {
+        id: i64,
+        v: i64,
+    },
     Refresh,
     Invalidate,
     RegisterExtra,
@@ -105,7 +116,7 @@ fn gen_ops(rng: &mut Rng, n: usize) -> Vec<Op> {
     let mut ops = Vec::with_capacity(n);
     let mut next_id = 0i64;
     for _ in 0..n {
-        ops.push(match rng.below(10) {
+        ops.push(match rng.below(12) {
             0..=5 => {
                 next_id += 1;
                 Op::Insert {
@@ -114,9 +125,16 @@ fn gen_ops(rng: &mut Rng, n: usize) -> Vec<Op> {
                     v: rng.below(100) as i64,
                 }
             }
-            6 => Op::Refresh,
-            7 => Op::Invalidate,
-            8 => Op::RegisterExtra,
+            6 => Op::Delete {
+                id: 1 + rng.below(next_id.max(1) as u64) as i64,
+            },
+            7 => Op::Update {
+                id: 1 + rng.below(next_id.max(1) as u64) as i64,
+                v: rng.below(100) as i64,
+            },
+            8 => Op::Refresh,
+            9 => Op::Invalidate,
+            10 => Op::RegisterExtra,
             _ => Op::DeregisterExtra,
         });
     }
@@ -130,6 +148,16 @@ fn apply(s: &mut DurableSession, op: &Op) {
     match op {
         Op::Insert { k, id, v } => {
             s.run_script(&format!("insert into t values ({k}, {id}, {v})"))
+                .unwrap();
+        }
+        // Both are idempotent (the WHERE targets a unique id, the SET is a
+        // constant), so unconditional re-apply after a crash is safe.
+        Op::Delete { id } => {
+            s.run_script(&format!("delete from t where id = {id}"))
+                .unwrap();
+        }
+        Op::Update { id, v } => {
+            s.run_script(&format!("update t set v = {v} where id = {id}"))
                 .unwrap();
         }
         Op::Refresh => s.refresh("st").unwrap(),
